@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 10 reproduction: normalised execution cycles, energy and
+ * accuracy loss of the four Fast-BCNN design points against the
+ * baseline accelerator for B-LeNet-5, B-VGG16 and B-GoogLeNet.
+ *
+ * Paper claims checked:
+ *   - B-LeNet-5: >= 86 % cycle reduction everywhere (~7x), FB-16/32
+ *     best (~90 %), ~84 % energy reduction;
+ *   - B-VGG16: FB-64 ~59 % cycle reduction (2.4x), 41-50 % energy;
+ *   - B-GoogLeNet: FB-64 ~69 % cycle reduction (3.1x), up to 65 %
+ *     energy;
+ *   - prediction-unit / central-predictor energy overheads are small
+ *     (8 % / 5 % for FB-64 on LeNet);
+ *   - accuracy loss is small at p_cf = 68 %.
+ */
+
+#include "bench_util.hpp"
+
+using namespace fastbcnn;
+using namespace fastbcnn::bench;
+
+namespace {
+
+struct PaperRow {
+    const char *model;
+    const char *cycleClaim;
+    const char *energyClaim;
+};
+
+constexpr PaperRow paperRows[] = {
+    {"B-LeNet-5", ">=86 % all, ~90 % FB-16/32", "~84 % average"},
+    {"B-VGG16", "59 % (FB-64 best)", "41-50 %"},
+    {"B-GoogLeNet", "69 % (FB-64 best)", "59-65 %"},
+};
+
+void
+runModel(ModelKind kind, const BenchScale &scale)
+{
+    Workload w(workloadFor(kind, scale));
+
+    Table t({"design", "cycles (norm)", "cycle red.", "speedup",
+             "energy (norm)", "energy red.", "pred E %", "central E %"});
+    for (const AcceleratorConfig &cfg : designSpace()) {
+        const ComparisonMetrics m = compareToBaseline(
+            w, [&](const InferenceTrace &tr) {
+                return simulateFastBcnn(tr, cfg);
+            });
+        t.addRow({cfg.name, format("%.3f", 1.0 - m.cycleReduction),
+                  format("%.1f %%", 100.0 * m.cycleReduction),
+                  format("%.2fx", m.speedup),
+                  format("%.3f", 1.0 - m.energyReduction),
+                  format("%.1f %%", 100.0 * m.energyReduction),
+                  format("%.1f", 100.0 * m.predEnergyFraction),
+                  format("%.1f", 100.0 * m.centralEnergyFraction)});
+    }
+    std::cout << modelKindName(kind) << " (T = " << w.config().samples
+              << ", width " << w.config().width << "):\n";
+    t.print(std::cout);
+    for (const PaperRow &row : paperRows) {
+        if (std::string(row.model) == modelKindName(kind)) {
+            std::cout << "paper: cycle reduction " << row.cycleClaim
+                      << "; energy reduction " << row.energyClaim
+                      << "\n";
+        }
+    }
+    std::cout << format("accuracy: argmax disagreement %.1f %% "
+                        "(MC-noise floor %.1f %%) over %zu inputs, "
+                        "mean output error %.4f (paper: accuracy "
+                        "loss <2 %% at p_cf = 68 %%)\n",
+                        100.0 * w.argmaxDisagreement(),
+                        100.0 * w.noiseFloorDisagreement(),
+                        w.bundles().size(), w.meanOutputError());
+    if (w.config().width < 1.0) {
+        std::cout << "note: at reduced width some layers have fewer "
+                     "channels than PEs, which penalises the "
+                     "high-T_m designs; FASTBCNN_BENCH_FULL=1 "
+                     "restores the paper's geometry\n";
+    }
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    const BenchScale scale = benchScale();
+    printBanner("Fig. 10 speedup / energy / accuracy vs design space",
+                "2.1-8.2x speedup, 44-84 % energy reduction over the "
+                "baseline accelerator",
+                scale);
+    for (ModelKind kind : evaluatedModels)
+        runModel(kind, scale);
+    return 0;
+}

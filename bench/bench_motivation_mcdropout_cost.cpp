@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Section III motivation reproduction: the cost of a complete
+ * 50-sample MC-dropout inference on a skip-oblivious CNN accelerator
+ * relative to a single CNN inference.
+ *
+ * Paper claim checked: ~50.6x slowdown and ~55.4x energy on the CNN
+ * accelerator (the GPU column is not reproducible in simulation and
+ * is reported as such).
+ */
+
+#include "bench_util.hpp"
+
+using namespace fastbcnn;
+using namespace fastbcnn::bench;
+
+int
+main()
+{
+    const BenchScale scale = benchScale();
+    printBanner("Section III MC-dropout cost motivation",
+                "50-sample BCNN inference is ~50.6x slower / ~55.4x "
+                "more energy than one CNN inference on a CNN "
+                "accelerator (GPU column not reproducible here)",
+                scale);
+
+    Table t({"model", "single-inference cycles", "50-sample cycles",
+             "slowdown", "energy ratio"});
+    for (ModelKind kind : evaluatedModels) {
+        WorkloadConfig cfg = workloadFor(kind, scale);
+        cfg.samples = 50;
+        cfg.captureFunctional = false;  // timing only
+        if (std::getenv("FASTBCNN_BENCH_FULL") == nullptr &&
+            kind != ModelKind::LeNet5) {
+            cfg.width = std::min(cfg.width, 0.25);  // 50 dense passes
+        }
+        Workload w(cfg);
+        const InferenceTrace &full = w.bundles()[0].trace;
+
+        // A single CNN inference == a one-sample slice of the trace.
+        InferenceTrace single = full;
+        single.samples = 1;
+        single.perSample.resize(1);
+
+        const SimReport one = simulateBaseline(single,
+                                               baselineConfig());
+        const SimReport fifty = simulateBaseline(full,
+                                                 baselineConfig());
+        t.addRow({modelKindName(kind),
+                  format("%llu", static_cast<unsigned long long>(
+                                     one.totalCycles)),
+                  format("%llu", static_cast<unsigned long long>(
+                                     fifty.totalCycles)),
+                  format("%.1fx", static_cast<double>(
+                                      fifty.totalCycles) /
+                                      static_cast<double>(
+                                          one.totalCycles)),
+                  format("%.1fx", fifty.energy.total() /
+                                      one.energy.total())});
+    }
+    t.print(std::cout);
+    std::cout << "paper: 50.6x slowdown, 55.4x energy (CNN "
+                 "accelerator); 51.0x / 59x on a Tesla P100\n";
+    return 0;
+}

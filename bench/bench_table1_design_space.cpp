@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table I reproduction: the four Fast-BCNN design points at a fixed
+ * 256-MAC budget, plus the Eq. 9 counting-lane sizing check for each
+ * network's worst layer pair.
+ */
+
+#include "bench_util.hpp"
+#include "sim/resources.hpp"
+
+using namespace fastbcnn;
+using namespace fastbcnn::bench;
+
+int
+main()
+{
+    const BenchScale scale = benchScale();
+    printBanner("Table I hardware design space",
+                "total MACs fixed at 256; T_m in {8,16,32,64} with "
+                "T_n = 256/T_m and T_m' = 1024/T_m; delta in 4-8",
+                scale);
+
+    Table t({"type", "total MACs", "T_m (PEs)", "T_n", "T_m' (lanes)",
+             "conv LUT", "pred+central LUT"});
+    const AcceleratorConfig base = baselineConfig();
+    const ResourceReport base_r = estimateResources(base);
+    t.addRow({"Baseline", format("%zu", base.totalMacs()),
+              format("%zu", base.tm), format("%zu", base.tn), "0",
+              format("%llu", static_cast<unsigned long long>(
+                                 base_r.convUnits.lut)),
+              "0"});
+    for (const AcceleratorConfig &cfg : designSpace()) {
+        const ResourceReport r = estimateResources(cfg);
+        t.addRow({cfg.name, format("%zu", cfg.totalMacs()),
+                  format("%zu", cfg.tm), format("%zu", cfg.tn),
+                  format("%zu", cfg.countingLanes),
+                  format("%llu", static_cast<unsigned long long>(
+                                     r.convUnits.lut)),
+                  format("%llu",
+                         static_cast<unsigned long long>(
+                             r.predictionUnits.lut +
+                             r.centralPredictor.lut))});
+    }
+    t.print(std::cout);
+
+    // Eq. 9: delta = M'R'C' / (N R C (1 - skip)) for consecutive
+    // blocks; the paper reports delta mostly in 4-8.
+    std::cout << "\nEq. 9 counting-lane sizing (delta = T_m'/T_n "
+                 "needed, skip rate 0.7):\n";
+    Table dt({"model", "worst block pair", "delta", "T_m' needed "
+              "(T_n = 4)"});
+    for (ModelKind kind : evaluatedModels) {
+        ModelOptions mopts;
+        mopts.widthMultiplier = 1.0;
+        mopts.numClasses = kind == ModelKind::LeNet5 ? 10 : 100;
+        Network net = buildModel(kind, mopts);
+        BcnnTopology topo(net);
+        double worst = 0.0;
+        std::string pair = "-";
+        for (std::size_t i = 1; i < topo.blocks().size(); ++i) {
+            const ConvBlock &prev = topo.blocks()[i - 1];
+            const ConvBlock &cur = topo.blocks()[i];
+            const auto &pc = static_cast<const Conv2d &>(
+                net.layer(prev.conv));
+            const auto &cc = static_cast<const Conv2d &>(
+                net.layer(cur.conv));
+            const double lanes = minCountingLanes(
+                cc.kernelSize(), cur.outShape.dim(0),
+                cur.outShape.dim(1), cur.outShape.dim(2),
+                pc.kernelSize(), pc.inChannels(), prev.outShape.dim(1),
+                prev.outShape.dim(2), 4, 0.7);
+            if (lanes > worst && i > 1) {  // skip the layer-1 outlier
+                worst = lanes;
+                pair = pc.name() + " -> " + cc.name();
+            }
+        }
+        dt.addRow({modelKindName(kind), pair, format("%.1f", worst / 4),
+                   format("%.1f", worst)});
+    }
+    dt.print(std::cout);
+    std::cout << "paper: delta typically 4~8 (layer-1 pairs excluded; "
+                 "the shortcut removes them from the critical path)\n";
+    return 0;
+}

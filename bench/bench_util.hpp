@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches: workload
+ * scaling knobs (env-var controlled), standard per-model workload
+ * configurations, and paper-vs-measured table plumbing.
+ *
+ * Every bench binary regenerates one table or figure of the paper
+ * (see DESIGN.md §4) and prints the paper's reported values next to
+ * the simulated ones.  Runtime scaling:
+ *   FASTBCNN_BENCH_FULL=1  run the full-width networks at T = 50
+ *                          (the paper's configuration; minutes-long)
+ *   FASTBCNN_BENCH_FAST=1  quarter-width quick pass (~seconds)
+ * default: half-width VGG/GoogLeNet, full LeNet, moderate T.
+ */
+
+#ifndef FASTBCNN_BENCH_BENCH_UTIL_HPP
+#define FASTBCNN_BENCH_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+
+namespace fastbcnn::bench {
+
+/** Workload sizing for one bench run. */
+struct BenchScale {
+    double lenetWidth = 1.0;
+    double vggWidth = 0.5;
+    double googlenetWidth = 0.5;
+    std::size_t lenetSamples = 50;
+    std::size_t vggSamples = 20;
+    std::size_t googlenetSamples = 15;
+    std::size_t optimizerSamples = 4;
+    std::size_t evalInputs = 2;
+    const char *label = "default";
+};
+
+/** @return the scale selected by the environment (see file doc). */
+inline BenchScale
+benchScale()
+{
+    BenchScale s;
+    if (std::getenv("FASTBCNN_BENCH_FULL") != nullptr) {
+        s.vggWidth = s.googlenetWidth = 1.0;
+        s.vggSamples = s.googlenetSamples = 50;
+        s.optimizerSamples = 6;
+        s.label = "full (paper scale)";
+    } else if (std::getenv("FASTBCNN_BENCH_FAST") != nullptr) {
+        s.vggWidth = s.googlenetWidth = 0.25;
+        s.lenetSamples = 10;
+        s.vggSamples = 6;
+        s.googlenetSamples = 6;
+        s.optimizerSamples = 2;
+        s.evalInputs = 1;
+        s.label = "fast (smoke)";
+    }
+    return s;
+}
+
+/** @return the standard workload configuration of one model. */
+inline WorkloadConfig
+workloadFor(ModelKind kind, const BenchScale &s)
+{
+    WorkloadConfig cfg;
+    cfg.kind = kind;
+    cfg.optimizerSamples = s.optimizerSamples;
+    cfg.evalInputs = s.evalInputs;
+    switch (kind) {
+      case ModelKind::LeNet5:
+        cfg.width = s.lenetWidth;
+        cfg.samples = s.lenetSamples;
+        break;
+      case ModelKind::Vgg16:
+        cfg.width = s.vggWidth;
+        cfg.samples = s.vggSamples;
+        break;
+      case ModelKind::GoogLeNet:
+        cfg.width = s.googlenetWidth;
+        cfg.samples = s.googlenetSamples;
+        break;
+    }
+    return cfg;
+}
+
+/** The three evaluated models, in the paper's order. */
+inline const std::array<ModelKind, 3> evaluatedModels{
+    ModelKind::LeNet5, ModelKind::Vgg16, ModelKind::GoogLeNet};
+
+/** Print the bench banner: what it reproduces and at what scale. */
+inline void
+printBanner(const char *experiment, const char *paper_claim,
+            const BenchScale &s)
+{
+    std::cout << "==============================================\n"
+              << "Reproduces: " << experiment << "\n"
+              << "Paper:      " << paper_claim << "\n"
+              << "Scale:      " << s.label
+              << " (set FASTBCNN_BENCH_FULL=1 for paper scale)\n"
+              << "==============================================\n\n";
+}
+
+/** Average speedup / reduction metrics over a workload's traces. */
+struct ComparisonMetrics {
+    double speedup = 0.0;
+    double cycleReduction = 0.0;
+    double energyReduction = 0.0;
+    double idle = 0.0;
+    double predEnergyFraction = 0.0;
+    double centralEnergyFraction = 0.0;
+};
+
+/**
+ * Simulate @p fn on every trace of @p w and compare against the
+ * baseline accelerator run on the same traces.
+ */
+inline ComparisonMetrics
+compareToBaseline(const Workload &w,
+                  const std::function<SimReport(const InferenceTrace &)>
+                      &fn)
+{
+    ComparisonMetrics m;
+    const auto &bundles = w.bundles();
+    for (const TraceBundle &b : bundles) {
+        const SimReport fb = fn(b.trace);
+        const SimReport bl = simulateBaseline(b.trace,
+                                              baselineConfig());
+        m.speedup += fb.speedupOver(bl);
+        m.cycleReduction += fb.cycleReductionOver(bl);
+        m.energyReduction += fb.energyReductionOver(bl);
+        m.idle += fb.peIdleFraction;
+        const double total = fb.energy.total();
+        if (total > 0.0) {
+            m.predEnergyFraction += fb.energy.predNj / total;
+            m.centralEnergyFraction += fb.energy.centralNj / total;
+        }
+    }
+    const double n = static_cast<double>(bundles.size());
+    m.speedup /= n;
+    m.cycleReduction /= n;
+    m.energyReduction /= n;
+    m.idle /= n;
+    m.predEnergyFraction /= n;
+    m.centralEnergyFraction /= n;
+    return m;
+}
+
+} // namespace fastbcnn::bench
+
+#endif // FASTBCNN_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: build a Bayesian LeNet-5, calibrate the skipping
+ * thresholds offline, run one uncertainty-aware inference and print
+ * the prediction, the uncertainty, the neuron census and the
+ * speedup/energy win of Fast-BCNN over the baseline accelerator.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/engine.hpp"
+#include "data/synthetic.hpp"
+#include "models/zoo.hpp"
+
+using namespace fastbcnn;
+
+int
+main()
+{
+    // 1. Build the model: LeNet-5 with a dropout layer after every
+    //    convolution (the BCNN construction, drop rate 0.3).
+    ModelOptions mopts;
+    mopts.dropRate = 0.3;
+    Network net = buildLenet5(mopts);
+    std::cout << "Model: " << net.name() << " ("
+              << net.totalMacs() << " MACs per dense inference)\n";
+
+    // Give the synthetic weights trained-network activation
+    // statistics (~60 % post-ReLU zeros with shallow zeros).
+    calibrateSparsity(net, {makeMnistLikeImage(0, 1),
+                            makeMnistLikeImage(5, 2)});
+
+    // 2. Wrap it in the engine: 50 MC-dropout samples on the
+    //    Fast-BCNN64 design point, thresholds tuned to p_cf = 68 %.
+    EngineOptions eopts;
+    eopts.mc.samples = 50;
+    eopts.optimizer.confidence = 0.68;
+    FastBcnnEngine engine(std::move(net), eopts);
+
+    // 3. Offline stage: Algorithm 1 on a small calibration set.
+    const Dataset calib = makeDataset(true, 10, 2, 42);
+    std::vector<Tensor> calib_inputs;
+    for (const Example &e : calib.examples)
+        calib_inputs.push_back(e.image);
+    engine.calibrate(calib_inputs);
+    std::cout << "Calibrated " << engine.tuneReports().size()
+              << " conv blocks (mean alpha per block:";
+    for (const BlockTuneReport &r : engine.tuneReports())
+        std::cout << ' ' << format("%.1f", r.meanAlpha);
+    std::cout << ")\n\n";
+
+    // 4. One inference with uncertainty.
+    const Tensor input = makeMnistLikeImage(3, 7);
+    EngineResult result = engine.infer(input);
+
+    std::cout << "Prediction: class " << result.prediction.argmax
+              << format(" (p = %.3f)", result.prediction.maxProbability)
+              << format(", predictive entropy %.3f nats",
+                        result.prediction.predictiveEntropy)
+              << format(", mutual information %.4f\n",
+                        result.prediction.mutualInformation);
+    std::cout << "Exact MC-dropout reference agrees on argmax: "
+              << (result.argmaxAgrees ? "yes" : "no") << "\n\n";
+
+    Table census({"layer", "zero", "unaffected", "dropped",
+                  "predicted", "skipped", "pred-acc"});
+    for (const BlockCensus &c : result.census) {
+        census.addRow({c.name, format("%.2f", c.zeroRatio),
+                       format("%.2f", c.unaffectedRatio),
+                       format("%.2f", c.droppedRatio),
+                       format("%.2f", c.predictedRatio),
+                       format("%.2f", c.skipRatio),
+                       format("%.2f", c.predictionAccuracy)});
+    }
+    census.print(std::cout);
+
+    std::cout << format("\nFast-BCNN64: %.0f cycles/sample, "
+                        "%.1f uJ/sample\n",
+                        result.fastBcnn.cyclesPerSample,
+                        result.fastBcnn.energyPerSampleNj / 1000.0);
+    std::cout << format("Baseline:    %.0f cycles/sample, "
+                        "%.1f uJ/sample\n",
+                        result.baseline.cyclesPerSample,
+                        result.baseline.energyPerSampleNj / 1000.0);
+    std::cout << format("Speedup %.2fx, energy reduction %.0f%%, "
+                        "PE idle %.1f%%\n",
+                        result.speedup, 100.0 * result.energyReduction,
+                        100.0 * result.fastBcnn.peIdleFraction);
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "hooks.hpp"
+
+namespace fastbcnn {
+
+const BitVolume *
+SamplingHooks::dropoutMask(const std::string &layer_name,
+                           const Shape &shape)
+{
+    if (!enabled_)
+        return nullptr;
+    FASTBCNN_ASSERT(shape.rank() == 3, "dropout mask must be CHW");
+    BitVolume mask(shape.dim(0), shape.dim(1), shape.dim(2));
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        mask.setFlat(i, brng_->nextBit());
+    auto [it, inserted] = masks_.insert_or_assign(layer_name,
+                                                  std::move(mask));
+    (void)inserted;
+    return &it->second;
+}
+
+const BitVolume *
+ReplayHooks::dropoutMask(const std::string &layer_name,
+                         const Shape &shape)
+{
+    auto it = masks_->find(layer_name);
+    if (it == masks_->end())
+        return nullptr;
+    FASTBCNN_ASSERT(it->second.channels() == shape.dim(0) &&
+                    it->second.height() == shape.dim(1) &&
+                    it->second.width() == shape.dim(2),
+                    "replayed mask shape mismatch");
+    return &it->second;
+}
+
+const BitVolume *
+CaptureHooks::dropoutMask(const std::string &layer_name,
+                          const Shape &shape)
+{
+    return inner_ ? inner_->dropoutMask(layer_name, shape) : nullptr;
+}
+
+void
+CaptureHooks::onActivation(const std::string &layer_name, LayerKind kind,
+                           const Tensor &out)
+{
+    if (inner_)
+        inner_->onActivation(layer_name, kind, out);
+    if (!filter_ || filter_(layer_name, kind))
+        activations_.insert_or_assign(layer_name, out);
+}
+
+const Tensor &
+CaptureHooks::activation(const std::string &layer_name) const
+{
+    auto it = activations_.find(layer_name);
+    if (it == activations_.end())
+        fatal("no captured activation for layer '%s'",
+              layer_name.c_str());
+    return it->second;
+}
+
+} // namespace fastbcnn

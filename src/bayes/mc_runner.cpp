@@ -1,0 +1,43 @@
+#include "mc_runner.hpp"
+
+namespace fastbcnn {
+
+std::unique_ptr<Brng>
+makeBrng(BrngKind kind, double drop_rate, std::uint64_t seed)
+{
+    switch (kind) {
+      case BrngKind::Lfsr:
+        return std::make_unique<LfsrBrng>(
+            drop_rate, static_cast<std::uint32_t>(seed * 2654435761ull
+                                                  + 0x9e3779b9ull));
+      case BrngKind::Software:
+        return std::make_unique<SoftwareBrng>(drop_rate, seed);
+    }
+    panic("unknown BrngKind %d", static_cast<int>(kind));
+}
+
+McResult
+runMcDropout(const Network &net, const Tensor &input,
+             const McOptions &opts)
+{
+    if (opts.samples == 0)
+        fatal("MC dropout needs at least one sample");
+    McResult result;
+
+    // Pre-inference: dropout off.  Its zero-neuron positions seed the
+    // unaffected-neuron machinery downstream.
+    result.preOutput = net.forward(input, nullptr);
+
+    auto brng = makeBrng(opts.brng, opts.dropRate, opts.seed);
+    result.outputs.reserve(opts.samples);
+    for (std::size_t t = 0; t < opts.samples; ++t) {
+        SamplingHooks hooks(*brng, true);
+        result.outputs.push_back(net.forward(input, &hooks));
+        if (opts.recordMasks)
+            result.masks.push_back(hooks.takeMasks());
+    }
+    result.summary = summarizeSamples(result.outputs);
+    return result;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Monte-Carlo dropout inference driver (Section II-B): T stochastic
+ * forward passes over one input plus one non-dropout pre-inference,
+ * producing the averaged prediction, uncertainty statistics, and the
+ * recorded masks / activations the tracing layer consumes.
+ */
+
+#ifndef FASTBCNN_BAYES_MC_RUNNER_HPP
+#define FASTBCNN_BAYES_MC_RUNNER_HPP
+
+#include <cstdint>
+
+#include "hooks.hpp"
+#include "nn/network.hpp"
+#include "uncertainty.hpp"
+
+namespace fastbcnn {
+
+/** Which Bernoulli generator drives the dropout bits. */
+enum class BrngKind {
+    Lfsr,     ///< the hardware 8-LFSR design (Section V-B3)
+    Software  ///< std::mt19937 reference
+};
+
+/** Options for one MC-dropout run. */
+struct McOptions {
+    std::size_t samples = 50;      ///< T, the paper's default
+    double dropRate = 0.3;         ///< p, the paper's default
+    BrngKind brng = BrngKind::Lfsr;
+    std::uint64_t seed = 1;        ///< RNG seed (deterministic runs)
+    bool recordMasks = true;       ///< keep per-sample MaskSets
+};
+
+/** The outcome of one MC-dropout run. */
+struct McResult {
+    Tensor preOutput;              ///< non-dropout inference output
+    std::vector<Tensor> outputs;   ///< T per-sample outputs
+    std::vector<MaskSet> masks;    ///< per-sample masks (when recorded)
+    UncertaintySummary summary;    ///< Eq. 4 average + uncertainty
+};
+
+/** Construct the requested Brng implementation. */
+std::unique_ptr<Brng> makeBrng(BrngKind kind, double drop_rate,
+                               std::uint64_t seed);
+
+/**
+ * Run a complete MC-dropout inference: one pre-inference with dropout
+ * off, then @p opts.samples stochastic samples.
+ *
+ * @param net   a BCNN (dropout after every conv; see BcnnTopology)
+ * @param input input tensor matching the network input shape
+ * @param opts  sampling configuration
+ */
+McResult runMcDropout(const Network &net, const Tensor &input,
+                      const McOptions &opts);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_BAYES_MC_RUNNER_HPP

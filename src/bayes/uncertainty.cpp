@@ -1,0 +1,60 @@
+#include "uncertainty.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace fastbcnn {
+
+double
+entropy(const Tensor &probs)
+{
+    double h = 0.0;
+    for (float p : probs.data()) {
+        if (p > 0.0f)
+            h -= static_cast<double>(p) * std::log(static_cast<double>(p));
+    }
+    return h;
+}
+
+UncertaintySummary
+summarizeSamples(const std::vector<Tensor> &samples)
+{
+    FASTBCNN_ASSERT(!samples.empty(), "need at least one sample");
+    const Shape shape = samples[0].shape();
+    const std::size_t n = shape.numel();
+    const double t = static_cast<double>(samples.size());
+
+    UncertaintySummary s;
+    s.mean = Tensor(shape);
+    s.variance = Tensor(shape);
+    double expected_entropy = 0.0;
+
+    for (const Tensor &y : samples) {
+        FASTBCNN_ASSERT(y.shape() == shape, "sample shape mismatch");
+        for (std::size_t i = 0; i < n; ++i)
+            s.mean.at(i) += y.at(i) / static_cast<float>(t);
+        expected_entropy += entropy(y) / t;
+    }
+    for (const Tensor &y : samples) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const float d = y.at(i) - s.mean.at(i);
+            s.variance.at(i) += d * d / static_cast<float>(t);
+        }
+    }
+
+    s.predictiveEntropy = entropy(s.mean);
+    s.expectedEntropy = expected_entropy;
+    s.mutualInformation = s.predictiveEntropy - expected_entropy;
+    s.argmax = 0;
+    s.maxProbability = s.mean.numel() > 0 ? s.mean.at(0) : 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+        if (s.mean.at(i) > s.maxProbability) {
+            s.maxProbability = s.mean.at(i);
+            s.argmax = i;
+        }
+    }
+    return s;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Uncertainty statistics over the T sample outputs of an MC-dropout
+ * inference (Section II-B, Eq. 4 and the uncertainty metrics the
+ * paper's motivating applications use).
+ */
+
+#ifndef FASTBCNN_BAYES_UNCERTAINTY_HPP
+#define FASTBCNN_BAYES_UNCERTAINTY_HPP
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fastbcnn {
+
+/** Summary statistics of a set of per-sample class-probability rows. */
+struct UncertaintySummary {
+    Tensor mean;               ///< ȳ = (1/T) Σ y_t (Eq. 4)
+    Tensor variance;           ///< per-class sample variance
+    double predictiveEntropy;  ///< H[ȳ] — total uncertainty
+    double expectedEntropy;    ///< E_t H[y_t] — aleatoric part
+    double mutualInformation;  ///< BALD = H[ȳ] − E_t H[y_t] (epistemic)
+    std::size_t argmax;        ///< class with the largest mean prob
+    double maxProbability;     ///< value of the largest mean prob
+};
+
+/**
+ * Compute the MC-dropout summary from T sample outputs.
+ *
+ * @param samples T rank-1 probability vectors (softmax outputs); all
+ *        must share a shape and T must be >= 1.
+ */
+UncertaintySummary summarizeSamples(const std::vector<Tensor> &samples);
+
+/** Shannon entropy (nats) of a probability vector; 0·log0 = 0. */
+double entropy(const Tensor &probs);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_BAYES_UNCERTAINTY_HPP

@@ -1,0 +1,118 @@
+#include "bitvolume.hpp"
+
+#include <bit>
+
+#include "math_util.hpp"
+
+namespace fastbcnn {
+
+BitVolume::BitVolume(std::size_t channels, std::size_t height,
+                     std::size_t width)
+    : channels_(channels), height_(height), width_(width),
+      words_(ceilDiv<std::size_t>(channels * height * width, 64), 0)
+{
+}
+
+bool
+BitVolume::get(std::size_t c, std::size_t r, std::size_t col) const
+{
+    return getFlat(flatIndex(c, r, col));
+}
+
+void
+BitVolume::set(std::size_t c, std::size_t r, std::size_t col, bool value)
+{
+    setFlat(flatIndex(c, r, col), value);
+}
+
+bool
+BitVolume::getFlat(std::size_t idx) const
+{
+    FASTBCNN_ASSERT(idx < size(), "BitVolume flat index out of range");
+    return (words_[idx / 64] >> (idx % 64)) & 1ull;
+}
+
+void
+BitVolume::setFlat(std::size_t idx, bool value)
+{
+    FASTBCNN_ASSERT(idx < size(), "BitVolume flat index out of range");
+    const std::uint64_t mask = 1ull << (idx % 64);
+    if (value)
+        words_[idx / 64] |= mask;
+    else
+        words_[idx / 64] &= ~mask;
+}
+
+std::size_t
+BitVolume::popcount() const
+{
+    std::size_t total = 0;
+    for (std::uint64_t w : words_)
+        total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+}
+
+std::size_t
+BitVolume::popcountChannel(std::size_t c) const
+{
+    FASTBCNN_ASSERT(c < channels_, "channel out of range");
+    // Channels are not word-aligned, so walk bit-by-bit; channel sizes
+    // are small (feature-map planes) and this is not on a hot path.
+    std::size_t total = 0;
+    const std::size_t base = c * height_ * width_;
+    for (std::size_t i = 0; i < height_ * width_; ++i)
+        total += getFlat(base + i) ? 1 : 0;
+    return total;
+}
+
+void
+BitVolume::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0ull);
+}
+
+void
+BitVolume::fill(bool value)
+{
+    std::fill(words_.begin(), words_.end(),
+              value ? ~0ull : 0ull);
+    if (value) {
+        // Clear the padding bits past size() so popcount() stays exact.
+        const std::size_t used = size() % 64;
+        if (used != 0 && !words_.empty())
+            words_.back() &= (1ull << used) - 1;
+    }
+}
+
+std::size_t
+BitVolume::andPopcount(const BitVolume &other) const
+{
+    FASTBCNN_ASSERT(channels_ == other.channels_ &&
+                    height_ == other.height_ && width_ == other.width_,
+                    "BitVolume shape mismatch in andPopcount");
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        total += static_cast<std::size_t>(
+            std::popcount(words_[i] & other.words_[i]));
+    }
+    return total;
+}
+
+void
+BitVolume::orWith(const BitVolume &other)
+{
+    FASTBCNN_ASSERT(channels_ == other.channels_ &&
+                    height_ == other.height_ && width_ == other.width_,
+                    "BitVolume shape mismatch in orWith");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= other.words_[i];
+}
+
+bool
+BitVolume::operator==(const BitVolume &other) const
+{
+    return channels_ == other.channels_ && height_ == other.height_ &&
+           width_ == other.width_ && words_ == other.words_;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Packed bit containers for dropout masks, zero-neuron indices and
+ * weight-sign indicator planes.
+ *
+ * The hardware stores all of these as single bits (Section V-B2 of the
+ * paper: "the information of kernels is compressed as indicator bits");
+ * packing them 64-per-word keeps the functional simulator's memory
+ * footprint proportional to what the accelerator's mini-buffers hold
+ * and makes popcounts (the counting lanes) cheap.
+ */
+
+#ifndef FASTBCNN_COMMON_BITVOLUME_HPP
+#define FASTBCNN_COMMON_BITVOLUME_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "logging.hpp"
+
+namespace fastbcnn {
+
+/**
+ * A dense 3-D bit tensor with (channel, row, column) indexing.
+ *
+ * Bits are stored row-major in 64-bit words.  A 2-D plane is simply a
+ * BitVolume with one channel.
+ */
+class BitVolume
+{
+  public:
+    /** Construct an empty volume (all dimensions zero). */
+    BitVolume() = default;
+
+    /**
+     * Construct a zero-filled volume.
+     *
+     * @param channels number of channels (C)
+     * @param height   rows per channel (H)
+     * @param width    columns per row (W)
+     */
+    BitVolume(std::size_t channels, std::size_t height, std::size_t width);
+
+    /** @return number of channels. */
+    std::size_t channels() const { return channels_; }
+    /** @return rows per channel. */
+    std::size_t height() const { return height_; }
+    /** @return columns per row. */
+    std::size_t width() const { return width_; }
+    /** @return total number of bits held. */
+    std::size_t size() const { return channels_ * height_ * width_; }
+    /** @return true when the volume holds no bits. */
+    bool empty() const { return size() == 0; }
+
+    /** Read the bit at (c, r, col); bounds-checked via FASTBCNN_ASSERT. */
+    bool get(std::size_t c, std::size_t r, std::size_t col) const;
+
+    /** Write the bit at (c, r, col). */
+    void set(std::size_t c, std::size_t r, std::size_t col, bool value);
+
+    /** Read by flat index (c*H*W + r*W + col). */
+    bool getFlat(std::size_t idx) const;
+
+    /** Write by flat index. */
+    void setFlat(std::size_t idx, bool value);
+
+    /** @return number of set bits in the whole volume. */
+    std::size_t popcount() const;
+
+    /** @return number of set bits in channel @p c. */
+    std::size_t popcountChannel(std::size_t c) const;
+
+    /** Set every bit to zero, keeping the shape. */
+    void clear();
+
+    /** Set every bit to @p value, keeping the shape. */
+    void fill(bool value);
+
+    /**
+     * Count the set bits shared with @p other (bitwise-AND popcount).
+     * Shapes must match.  This is exactly what one "counting lane"
+     * accumulates over a convolution window: AND of dropout bit and
+     * indicator bit, summed by a counter.
+     */
+    std::size_t andPopcount(const BitVolume &other) const;
+
+    /** Element-wise OR with @p other (shapes must match). */
+    void orWith(const BitVolume &other);
+
+    /** @return true when shapes and all bits are equal. */
+    bool operator==(const BitVolume &other) const;
+
+  private:
+    std::size_t flatIndex(std::size_t c, std::size_t r,
+                          std::size_t col) const
+    {
+        FASTBCNN_ASSERT(c < channels_ && r < height_ && col < width_,
+                        "BitVolume index out of range");
+        return (c * height_ + r) * width_ + col;
+    }
+
+    std::size_t channels_ = 0;
+    std::size_t height_ = 0;
+    std::size_t width_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_COMMON_BITVOLUME_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Logging and error-reporting primitives, following the gem5
+ * panic/fatal/warn/inform semantics:
+ *
+ *  - panic():  an internal invariant was violated (a bug in this
+ *              library).  Aborts, so a debugger or core dump can catch
+ *              the broken state.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments).  Exits cleanly
+ *              with a non-zero status.
+ *  - warn():   something may be modelled imprecisely; execution
+ *              continues.
+ *  - inform(): status messages with no connotation of incorrectness.
+ */
+
+#ifndef FASTBCNN_COMMON_LOGGING_HPP
+#define FASTBCNN_COMMON_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace fastbcnn {
+
+/** Verbosity levels for inform(); warnings are always printed. */
+enum class LogLevel {
+    Quiet,   ///< suppress inform()
+    Normal,  ///< default
+    Verbose  ///< also print debug-ish detail sent via informVerbose()
+};
+
+/** Set the global logging verbosity. Thread-compatible, not atomic. */
+void setLogLevel(LogLevel level);
+
+/** @return the current global logging verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * @param fmt printf-style format string followed by its arguments.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * @param fmt printf-style format string followed by its arguments.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning about possibly-imprecise behaviour; continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message (suppressed at LogLevel::Quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a detailed status message (only at LogLevel::Verbose). */
+void informVerbose(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an internal invariant; calls panic() with location info when
+ * the condition is false.  Active in all build types, unlike assert().
+ */
+#define FASTBCNN_ASSERT(cond, msg)                                         \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::fastbcnn::panic("assertion '%s' failed at %s:%d: %s",        \
+                              #cond, __FILE__, __LINE__, (msg));           \
+        }                                                                  \
+    } while (0)
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_COMMON_LOGGING_HPP

@@ -1,0 +1,15 @@
+#include "math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastbcnn {
+
+bool
+nearlyEqual(float a, float b, float tol)
+{
+    const float scale = std::max({1.0f, std::fabs(a), std::fabs(b)});
+    return std::fabs(a - b) <= tol * scale;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small arithmetic helpers shared across the library.
+ */
+
+#ifndef FASTBCNN_COMMON_MATH_UTIL_HPP
+#define FASTBCNN_COMMON_MATH_UTIL_HPP
+
+#include <cstdint>
+#include <type_traits>
+
+#include "logging.hpp"
+
+namespace fastbcnn {
+
+/**
+ * Integer ceiling division.  Matches the ⌈a/b⌉ terms that appear in
+ * the paper's cycle equations (e.g. K·K·⌈N/T_n⌉ cycles per neuron).
+ *
+ * @param a dividend, must be >= 0
+ * @param b divisor, must be > 0
+ * @return smallest integer >= a/b
+ */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    static_assert(std::is_integral_v<T>, "ceilDiv is for integers");
+    return (a + b - 1) / b;
+}
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Round @p v up to the next multiple of @p align (align > 0). */
+template <typename T>
+constexpr T
+roundUp(T v, T align)
+{
+    static_assert(std::is_integral_v<T>, "roundUp is for integers");
+    return ceilDiv(v, align) * align;
+}
+
+/** Clamp @p v into [lo, hi]. */
+template <typename T>
+constexpr T
+clampValue(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/**
+ * Relative tolerance comparison used wherever "the same neuron value"
+ * must be decided in the presence of float round-off (e.g.
+ * EvaluatePredict in Algorithm 1, see DESIGN.md §5).
+ *
+ * @return true when |a-b| <= tol * max(1, |a|, |b|)
+ */
+bool nearlyEqual(float a, float b, float tol);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_COMMON_MATH_UTIL_HPP

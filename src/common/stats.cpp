@@ -1,0 +1,56 @@
+#include "stats.hpp"
+
+namespace fastbcnn {
+
+void
+StatGroup::add(const std::string &key, std::uint64_t delta)
+{
+    counters_[key] += delta;
+}
+
+void
+StatGroup::set(const std::string &key, double value)
+{
+    gauges_[key] = value;
+}
+
+std::uint64_t
+StatGroup::counter(const std::string &key) const
+{
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatGroup::gauge(const std::string &key) const
+{
+    auto it = gauges_.find(key);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void
+StatGroup::reset()
+{
+    counters_.clear();
+    gauges_.clear();
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[k, v] : other.counters_)
+        counters_[k] += v;
+    for (const auto &[k, v] : other.gauges_)
+        gauges_[k] = v;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[k, v] : counters_)
+        os << name_ << '.' << k << " = " << v << '\n';
+    for (const auto &[k, v] : gauges_)
+        os << name_ << '.' << k << " = " << v << '\n';
+}
+
+} // namespace fastbcnn

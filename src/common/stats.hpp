@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A tiny named-counter statistics registry, in the spirit of gem5's
+ * stats package.  Simulator components register scalar counters and
+ * the harness dumps them grouped by component.
+ */
+
+#ifndef FASTBCNN_COMMON_STATS_HPP
+#define FASTBCNN_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace fastbcnn {
+
+/**
+ * A group of named 64-bit counters and double-valued gauges.
+ *
+ * Not thread-safe; the simulator is single-threaded by design (the
+ * modelled hardware is deterministic and cycle-accounted analytically).
+ */
+class StatGroup
+{
+  public:
+    /** Construct a group with a dotted-path name, e.g. "fb64.pe0". */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Add @p delta to counter @p key (creating it at zero). */
+    void add(const std::string &key, std::uint64_t delta = 1);
+
+    /** Set gauge @p key to @p value. */
+    void set(const std::string &key, double value);
+
+    /** @return counter value (0 when absent). */
+    std::uint64_t counter(const std::string &key) const;
+
+    /** @return gauge value (0.0 when absent). */
+    double gauge(const std::string &key) const;
+
+    /** Reset all counters and gauges to zero. */
+    void reset();
+
+    /** Merge another group's counters into this one (summing). */
+    void merge(const StatGroup &other);
+
+    /** Dump "name.key = value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** @return the group's dotted-path name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_COMMON_STATS_HPP

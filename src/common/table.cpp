@@ -1,0 +1,107 @@
+#include "table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "logging.hpp"
+
+namespace fastbcnn {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    FASTBCNN_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    FASTBCNN_ASSERT(cells.size() == headers_.size(),
+                    "row width does not match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::size_t
+Table::rowCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : rows_)
+        n += r.empty() ? 0 : 1;
+    return n;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_rule = [&]() {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            os << '+' << std::string(widths[i] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            os << "| " << c << std::string(widths[i] - c.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_cells(row);
+    }
+    print_rule();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            os << cells[i] << (i + 1 < cells.size() ? "," : "");
+        os << '\n';
+    };
+    print_cells(headers_);
+    for (const auto &row : rows_) {
+        if (!row.empty())
+            print_cells(row);
+    }
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    FASTBCNN_ASSERT(needed >= 0, "vsnprintf failed");
+    std::string out(static_cast<std::size_t>(needed), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    va_end(args);
+    return out;
+}
+
+} // namespace fastbcnn

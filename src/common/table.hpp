@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A small ASCII / CSV table formatter used by the benchmark harness to
+ * print paper-vs-measured rows.
+ */
+
+#ifndef FASTBCNN_COMMON_TABLE_HPP
+#define FASTBCNN_COMMON_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fastbcnn {
+
+/**
+ * A column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"network", "speedup (paper)", "speedup (ours)"});
+ *   t.addRow({"B-LeNet-5", "7.0x", format("%.1fx", s)});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; its size must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with aligned columns and a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (no quoting of embedded commas). */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows added (separators excluded). */
+    std::size_t rowCount() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+/** printf-style std::string formatter. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_COMMON_TABLE_HPP

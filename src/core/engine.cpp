@@ -1,0 +1,75 @@
+#include "engine.hpp"
+
+namespace fastbcnn {
+
+FastBcnnEngine::FastBcnnEngine(Network net, EngineOptions opts)
+    : net_(std::move(net)), opts_(std::move(opts)), topo_(net_),
+      indicators_(topo_)
+{
+    // Keep the optimizer's sampling consistent with inference unless
+    // the caller configured it explicitly.
+    if (opts_.optimizer.dropRate != opts_.mc.dropRate)
+        opts_.optimizer.dropRate = opts_.mc.dropRate;
+}
+
+void
+FastBcnnEngine::calibrate(const std::vector<Tensor> &calibration_inputs)
+{
+    OptimizeResult res = optimizeThresholds(topo_, indicators_,
+                                            calibration_inputs,
+                                            opts_.optimizer);
+    thresholds_ = std::move(res.thresholds);
+    tuneReports_ = std::move(res.reports);
+}
+
+const ThresholdSet &
+FastBcnnEngine::thresholds() const
+{
+    if (!thresholds_)
+        fatal("engine is not calibrated; call calibrate() first");
+    return *thresholds_;
+}
+
+TraceBundle
+FastBcnnEngine::trace(const Tensor &input,
+                      std::optional<TraceOptions> opts)
+{
+    if (!thresholds_) {
+        warn("engine not calibrated; self-calibrating on the inference "
+             "input (prefer an explicit calibration set)");
+        calibrate({input});
+    }
+    TraceOptions topts;
+    if (opts) {
+        topts = *opts;
+    } else {
+        topts.samples = opts_.mc.samples;
+        topts.dropRate = opts_.mc.dropRate;
+        topts.brng = opts_.mc.brng;
+        topts.seed = opts_.mc.seed;
+    }
+    return buildTrace(topo_, indicators_, *thresholds_, input, topts);
+}
+
+EngineResult
+FastBcnnEngine::infer(const Tensor &input)
+{
+    TraceBundle bundle = trace(input);
+
+    EngineResult result;
+    result.prediction = bundle.functional.fbSummary;
+    result.exactReference = bundle.functional.exactSummary;
+    result.argmaxAgrees = bundle.functional.fbArgmax ==
+                          bundle.functional.exactArgmax;
+    result.fastBcnn = simulateFastBcnn(bundle.trace, opts_.config,
+                                       opts_.sim);
+    result.baseline = simulateBaseline(bundle.trace, baselineConfig(),
+                                       opts_.sim.energy);
+    result.census = censusOf(bundle.trace);
+    result.speedup = result.fastBcnn.speedupOver(result.baseline);
+    result.energyReduction =
+        result.fastBcnn.energyReductionOver(result.baseline);
+    return result;
+}
+
+} // namespace fastbcnn

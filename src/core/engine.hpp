@@ -1,0 +1,121 @@
+/**
+ * @file
+ * FastBcnnEngine — the library's front door.
+ *
+ * Wraps a Bayesian CNN with the complete Fast-BCNN pipeline: offline
+ * threshold calibration (Algorithm 1), the pre-inference, T skipping
+ * sample inferences, uncertainty estimation, and cycle/energy
+ * simulation of the chosen accelerator configuration against the
+ * skip-oblivious baseline.
+ */
+
+#ifndef FASTBCNN_CORE_ENGINE_HPP
+#define FASTBCNN_CORE_ENGINE_HPP
+
+#include <optional>
+
+#include "sim/accelerator.hpp"
+
+namespace fastbcnn {
+
+/** Engine construction options. */
+struct EngineOptions {
+    /** MC-dropout sampling (T, p, BRNG, seed). */
+    McOptions mc;
+    /** Algorithm 1 parameters (p_cf, Th, Δs, tuning samples). */
+    OptimizerOptions optimizer;
+    /** Accelerator design point to simulate. */
+    AcceleratorConfig config = fastBcnnConfig(64);
+    /** Timing-model options (skip mode, sync model, shortcut). */
+    SimOptions sim;
+};
+
+/** The outcome of one engine inference. */
+struct EngineResult {
+    /** Fast-BCNN functional prediction (with neuron skipping). */
+    UncertaintySummary prediction;
+    /** Exact MC-dropout reference on the same masks. */
+    UncertaintySummary exactReference;
+    /** True iff skipping left the argmax class unchanged. */
+    bool argmaxAgrees = false;
+    /** Timing/energy of the configured Fast-BCNN design. */
+    SimReport fastBcnn;
+    /** Timing/energy of the baseline on the same workload. */
+    SimReport baseline;
+    /** Neuron census of the run (Fig. 3/4 statistics). */
+    std::vector<BlockCensus> census;
+    /** fastBcnn vs baseline speedup. */
+    double speedup = 0.0;
+    /** fastBcnn vs baseline fractional energy reduction. */
+    double energyReduction = 0.0;
+};
+
+/**
+ * The Fast-BCNN execution engine.
+ *
+ * Non-copyable and non-movable: internal analyses hold pointers into
+ * the owned network.
+ */
+class FastBcnnEngine
+{
+  public:
+    /**
+     * @param net  a BCNN (dropout after every conv); ownership moves in
+     * @param opts engine configuration
+     */
+    explicit FastBcnnEngine(Network net, EngineOptions opts = {});
+
+    FastBcnnEngine(const FastBcnnEngine &) = delete;
+    FastBcnnEngine &operator=(const FastBcnnEngine &) = delete;
+
+    /**
+     * Offline stage: run Algorithm 1 on a calibration set.  Must be
+     * called once before infer(); calling infer() first triggers an
+     * automatic single-input self-calibration with a warning.
+     */
+    void calibrate(const std::vector<Tensor> &calibration_inputs);
+
+    /** @return true once thresholds have been calibrated. */
+    bool calibrated() const { return thresholds_.has_value(); }
+
+    /** Run the full pipeline on one input. */
+    EngineResult infer(const Tensor &input);
+
+    /**
+     * Build (and return) the raw trace bundle of one input — the
+     * benches use this to evaluate many accelerator configurations on
+     * one captured workload.
+     */
+    TraceBundle trace(const Tensor &input,
+                      std::optional<TraceOptions> opts = std::nullopt);
+
+    /** @return the per-kernel thresholds (fatal before calibrate()). */
+    const ThresholdSet &thresholds() const;
+
+    /** @return the analysed topology. */
+    const BcnnTopology &topology() const { return topo_; }
+
+    /** @return the owned network. */
+    const Network &network() const { return net_; }
+
+    /** @return the engine options. */
+    const EngineOptions &options() const { return opts_; }
+
+    /** @return the Algorithm 1 per-block tuning reports. */
+    const std::vector<BlockTuneReport> &tuneReports() const
+    {
+        return tuneReports_;
+    }
+
+  private:
+    Network net_;
+    EngineOptions opts_;
+    BcnnTopology topo_;
+    IndicatorSet indicators_;
+    std::optional<ThresholdSet> thresholds_;
+    std::vector<BlockTuneReport> tuneReports_;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_CORE_ENGINE_HPP

@@ -1,0 +1,126 @@
+#include "synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "common/logging.hpp"
+
+namespace fastbcnn {
+
+Tensor
+makeMnistLikeImage(std::size_t label, std::uint64_t seed)
+{
+    std::mt19937_64 engine(seed * 0x9e3779b97f4a7c15ull + label);
+    std::normal_distribution<double> noise(0.0, 0.05);
+    std::uniform_real_distribution<double> jitter(-1.5, 1.5);
+
+    Tensor img(Shape({1, 28, 28}));
+    const double cx = 14.0 + jitter(engine);
+    const double cy = 14.0 + jitter(engine);
+    // Class-dependent stroke: orientation and curvature derived from
+    // the label, echoing how digit classes differ by stroke geometry.
+    const double angle = static_cast<double>(label) *
+                         std::numbers::pi / 5.0;
+    const double curve = 0.05 + 0.02 * static_cast<double>(label % 5);
+    const double thickness = 1.6 + 0.15 *
+                             static_cast<double>(label % 3);
+
+    for (std::size_t r = 0; r < 28; ++r) {
+        for (std::size_t c = 0; c < 28; ++c) {
+            const double x = static_cast<double>(c) - cx;
+            const double y = static_cast<double>(r) - cy;
+            // Rotated coordinates.
+            const double u = x * std::cos(angle) + y * std::sin(angle);
+            const double v = -x * std::sin(angle) + y * std::cos(angle);
+            // Distance to a parabolic stroke v = curve * u^2.
+            const double d = std::fabs(v - curve * u * u);
+            double value = std::exp(-d * d / (2.0 * thickness *
+                                              thickness));
+            // Second stroke for even labels (loops/crossbars).
+            if (label % 2 == 0) {
+                const double d2 = std::fabs(u + 0.3 * v);
+                value = std::max(value,
+                                 0.8 * std::exp(-d2 * d2 / 4.0));
+            }
+            value += noise(engine);
+            img(0, r, c) = static_cast<float>(
+                std::clamp(value, 0.0, 1.0));
+        }
+    }
+    return img;
+}
+
+Tensor
+makeCifarLikeImage(std::size_t label, std::uint64_t seed)
+{
+    std::mt19937_64 engine(seed * 0xd1b54a32d192ed03ull + label);
+    std::normal_distribution<double> noise(0.0, 0.15);
+    std::uniform_real_distribution<double> phase(0.0,
+                                                 2.0 * std::numbers::pi);
+
+    Tensor img(Shape({3, 32, 32}));
+    const double fx = 0.2 + 0.08 * static_cast<double>(label % 7);
+    const double fy = 0.15 + 0.06 * static_cast<double>(label % 5);
+    const double ph0 = phase(engine);
+    const double blob_x = 8.0 + static_cast<double>(
+        (label * 7 + seed) % 16);
+    const double blob_y = 8.0 + static_cast<double>(
+        (label * 13 + seed / 3) % 16);
+
+    for (std::size_t ch = 0; ch < 3; ++ch) {
+        const double chroma = 0.5 + 0.5 * std::cos(
+            static_cast<double>(label) + static_cast<double>(ch) *
+            2.0 * std::numbers::pi / 3.0);
+        double mean = 0.0, sq = 0.0;
+        for (std::size_t r = 0; r < 32; ++r) {
+            for (std::size_t c = 0; c < 32; ++c) {
+                const double grating = std::sin(
+                    fx * static_cast<double>(c) +
+                    fy * static_cast<double>(r) + ph0 +
+                    static_cast<double>(ch));
+                const double dx = static_cast<double>(c) - blob_x;
+                const double dy = static_cast<double>(r) - blob_y;
+                const double blob = std::exp(-(dx * dx + dy * dy) /
+                                             40.0);
+                const double v = chroma * grating + 1.5 * blob +
+                                 noise(engine);
+                img(ch, r, c) = static_cast<float>(v);
+                mean += v;
+                sq += v * v;
+            }
+        }
+        // Standardise the channel (zero mean, unit variance).
+        mean /= 1024.0;
+        const double var = std::max(sq / 1024.0 - mean * mean, 1e-6);
+        const double inv_std = 1.0 / std::sqrt(var);
+        for (std::size_t r = 0; r < 32; ++r) {
+            for (std::size_t c = 0; c < 32; ++c) {
+                img(ch, r, c) = static_cast<float>(
+                    (img(ch, r, c) - mean) * inv_std);
+            }
+        }
+    }
+    return img;
+}
+
+Dataset
+makeDataset(bool mnist_like, std::size_t num_classes, std::size_t count,
+            std::uint64_t seed)
+{
+    FASTBCNN_ASSERT(num_classes > 0, "need at least one class");
+    Dataset set;
+    set.numClasses = num_classes;
+    set.examples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t label = i % num_classes;
+        Tensor img = mnist_like
+                         ? makeMnistLikeImage(label, seed + i * 101)
+                         : makeCifarLikeImage(label, seed + i * 101);
+        set.examples.push_back(Example{std::move(img), label});
+    }
+    return set;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,225 @@
+#include "zoo.hpp"
+
+#include <cmath>
+
+#include "common/table.hpp"
+#include "nn/activations.hpp"
+#include "nn/concat.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/pooling.hpp"
+
+namespace fastbcnn {
+
+namespace {
+
+/** Apply the width multiplier, never scaling below one channel. */
+std::size_t
+scaled(std::size_t channels, double w)
+{
+    const auto s = static_cast<std::size_t>(
+        std::llround(static_cast<double>(channels) * w));
+    return std::max<std::size_t>(1, s);
+}
+
+/**
+ * Append a Bayesian conv block (conv → ReLU → dropout) and return the
+ * dropout node, the block's output.
+ */
+NodeId
+addConvBlock(Network &net, const std::string &prefix,
+             std::size_t in_ch, std::size_t out_ch, std::size_t k,
+             std::size_t stride, std::size_t pad, double drop_rate,
+             NodeId from)
+{
+    NodeId conv = net.add(std::make_unique<Conv2d>(
+                              prefix + "_conv", in_ch, out_ch, k,
+                              stride, pad),
+                          {from});
+    NodeId relu = net.add(std::make_unique<ReLU>(prefix + "_relu"),
+                          {conv});
+    return net.add(std::make_unique<Dropout>(prefix + "_drop",
+                                             drop_rate),
+                   {relu});
+}
+
+/** Channel recipe of one inception module (GoogLeNet Table 1). */
+struct InceptionSpec {
+    const char *name;
+    std::size_t c1, c3r, c3, c5r, c5, pp;
+};
+
+/** Append an inception module; returns the concat node. */
+NodeId
+addInception(Network &net, const InceptionSpec &spec, std::size_t in_ch,
+             double width, double drop_rate, NodeId from)
+{
+    const std::string p = spec.name;
+    const NodeId b1 = addConvBlock(net, p + "_1x1", in_ch,
+                                   scaled(spec.c1, width), 1, 1, 0,
+                                   drop_rate, from);
+    const NodeId b2r = addConvBlock(net, p + "_3x3r", in_ch,
+                                    scaled(spec.c3r, width), 1, 1, 0,
+                                    drop_rate, from);
+    const NodeId b2 = addConvBlock(net, p + "_3x3",
+                                   scaled(spec.c3r, width),
+                                   scaled(spec.c3, width), 3, 1, 1,
+                                   drop_rate, b2r);
+    const NodeId b3r = addConvBlock(net, p + "_5x5r", in_ch,
+                                    scaled(spec.c5r, width), 1, 1, 0,
+                                    drop_rate, from);
+    const NodeId b3 = addConvBlock(net, p + "_5x5",
+                                   scaled(spec.c5r, width),
+                                   scaled(spec.c5, width), 5, 1, 2,
+                                   drop_rate, b3r);
+    const NodeId pool = net.add(std::make_unique<MaxPool2d>(
+                                    p + "_pool", 3, 1, 1),
+                                {from});
+    const NodeId b4 = addConvBlock(net, p + "_poolproj",
+                                   in_ch, scaled(spec.pp, width), 1, 1,
+                                   0, drop_rate, pool);
+    return net.add(std::make_unique<Concat>(p + "_concat", 4),
+                   {b1, b2, b3, b4});
+}
+
+/** Output channels of an inception module after width scaling. */
+std::size_t
+inceptionOut(const InceptionSpec &spec, double width)
+{
+    return scaled(spec.c1, width) + scaled(spec.c3, width) +
+           scaled(spec.c5, width) + scaled(spec.pp, width);
+}
+
+} // namespace
+
+const char *
+modelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::LeNet5: return "B-LeNet-5";
+      case ModelKind::Vgg16: return "B-VGG16";
+      case ModelKind::GoogLeNet: return "B-GoogLeNet";
+    }
+    panic("unknown ModelKind %d", static_cast<int>(kind));
+}
+
+Network
+buildLenet5(const ModelOptions &opts)
+{
+    const double w = opts.widthMultiplier;
+    Network net("B-LeNet-5", Shape({1, 28, 28}));
+    NodeId x = addConvBlock(net, "c1", 1, scaled(6, w), 5, 1, 2,
+                            opts.dropRate, Network::inputNode);
+    x = net.add(std::make_unique<MaxPool2d>("p1", 2), {x});
+    x = addConvBlock(net, "c2", scaled(6, w), scaled(16, w), 5, 1, 0,
+                     opts.dropRate, x);
+    x = net.add(std::make_unique<MaxPool2d>("p2", 2), {x});
+    x = addConvBlock(net, "c3", scaled(16, w), scaled(120, w), 5, 1, 0,
+                     opts.dropRate, x);
+    x = net.add(std::make_unique<Flatten>("flatten"), {x});
+    x = net.add(std::make_unique<Linear>("fc1", scaled(120, w),
+                                         scaled(84, w)), {x});
+    x = net.add(std::make_unique<ReLU>("fc1_relu"), {x});
+    x = net.add(std::make_unique<Linear>("fc2", scaled(84, w),
+                                         opts.numClasses), {x});
+    net.add(std::make_unique<Softmax>("softmax"), {x});
+    initializeWeights(net, opts.init);
+    return net;
+}
+
+Network
+buildVgg16(const ModelOptions &opts)
+{
+    const double w = opts.widthMultiplier;
+    // 0 marks a 2x2 max pool in the VGG16 configuration string.
+    static constexpr std::size_t cfg[] = {64, 64, 0, 128, 128, 0,
+                                          256, 256, 256, 0,
+                                          512, 512, 512, 0,
+                                          512, 512, 512, 0};
+    Network net("B-VGG16", Shape({3, 32, 32}));
+    NodeId x = Network::inputNode;
+    std::size_t in_ch = 3;
+    std::size_t conv_idx = 0, pool_idx = 0;
+    for (std::size_t c : cfg) {
+        if (c == 0) {
+            x = net.add(std::make_unique<MaxPool2d>(
+                            format("pool%zu", ++pool_idx), 2),
+                        {x});
+        } else {
+            const std::size_t out_ch = scaled(c, w);
+            x = addConvBlock(net, format("conv%zu", ++conv_idx), in_ch,
+                             out_ch, 3, 1, 1, opts.dropRate, x);
+            in_ch = out_ch;
+        }
+    }
+    x = net.add(std::make_unique<Flatten>("flatten"), {x});
+    x = net.add(std::make_unique<Linear>("fc1", in_ch,
+                                         scaled(512, w)), {x});
+    x = net.add(std::make_unique<ReLU>("fc1_relu"), {x});
+    x = net.add(std::make_unique<Linear>("fc2", scaled(512, w),
+                                         opts.numClasses), {x});
+    net.add(std::make_unique<Softmax>("softmax"), {x});
+    initializeWeights(net, opts.init);
+    return net;
+}
+
+Network
+buildGooglenet(const ModelOptions &opts)
+{
+    const double w = opts.widthMultiplier;
+    static constexpr InceptionSpec specs[] = {
+        {"i3a", 64, 96, 128, 16, 32, 32},
+        {"i3b", 128, 128, 192, 32, 96, 64},
+        {"i4a", 192, 96, 208, 16, 48, 64},
+        {"i4b", 160, 112, 224, 24, 64, 64},
+        {"i4c", 128, 128, 256, 24, 64, 64},
+        {"i4d", 112, 144, 288, 32, 64, 64},
+        {"i4e", 256, 160, 320, 32, 128, 128},
+        {"i5a", 256, 160, 320, 32, 128, 128},
+        {"i5b", 384, 192, 384, 48, 128, 128},
+    };
+
+    Network net("B-GoogLeNet", Shape({3, 32, 32}));
+    // CIFAR-adapted stem: the 7x7/2 ImageNet stem becomes 3x3/1 and
+    // the first pool is dropped (DESIGN.md §6 note 3).
+    NodeId x = addConvBlock(net, "stem1", 3, scaled(64, w), 3, 1, 1,
+                            opts.dropRate, Network::inputNode);
+    x = addConvBlock(net, "stem2", scaled(64, w), scaled(64, w), 1, 1,
+                     0, opts.dropRate, x);
+    x = addConvBlock(net, "stem3", scaled(64, w), scaled(192, w), 3, 1,
+                     1, opts.dropRate, x);
+    x = net.add(std::make_unique<LocalResponseNorm>("stem_lrn"), {x});
+    x = net.add(std::make_unique<MaxPool2d>("stem_pool", 2), {x});
+
+    std::size_t in_ch = scaled(192, w);
+    for (std::size_t s = 0; s < std::size(specs); ++s) {
+        x = addInception(net, specs[s], in_ch, w, opts.dropRate, x);
+        in_ch = inceptionOut(specs[s], w);
+        // Pools after 3b and 4e, as in the published topology.
+        if (std::string(specs[s].name) == "i3b") {
+            x = net.add(std::make_unique<MaxPool2d>("pool3", 2), {x});
+        } else if (std::string(specs[s].name) == "i4e") {
+            x = net.add(std::make_unique<MaxPool2d>("pool4", 2), {x});
+        }
+    }
+    x = net.add(std::make_unique<GlobalAvgPool>("gap"), {x});
+    x = net.add(std::make_unique<Linear>("fc", in_ch,
+                                         opts.numClasses), {x});
+    net.add(std::make_unique<Softmax>("softmax"), {x});
+    initializeWeights(net, opts.init);
+    return net;
+}
+
+Network
+buildModel(ModelKind kind, const ModelOptions &opts)
+{
+    switch (kind) {
+      case ModelKind::LeNet5: return buildLenet5(opts);
+      case ModelKind::Vgg16: return buildVgg16(opts);
+      case ModelKind::GoogLeNet: return buildGooglenet(opts);
+    }
+    panic("unknown ModelKind %d", static_cast<int>(kind));
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The model zoo: the three BCNNs the paper evaluates (Section VI-A) —
+ * B-LeNet-5 (MNIST, 28×28×1), B-VGG16 and B-GoogLeNet (CIFAR, 32×32×3)
+ * — each built with a dropout layer after every convolution.
+ */
+
+#ifndef FASTBCNN_MODELS_ZOO_HPP
+#define FASTBCNN_MODELS_ZOO_HPP
+
+#include "init.hpp"
+#include "nn/network.hpp"
+
+namespace fastbcnn {
+
+/** The evaluated networks. */
+enum class ModelKind {
+    LeNet5,    ///< B-LeNet-5 on 28×28×1 (MNIST-like)
+    Vgg16,     ///< B-VGG16 on 32×32×3 (CIFAR-like)
+    GoogLeNet  ///< B-GoogLeNet on 32×32×3 (CIFAR-like, adapted stem)
+};
+
+/** @return human-readable model name ("B-LeNet-5", ...). */
+const char *modelKindName(ModelKind kind);
+
+/** Construction parameters shared by all model builders. */
+struct ModelOptions {
+    double dropRate = 0.3;        ///< the paper's default p
+    std::size_t numClasses = 10;  ///< 10 (MNIST) or 100 (CIFAR-100)
+    /**
+     * Channel width multiplier.  1.0 is the full published topology;
+     * benches default to smaller widths so the whole suite runs in
+     * minutes (DESIGN.md §6 note 4) — the skipping statistics are
+     * width-invariant to first order.
+     */
+    double widthMultiplier = 1.0;
+    InitOptions init;             ///< synthetic weight calibration
+};
+
+/** Build B-LeNet-5 with random calibrated weights. */
+Network buildLenet5(const ModelOptions &opts = {});
+
+/** Build B-VGG16 with random calibrated weights. */
+Network buildVgg16(const ModelOptions &opts = {});
+
+/** Build B-GoogLeNet (inception 3a–5b) with random calibrated weights. */
+Network buildGooglenet(const ModelOptions &opts = {});
+
+/** Dispatch on @p kind. */
+Network buildModel(ModelKind kind, const ModelOptions &opts = {});
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_MODELS_ZOO_HPP

@@ -1,0 +1,66 @@
+#include "activations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastbcnn {
+
+Shape
+ReLU::outputShape(const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == 1, "ReLU takes one input");
+    return input_shapes[0];
+}
+
+Tensor
+ReLU::forward(const std::vector<const Tensor *> &inputs,
+              ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "ReLU takes one input");
+    Tensor out(inputs[0]->shape());
+    const auto in = inputs[0]->data();
+    auto o = out.data();
+    for (std::size_t i = 0; i < in.size(); ++i)
+        o[i] = in[i] > 0.0f ? in[i] : 0.0f;
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+Shape
+Softmax::outputShape(const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == 1, "Softmax takes one input");
+    if (input_shapes[0].rank() != 1) {
+        fatal("Softmax '%s': expected rank-1 logits, got %s",
+              name().c_str(), input_shapes[0].toString().c_str());
+    }
+    return input_shapes[0];
+}
+
+Tensor
+Softmax::forward(const std::vector<const Tensor *> &inputs,
+                 ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "Softmax takes one input");
+    const Tensor &in = *inputs[0];
+    Tensor out(in.shape());
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (float v : in.data())
+        max_v = std::max(max_v, v);
+    double total = 0.0;
+    for (std::size_t i = 0; i < in.numel(); ++i) {
+        const float e = std::exp(in.at(i) - max_v);
+        out.at(i) = e;
+        total += e;
+    }
+    for (std::size_t i = 0; i < out.numel(); ++i)
+        out.at(i) = static_cast<float>(out.at(i) / total);
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+} // namespace fastbcnn

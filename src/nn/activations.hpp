@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Element-wise activation layers: ReLU and Softmax.
+ */
+
+#ifndef FASTBCNN_NN_ACTIVATIONS_HPP
+#define FASTBCNN_NN_ACTIVATIONS_HPP
+
+#include "layer.hpp"
+
+namespace fastbcnn {
+
+/**
+ * Rectified linear unit.  ReLU is what makes the unaffected-neuron
+ * phenomenon possible: dropping negative products makes a negative
+ * pre-activation "less negative", but ReLU clamps it to zero either
+ * way (Fig. 2 of the paper).
+ */
+class ReLU : public Layer
+{
+  public:
+    explicit ReLU(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::ReLU; }
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+};
+
+/** Numerically stable softmax over a rank-1 logit vector. */
+class Softmax : public Layer
+{
+  public:
+    explicit Softmax(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Softmax; }
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_NN_ACTIVATIONS_HPP

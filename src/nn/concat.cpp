@@ -1,0 +1,115 @@
+#include "concat.hpp"
+
+#include <cmath>
+
+namespace fastbcnn {
+
+Concat::Concat(std::string name, std::size_t arity)
+    : Layer(std::move(name)), arity_(arity)
+{
+    if (arity < 2)
+        fatal("Concat '%s': needs at least 2 inputs", this->name().c_str());
+}
+
+Shape
+Concat::outputShape(const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == arity_,
+                    "Concat input count mismatch");
+    std::size_t channels = 0;
+    for (const Shape &s : input_shapes) {
+        if (s.rank() != 3) {
+            fatal("Concat '%s': expected CHW inputs, got %s",
+                  name().c_str(), s.toString().c_str());
+        }
+        if (s.dim(1) != input_shapes[0].dim(1) ||
+            s.dim(2) != input_shapes[0].dim(2)) {
+            fatal("Concat '%s': spatial dims mismatch (%s vs %s)",
+                  name().c_str(), s.toString().c_str(),
+                  input_shapes[0].toString().c_str());
+        }
+        channels += s.dim(0);
+    }
+    return Shape({channels, input_shapes[0].dim(1),
+                  input_shapes[0].dim(2)});
+}
+
+Tensor
+Concat::forward(const std::vector<const Tensor *> &inputs,
+                ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == arity_,
+                    "Concat input count mismatch");
+    std::vector<Shape> shapes;
+    shapes.reserve(inputs.size());
+    for (const Tensor *t : inputs) {
+        FASTBCNN_ASSERT(t != nullptr, "null Concat input");
+        shapes.push_back(t->shape());
+    }
+    Tensor out(outputShape(shapes));
+    auto dst = out.data();
+    std::size_t offset = 0;
+    for (const Tensor *t : inputs) {
+        const auto src = t->data();
+        std::copy(src.begin(), src.end(), dst.begin() + offset);
+        offset += src.size();
+    }
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+LocalResponseNorm::LocalResponseNorm(std::string name, std::size_t size,
+                                     float alpha, float beta, float k)
+    : Layer(std::move(name)), size_(size), alpha_(alpha), beta_(beta),
+      k_(k)
+{
+    if (size == 0)
+        fatal("LRN '%s': window must be positive", this->name().c_str());
+}
+
+Shape
+LocalResponseNorm::outputShape(
+    const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == 1, "LRN takes one input");
+    if (input_shapes[0].rank() != 3) {
+        fatal("LRN '%s': expected CHW input, got %s", name().c_str(),
+              input_shapes[0].toString().c_str());
+    }
+    return input_shapes[0];
+}
+
+Tensor
+LocalResponseNorm::forward(const std::vector<const Tensor *> &inputs,
+                           ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "LRN takes one input");
+    const Tensor &in = *inputs[0];
+    const std::size_t channels = in.shape().dim(0);
+    const std::size_t h = in.shape().dim(1);
+    const std::size_t w = in.shape().dim(2);
+    Tensor out(in.shape());
+    const std::size_t half = size_ / 2;
+    for (std::size_t c = 0; c < channels; ++c) {
+        const std::size_t lo = c >= half ? c - half : 0;
+        const std::size_t hi = std::min(channels - 1, c + half);
+        for (std::size_t r = 0; r < h; ++r) {
+            for (std::size_t col = 0; col < w; ++col) {
+                float sum_sq = 0.0f;
+                for (std::size_t cc = lo; cc <= hi; ++cc)
+                    sum_sq += in(cc, r, col) * in(cc, r, col);
+                const float denom = std::pow(
+                    k_ + alpha_ / static_cast<float>(size_) * sum_sq,
+                    beta_);
+                out(c, r, col) = in(c, r, col) / denom;
+            }
+        }
+    }
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Channel-wise concatenation (GoogLeNet inception join) and local
+ * response normalisation.
+ */
+
+#ifndef FASTBCNN_NN_CONCAT_HPP
+#define FASTBCNN_NN_CONCAT_HPP
+
+#include "layer.hpp"
+
+namespace fastbcnn {
+
+/**
+ * Concatenate CHW inputs along the channel axis.  All inputs must
+ * share spatial dimensions; the arity is fixed at construction.
+ */
+class Concat : public Layer
+{
+  public:
+    /**
+     * @param name  unique layer name
+     * @param arity number of input branches (>= 2)
+     */
+    Concat(std::string name, std::size_t arity);
+
+    LayerKind kind() const override { return LayerKind::Concat; }
+    std::size_t arity() const override { return arity_; }
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+
+  private:
+    std::size_t arity_;
+};
+
+/**
+ * Local response normalisation across channels (GoogLeNet stem),
+ * b_c = a_c / (k + alpha/n * sum a_{c'}^2)^beta over a window of n
+ * neighbouring channels.
+ */
+class LocalResponseNorm : public Layer
+{
+  public:
+    /**
+     * @param name  unique layer name
+     * @param size  channel window n
+     * @param alpha scaling constant
+     * @param beta  exponent
+     * @param k     additive constant
+     */
+    LocalResponseNorm(std::string name, std::size_t size = 5,
+                      float alpha = 1e-4f, float beta = 0.75f,
+                      float k = 2.0f);
+
+    LayerKind kind() const override
+    {
+        return LayerKind::LocalResponseNorm;
+    }
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+
+  private:
+    std::size_t size_;
+    float alpha_;
+    float beta_;
+    float k_;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_NN_CONCAT_HPP

@@ -1,0 +1,143 @@
+#include "conv2d.hpp"
+
+#include "common/logging.hpp"
+
+namespace fastbcnn {
+
+Conv2d::Conv2d(std::string name, std::size_t in_channels,
+               std::size_t out_channels, std::size_t kernel_size,
+               std::size_t stride, std::size_t padding)
+    : Layer(std::move(name)), inChannels_(in_channels),
+      outChannels_(out_channels), kernelSize_(kernel_size),
+      stride_(stride), padding_(padding),
+      weights_(Shape({out_channels, in_channels, kernel_size,
+                      kernel_size})),
+      bias_(Shape({out_channels}))
+{
+    if (in_channels == 0 || out_channels == 0 || kernel_size == 0 ||
+        stride == 0) {
+        fatal("Conv2d '%s': channels, kernel size and stride must be "
+              "positive", this->name().c_str());
+    }
+}
+
+Shape
+Conv2d::outputShape(const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == 1, "Conv2d takes one input");
+    const Shape &in = input_shapes[0];
+    if (in.rank() != 3 || in.dim(0) != inChannels_) {
+        fatal("Conv2d '%s': expected CHW input with %zu channels, got %s",
+              name().c_str(), inChannels_, in.toString().c_str());
+    }
+    const std::size_t h = in.dim(1), w = in.dim(2);
+    if (h + 2 * padding_ < kernelSize_ || w + 2 * padding_ < kernelSize_) {
+        fatal("Conv2d '%s': kernel %zu larger than padded input %zux%zu",
+              name().c_str(), kernelSize_, h + 2 * padding_,
+              w + 2 * padding_);
+    }
+    const std::size_t out_h = (h + 2 * padding_ - kernelSize_) / stride_
+                              + 1;
+    const std::size_t out_w = (w + 2 * padding_ - kernelSize_) / stride_
+                              + 1;
+    return Shape({outChannels_, out_h, out_w});
+}
+
+float
+Conv2d::computeNeuron(const Tensor &input, std::size_t m, std::size_t r,
+                      std::size_t c) const
+{
+    const std::size_t h = input.shape().dim(1);
+    const std::size_t w = input.shape().dim(2);
+    float acc = bias_(m);
+    for (std::size_t n = 0; n < inChannels_; ++n) {
+        for (std::size_t i = 0; i < kernelSize_; ++i) {
+            const std::ptrdiff_t in_r =
+                static_cast<std::ptrdiff_t>(r * stride_ + i) -
+                static_cast<std::ptrdiff_t>(padding_);
+            if (in_r < 0 || in_r >= static_cast<std::ptrdiff_t>(h))
+                continue;
+            for (std::size_t j = 0; j < kernelSize_; ++j) {
+                const std::ptrdiff_t in_c =
+                    static_cast<std::ptrdiff_t>(c * stride_ + j) -
+                    static_cast<std::ptrdiff_t>(padding_);
+                if (in_c < 0 || in_c >= static_cast<std::ptrdiff_t>(w))
+                    continue;
+                acc += weights_(m, n, i, j) *
+                       input(n, static_cast<std::size_t>(in_r),
+                             static_cast<std::size_t>(in_c));
+            }
+        }
+    }
+    return acc;
+}
+
+Tensor
+Conv2d::forward(const std::vector<const Tensor *> &inputs,
+                ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "Conv2d takes one input");
+    const Tensor &input = *inputs[0];
+    const Shape out_shape = outputShape({input.shape()});
+    Tensor out(out_shape);
+    const std::size_t in_h = input.shape().dim(1);
+    const std::size_t in_w = input.shape().dim(2);
+    const std::size_t out_h = out_shape.dim(1);
+    const std::size_t out_w = out_shape.dim(2);
+
+    // Hot loop for trace generation: accumulate one (m, n, i, j) weight
+    // across the whole output plane, with raw pointers (the checked
+    // per-neuron path is computeNeuron(), kept as the reference).
+    const float *in_data = input.data().data();
+    const float *w_data = weights_.data().data();
+    float *out_data = out.data().data();
+
+    for (std::size_t m = 0; m < outChannels_; ++m) {
+        float *out_plane = out_data + m * out_h * out_w;
+        const float b = bias_(m);
+        for (std::size_t i = 0; i < out_h * out_w; ++i)
+            out_plane[i] = b;
+        for (std::size_t n = 0; n < inChannels_; ++n) {
+            const float *in_plane = in_data + n * in_h * in_w;
+            const float *w_kernel =
+                w_data + (m * inChannels_ + n) * kernelSize_ *
+                kernelSize_;
+            for (std::size_t i = 0; i < kernelSize_; ++i) {
+                for (std::size_t j = 0; j < kernelSize_; ++j) {
+                    const float wv = w_kernel[i * kernelSize_ + j];
+                    if (wv == 0.0f)
+                        continue;
+                    for (std::size_t r = 0; r < out_h; ++r) {
+                        const std::ptrdiff_t in_r =
+                            static_cast<std::ptrdiff_t>(r * stride_ + i)
+                            - static_cast<std::ptrdiff_t>(padding_);
+                        if (in_r < 0 ||
+                            in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                            continue;
+                        }
+                        const float *in_row = in_plane + in_r * in_w;
+                        float *out_row = out_plane + r * out_w;
+                        for (std::size_t c = 0; c < out_w; ++c) {
+                            const std::ptrdiff_t in_c =
+                                static_cast<std::ptrdiff_t>(
+                                    c * stride_ + j) -
+                                static_cast<std::ptrdiff_t>(padding_);
+                            if (in_c < 0 ||
+                                in_c >=
+                                    static_cast<std::ptrdiff_t>(in_w)) {
+                                continue;
+                            }
+                            out_row[c] += wv * in_row[in_c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+} // namespace fastbcnn

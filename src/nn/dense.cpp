@@ -1,0 +1,75 @@
+#include "dense.hpp"
+
+namespace fastbcnn {
+
+Shape
+Flatten::outputShape(const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == 1, "Flatten takes one input");
+    return Shape({input_shapes[0].numel()});
+}
+
+Tensor
+Flatten::forward(const std::vector<const Tensor *> &inputs,
+                 ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "Flatten takes one input");
+    Tensor out(Shape({inputs[0]->numel()}),
+               std::vector<float>(inputs[0]->data().begin(),
+                                  inputs[0]->data().end()));
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+Linear::Linear(std::string name, std::size_t in_features,
+               std::size_t out_features)
+    : Layer(std::move(name)), inFeatures_(in_features),
+      outFeatures_(out_features),
+      weights_(Shape({out_features * in_features})),
+      bias_(Shape({out_features}))
+{
+    if (in_features == 0 || out_features == 0) {
+        fatal("Linear '%s': feature counts must be positive",
+              this->name().c_str());
+    }
+}
+
+Shape
+Linear::outputShape(const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == 1, "Linear takes one input");
+    if (input_shapes[0].numel() != inFeatures_) {
+        fatal("Linear '%s': expected %zu input features, got %s",
+              name().c_str(), inFeatures_,
+              input_shapes[0].toString().c_str());
+    }
+    return Shape({outFeatures_});
+}
+
+Tensor
+Linear::forward(const std::vector<const Tensor *> &inputs,
+                ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "Linear takes one input");
+    const Tensor &in = *inputs[0];
+    FASTBCNN_ASSERT(in.numel() == inFeatures_,
+                    "Linear input size mismatch");
+    Tensor out(Shape({outFeatures_}));
+    const float *w = weights_.data().data();
+    const float *x = in.data().data();
+    for (std::size_t o = 0; o < outFeatures_; ++o) {
+        double acc = bias_(o);
+        const float *row = w + o * inFeatures_;
+        for (std::size_t i = 0; i < inFeatures_; ++i)
+            acc += static_cast<double>(row[i]) * x[i];
+        out(o) = static_cast<float>(acc);
+    }
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fully connected (Linear) and Flatten layers for the classifier heads.
+ */
+
+#ifndef FASTBCNN_NN_DENSE_HPP
+#define FASTBCNN_NN_DENSE_HPP
+
+#include "layer.hpp"
+
+namespace fastbcnn {
+
+/** Flatten CHW (or any rank) into a rank-1 vector. */
+class Flatten : public Layer
+{
+  public:
+    explicit Flatten(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::Flatten; }
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+};
+
+/** Fully connected layer: out = W * in + b with W of shape (out, in). */
+class Linear : public Layer
+{
+  public:
+    /**
+     * @param name         unique layer name
+     * @param in_features  input dimensionality
+     * @param out_features output dimensionality
+     */
+    Linear(std::string name, std::size_t in_features,
+           std::size_t out_features);
+
+    LayerKind kind() const override { return LayerKind::Linear; }
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+
+    /** @return input dimensionality. */
+    std::size_t inFeatures() const { return inFeatures_; }
+    /** @return output dimensionality. */
+    std::size_t outFeatures() const { return outFeatures_; }
+
+    /** @return mutable (out, in) weight matrix. */
+    Tensor &weights() { return weights_; }
+    /** @return (out, in) weight matrix. */
+    const Tensor &weights() const { return weights_; }
+    /** @return mutable bias vector. */
+    Tensor &bias() { return bias_; }
+    /** @return bias vector. */
+    const Tensor &bias() const { return bias_; }
+
+  private:
+    std::size_t inFeatures_;
+    std::size_t outFeatures_;
+    Tensor weights_;
+    Tensor bias_;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_NN_DENSE_HPP

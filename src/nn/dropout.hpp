@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Monte-Carlo dropout layer: masks conv-block outputs with Bernoulli
+ * 0/1 bits supplied by ForwardHooks.
+ */
+
+#ifndef FASTBCNN_NN_DROPOUT_HPP
+#define FASTBCNN_NN_DROPOUT_HPP
+
+#include "layer.hpp"
+
+namespace fastbcnn {
+
+/**
+ * Element-wise 0/1 masking, O^l_d = O^l ⊙ M^l (Section II-B).
+ *
+ * The layer holds only the nominal drop rate; the actual mask bits are
+ * requested from ForwardHooks::dropoutMask() so the caller controls
+ * the RNG (hardware LFSR vs software), records masks into traces, or
+ * replays recorded masks.  When the hook returns nullptr the layer is
+ * an identity (non-dropout pre-inference).
+ *
+ * Following Gal & Ghahramani's MC-dropout formulation the mask is a
+ * pure 0/1 multiply with no 1/(1-p) rescaling at inference — exactly
+ * what the accelerator hardware implements.
+ */
+class Dropout : public Layer
+{
+  public:
+    /**
+     * @param name      unique layer name
+     * @param drop_rate nominal Bernoulli drop probability p
+     */
+    Dropout(std::string name, double drop_rate);
+
+    LayerKind kind() const override { return LayerKind::Dropout; }
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+
+    /** @return nominal drop probability p. */
+    double dropRate() const { return dropRate_; }
+
+  private:
+    double dropRate_;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_NN_DROPOUT_HPP

@@ -1,0 +1,160 @@
+#include "pooling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace fastbcnn {
+
+Pool2dBase::Pool2dBase(std::string name, std::size_t kernel_size,
+                       std::size_t stride, std::size_t padding)
+    : Layer(std::move(name)), kernelSize_(kernel_size), stride_(stride),
+      padding_(padding)
+{
+    if (kernel_size == 0 || stride == 0) {
+        fatal("pool '%s': kernel size and stride must be positive",
+              this->name().c_str());
+    }
+}
+
+Shape
+Pool2dBase::outputShape(const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == 1, "pool takes one input");
+    const Shape &in = input_shapes[0];
+    if (in.rank() != 3) {
+        fatal("pool '%s': expected CHW input, got %s", name().c_str(),
+              in.toString().c_str());
+    }
+    const std::size_t h = in.dim(1) + 2 * padding_;
+    const std::size_t w = in.dim(2) + 2 * padding_;
+    if (h < kernelSize_ || w < kernelSize_) {
+        fatal("pool '%s': window %zu larger than padded input %zux%zu",
+              name().c_str(), kernelSize_, h, w);
+    }
+    return Shape({in.dim(0), (h - kernelSize_) / stride_ + 1,
+                  (w - kernelSize_) / stride_ + 1});
+}
+
+namespace {
+
+/**
+ * Shared windowed-pool implementation.  @p reduce folds in-window
+ * values; out-of-range (padding) positions contribute @p pad_value for
+ * max pooling and are counted as zeros for average pooling.
+ */
+template <typename Reduce>
+Tensor
+poolForward(const Pool2dBase &layer, const Tensor &input, Reduce reduce,
+            float init, bool average)
+{
+    const Shape out_shape = layer.outputShape({input.shape()});
+    Tensor out(out_shape);
+    const std::size_t in_h = input.shape().dim(1);
+    const std::size_t in_w = input.shape().dim(2);
+    const std::size_t k = layer.kernelSize();
+    const std::size_t s = layer.stride();
+    const std::size_t p = layer.padding();
+    for (std::size_t ch = 0; ch < out_shape.dim(0); ++ch) {
+        for (std::size_t r = 0; r < out_shape.dim(1); ++r) {
+            for (std::size_t c = 0; c < out_shape.dim(2); ++c) {
+                float acc = init;
+                for (std::size_t i = 0; i < k; ++i) {
+                    const std::ptrdiff_t in_r =
+                        static_cast<std::ptrdiff_t>(r * s + i) -
+                        static_cast<std::ptrdiff_t>(p);
+                    if (in_r < 0 ||
+                        in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                        continue;
+                    }
+                    for (std::size_t j = 0; j < k; ++j) {
+                        const std::ptrdiff_t in_c =
+                            static_cast<std::ptrdiff_t>(c * s + j) -
+                            static_cast<std::ptrdiff_t>(p);
+                        if (in_c < 0 ||
+                            in_c >= static_cast<std::ptrdiff_t>(in_w)) {
+                            continue;
+                        }
+                        acc = reduce(acc,
+                                     input(ch,
+                                           static_cast<std::size_t>(in_r),
+                                           static_cast<std::size_t>(
+                                               in_c)));
+                    }
+                }
+                out(ch, r, c) =
+                    average ? acc / static_cast<float>(k * k) : acc;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor
+MaxPool2d::forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "pool takes one input");
+    // Padding positions act as zeros, matching ReLU-positive maps;
+    // init with 0 rather than -inf so padded windows pool to zero.
+    Tensor out = poolForward(
+        *this, *inputs[0],
+        [](float a, float b) { return std::max(a, b); },
+        padding() > 0 ? 0.0f : -std::numeric_limits<float>::infinity(),
+        false);
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+Tensor
+AvgPool2d::forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "pool takes one input");
+    Tensor out = poolForward(
+        *this, *inputs[0],
+        [](float a, float b) { return a + b; }, 0.0f, true);
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+Shape
+GlobalAvgPool::outputShape(const std::vector<Shape> &input_shapes) const
+{
+    FASTBCNN_ASSERT(input_shapes.size() == 1,
+                    "global pool takes one input");
+    const Shape &in = input_shapes[0];
+    if (in.rank() != 3) {
+        fatal("global pool '%s': expected CHW input, got %s",
+              name().c_str(), in.toString().c_str());
+    }
+    return Shape({in.dim(0)});
+}
+
+Tensor
+GlobalAvgPool::forward(const std::vector<const Tensor *> &inputs,
+                       ForwardHooks *hooks) const
+{
+    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
+                    "global pool takes one input");
+    const Tensor &in = *inputs[0];
+    const std::size_t c = in.shape().dim(0);
+    const std::size_t plane = in.shape().dim(1) * in.shape().dim(2);
+    Tensor out(Shape({c}));
+    for (std::size_t ch = 0; ch < c; ++ch) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < plane; ++i)
+            total += in.data()[ch * plane + i];
+        out(ch) = static_cast<float>(total / static_cast<double>(plane));
+    }
+    if (hooks)
+        hooks->onActivation(name(), kind(), out);
+    return out;
+}
+
+} // namespace fastbcnn

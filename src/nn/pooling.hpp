@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Spatial pooling layers: max, average and global-average pooling.
+ */
+
+#ifndef FASTBCNN_NN_POOLING_HPP
+#define FASTBCNN_NN_POOLING_HPP
+
+#include "layer.hpp"
+
+namespace fastbcnn {
+
+/** Shared geometry for windowed pooling layers. */
+class Pool2dBase : public Layer
+{
+  public:
+    /**
+     * @param name        unique layer name
+     * @param kernel_size square pooling window
+     * @param stride      window stride (defaults to kernel_size)
+     * @param padding     symmetric zero padding (GoogLeNet uses
+     *                    padded 3x3/s1 pooling inside inception)
+     */
+    Pool2dBase(std::string name, std::size_t kernel_size,
+               std::size_t stride, std::size_t padding);
+
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+
+    /** @return square pooling window size. */
+    std::size_t kernelSize() const { return kernelSize_; }
+    /** @return window stride. */
+    std::size_t stride() const { return stride_; }
+    /** @return symmetric zero padding. */
+    std::size_t padding() const { return padding_; }
+
+  protected:
+    std::size_t kernelSize_;
+    std::size_t stride_;
+    std::size_t padding_;
+};
+
+/**
+ * Max pooling.  Its interaction with dropout masks is modelled by the
+ * hardware's mask-pooling unit (Section V-B2): a pooled position is
+ * "dropped" only when every bit in its window is 1.
+ */
+class MaxPool2d : public Pool2dBase
+{
+  public:
+    MaxPool2d(std::string name, std::size_t kernel_size,
+              std::size_t stride = 0, std::size_t padding = 0)
+        : Pool2dBase(std::move(name), kernel_size,
+                     stride == 0 ? kernel_size : stride, padding)
+    {}
+
+    LayerKind kind() const override { return LayerKind::MaxPool2d; }
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+};
+
+/** Average pooling (LeNet-5 sub-sampling, GoogLeNet inception pools). */
+class AvgPool2d : public Pool2dBase
+{
+  public:
+    AvgPool2d(std::string name, std::size_t kernel_size,
+              std::size_t stride = 0, std::size_t padding = 0)
+        : Pool2dBase(std::move(name), kernel_size,
+                     stride == 0 ? kernel_size : stride, padding)
+    {}
+
+    LayerKind kind() const override { return LayerKind::AvgPool2d; }
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+};
+
+/** Global average pooling (GoogLeNet head): CHW -> C. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    explicit GlobalAvgPool(std::string name) : Layer(std::move(name)) {}
+
+    LayerKind kind() const override { return LayerKind::GlobalAvgPool; }
+    Shape outputShape(
+        const std::vector<Shape> &input_shapes) const override;
+    Tensor forward(const std::vector<const Tensor *> &inputs,
+                   ForwardHooks *hooks) const override;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_NN_POOLING_HPP

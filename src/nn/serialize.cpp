@@ -1,0 +1,134 @@
+#include "serialize.hpp"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "common/table.hpp"
+#include "conv2d.hpp"
+#include "dense.hpp"
+
+namespace fastbcnn {
+
+namespace {
+
+/** Parameter tensors of a layer, or nullptrs when it has none. */
+struct ParamRefs {
+    Tensor *weights = nullptr;
+    Tensor *bias = nullptr;
+};
+
+ParamRefs
+paramsOf(Layer &layer)
+{
+    switch (layer.kind()) {
+      case LayerKind::Conv2d: {
+        auto &conv = static_cast<Conv2d &>(layer);
+        return {&conv.weights(), &conv.bias()};
+      }
+      case LayerKind::Linear: {
+        auto &fc = static_cast<Linear &>(layer);
+        return {&fc.weights(), &fc.bias()};
+      }
+      default:
+        return {};
+    }
+}
+
+void
+writeValues(std::ostream &os, const Tensor &t)
+{
+    char buf[64];
+    for (float v : t.data()) {
+        // Hex floats round-trip exactly through text.
+        std::snprintf(buf, sizeof(buf), "%a", static_cast<double>(v));
+        os << buf << '\n';
+    }
+}
+
+void
+readValues(std::istream &is, Tensor &t)
+{
+    for (float &v : t.data()) {
+        std::string token;
+        if (!(is >> token))
+            fatal("weight file truncated");
+        v = std::strtof(token.c_str(), nullptr);
+    }
+}
+
+} // namespace
+
+void
+saveWeights(const Network &net, std::ostream &os)
+{
+    os << "fastbcnn-weights v1 " << net.name() << '\n';
+    for (NodeId id = 0; id < net.size(); ++id) {
+        // paramsOf needs mutable access; serialisation only reads.
+        ParamRefs p = paramsOf(const_cast<Layer &>(net.layer(id)));
+        if (!p.weights)
+            continue;
+        os << "layer " << net.layer(id).name() << ' '
+           << layerKindName(net.layer(id).kind()) << ' '
+           << p.weights->numel() << ' ' << p.bias->numel() << '\n';
+        writeValues(os, *p.weights);
+        writeValues(os, *p.bias);
+    }
+}
+
+void
+loadWeights(Network &net, std::istream &is)
+{
+    std::string magic, version, model;
+    if (!(is >> magic >> version >> model) ||
+        magic != "fastbcnn-weights" || version != "v1") {
+        fatal("not a fastbcnn v1 weight file");
+    }
+    std::string tag;
+    while (is >> tag) {
+        if (tag != "layer")
+            fatal("malformed weight file near '%s'", tag.c_str());
+        std::string name, kind;
+        std::size_t w_count = 0, b_count = 0;
+        if (!(is >> name >> kind >> w_count >> b_count))
+            fatal("malformed layer record");
+        const NodeId id = net.findNode(name);  // fatal when absent
+        ParamRefs p = paramsOf(net.layer(id));
+        if (!p.weights) {
+            fatal("layer '%s' in weight file has no parameters in "
+                  "the network", name.c_str());
+        }
+        if (p.weights->numel() != w_count ||
+            p.bias->numel() != b_count) {
+            fatal("layer '%s': checkpoint holds %zu/%zu values but "
+                  "the network needs %zu/%zu",
+                  name.c_str(), w_count, b_count, p.weights->numel(),
+                  p.bias->numel());
+        }
+        readValues(is, *p.weights);
+        readValues(is, *p.bias);
+    }
+}
+
+void
+printSummary(const Network &net, std::ostream &os)
+{
+    Table t({"#", "layer", "kind", "output shape", "params"});
+    std::uint64_t total_params = 0;
+    for (NodeId id = 0; id < net.size(); ++id) {
+        ParamRefs p = paramsOf(const_cast<Layer &>(net.layer(id)));
+        const std::uint64_t params =
+            p.weights ? p.weights->numel() + p.bias->numel() : 0;
+        total_params += params;
+        t.addRow({format("%zu", id), net.layer(id).name(),
+                  layerKindName(net.layer(id).kind()),
+                  net.shapeOf(id).toString(),
+                  params == 0 ? "-" : format("%llu",
+                                             static_cast<unsigned long long>(params))});
+    }
+    t.print(os);
+    os << net.name() << ": " << total_params << " parameters, "
+       << net.totalMacs() << " MACs per dense inference\n";
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Weight (de)serialisation and model summaries.
+ *
+ * The text format stores one record per parameterised layer keyed by
+ * layer name, so weights survive rebuilds as long as the topology's
+ * names match — the property the offline threshold store (Algorithm 1
+ * artefacts) also relies on.
+ */
+
+#ifndef FASTBCNN_NN_SERIALIZE_HPP
+#define FASTBCNN_NN_SERIALIZE_HPP
+
+#include <iosfwd>
+
+#include "network.hpp"
+
+namespace fastbcnn {
+
+/**
+ * Write every Conv2d / Linear layer's weights and biases.
+ *
+ * Format: `layer <name> <kind> <weight-count> <bias-count>` followed
+ * by the values in row-major order (hex floats, lossless round trip).
+ */
+void saveWeights(const Network &net, std::ostream &os);
+
+/**
+ * Load weights saved by saveWeights() into @p net.
+ *
+ * Layers are matched by name; a record whose name or element counts do
+ * not match the network is a user error (fatal()).  Records for
+ * layers absent from the network are also fatal — a silently ignored
+ * checkpoint is worse than a loud one.
+ */
+void loadWeights(Network &net, std::istream &is);
+
+/**
+ * Print a per-layer summary table: name, kind, output shape and
+ * parameter count, followed by totals.
+ */
+void printSummary(const Network &net, std::ostream &os);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_NN_SERIALIZE_HPP

@@ -1,0 +1,63 @@
+#include "brng.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace fastbcnn {
+
+LfsrBrng::LfsrBrng(double drop_rate, std::uint32_t seed)
+    : dropRate_(drop_rate),
+      threshold_(static_cast<std::uint32_t>(
+          std::lround(256.0 * drop_rate))),
+      lfsrs_{Lfsr32(seed * 2654435761u + 1), Lfsr32(seed * 40503u + 3),
+             Lfsr32(seed ^ 0xdeadbeefu), Lfsr32(seed + 0x9e3779b9u),
+             Lfsr32(~seed), Lfsr32(seed << 7 | 5u),
+             Lfsr32(seed * 48271u + 11), Lfsr32(seed ^ 0x5bd1e995u)}
+{
+    FASTBCNN_ASSERT(drop_rate >= 0.0 && drop_rate <= 1.0,
+                    "drop rate must be a probability");
+    // Warm up so correlated seeds decorrelate before first use.
+    for (int i = 0; i < 64; ++i)
+        (void)nextUniform8();
+}
+
+std::uint32_t
+LfsrBrng::nextUniform8()
+{
+    std::uint32_t u = 0;
+    for (std::size_t i = 0; i < lfsrs_.size(); ++i)
+        u |= lfsrs_[i].step() << i;
+    return u;
+}
+
+bool
+LfsrBrng::nextBit()
+{
+    return nextUniform8() < threshold_;
+}
+
+SoftwareBrng::SoftwareBrng(double drop_rate, std::uint64_t seed)
+    : dropRate_(drop_rate), engine_(seed), dist_(drop_rate)
+{
+    FASTBCNN_ASSERT(drop_rate >= 0.0 && drop_rate <= 1.0,
+                    "drop rate must be a probability");
+}
+
+bool
+SoftwareBrng::nextBit()
+{
+    return dist_(engine_);
+}
+
+double
+measureDropRate(Brng &brng, std::size_t n)
+{
+    FASTBCNN_ASSERT(n > 0, "need at least one draw");
+    std::size_t ones = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        ones += brng.nextBit() ? 1 : 0;
+    return static_cast<double>(ones) / static_cast<double>(n);
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,22 @@
+#include "lfsr.hpp"
+
+namespace fastbcnn {
+
+Lfsr32::Lfsr32(std::uint32_t seed)
+    : state_(seed == 0 ? 0xace1u : seed)
+{
+}
+
+std::uint32_t
+Lfsr32::step()
+{
+    // XOR of the tapped bits; tap position p (1-indexed) is bit p-1.
+    const std::uint32_t fb =
+        ((state_ >> (tap1 - 1)) ^ (state_ >> (tap2 - 1)) ^
+         (state_ >> (tap3 - 1)) ^ (state_ >> (tap4 - 1))) & 1u;
+    state_ = (state_ << 1) | fb;
+    // The leftmost bit is the per-cycle uniform output.
+    return (state_ >> 31) & 1u;
+}
+
+} // namespace fastbcnn

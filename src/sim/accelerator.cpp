@@ -1,0 +1,501 @@
+#include "accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+
+namespace fastbcnn {
+
+namespace {
+
+/** Derived per-block constants under one configuration. */
+struct BlockGeom {
+    std::uint64_t cyclesPerNeuron = 0;   ///< K²·ceil(N/T_n)
+    std::uint64_t laneSlotsPerNeuron = 0;///< K²·ceil(N/T_n)·T_n
+    std::uint64_t macsPerNeuron = 0;     ///< K²·N
+    std::uint64_t weightBytes = 0;
+    std::uint64_t inputBytes = 0;
+    std::uint64_t outputBytes = 0;
+    std::uint64_t indicatorBytes = 0;    ///< weight-sign bits
+    std::uint64_t zeroIndexBytes = 0;    ///< 1 bit per neuron
+};
+
+BlockGeom
+geomOf(const BlockInfo &b, const AcceleratorConfig &cfg)
+{
+    BlockGeom g;
+    const std::uint64_t kk = static_cast<std::uint64_t>(b.kernel) *
+                             b.kernel;
+    g.cyclesPerNeuron = kk * ceilDiv(b.inChannels, cfg.tn);
+    g.laneSlotsPerNeuron = g.cyclesPerNeuron * cfg.tn;
+    g.macsPerNeuron = kk * b.inChannels;
+    const std::uint64_t in_h =
+        (b.outH - 1) * b.stride + b.kernel - 2 * b.padding;
+    const std::uint64_t in_w =
+        (b.outW - 1) * b.stride + b.kernel - 2 * b.padding;
+    g.weightBytes = static_cast<std::uint64_t>(b.outChannels) *
+                    b.inChannels * kk * 4;
+    g.inputBytes = static_cast<std::uint64_t>(b.inChannels) * in_h *
+                   in_w * 4;
+    g.outputBytes = b.neurons() * 4;
+    g.indicatorBytes = ceilDiv<std::uint64_t>(
+        static_cast<std::uint64_t>(b.outChannels) * b.inChannels * kk,
+        8);
+    g.zeroIndexBytes = ceilDiv<std::uint64_t>(b.neurons(), 8);
+    return g;
+}
+
+/**
+ * Latency of one layer pass given per-channel busy cycles: channels
+ * are distributed round-robin over T_m PEs; the layer finishes when
+ * the busiest PE finishes.
+ */
+std::uint64_t
+layerLatency(const std::vector<std::uint64_t> &busy_per_channel,
+             std::size_t tm, std::uint64_t &sum_busy)
+{
+    std::vector<std::uint64_t> pe(tm, 0);
+    for (std::size_t m = 0; m < busy_per_channel.size(); ++m)
+        pe[m % tm] += busy_per_channel[m];
+    std::uint64_t max_busy = 0;
+    sum_busy = 0;
+    for (std::uint64_t v : pe) {
+        max_busy = std::max(max_busy, v);
+        sum_busy += v;
+    }
+    return max_busy;
+}
+
+/** Prediction-unit cycles to cover block @p b (Eq. 8 LHS). */
+std::uint64_t
+predictionCycles(const BlockInfo &b, const AcceleratorConfig &cfg)
+{
+    if (cfg.countingLanes == 0)
+        return 0;
+    return static_cast<std::uint64_t>(b.kernel) * b.kernel *
+           ceilDiv(b.outChannels, cfg.countingLanes) * b.plane();
+}
+
+/** Shared accumulator mapping runs into a SimReport. */
+class Accounting
+{
+  public:
+    Accounting(const InferenceTrace &trace, const AcceleratorConfig &cfg,
+               const EnergyParams &energy, std::string accel_name)
+        : trace_(trace), cfg_(cfg), energy_(energy)
+    {
+        report_.accelerator = std::move(accel_name);
+        report_.model = trace.model;
+        report_.samples = trace.samples;
+        report_.layers.resize(trace.blocks.size());
+        for (std::size_t i = 0; i < trace.blocks.size(); ++i)
+            report_.layers[i].name = trace.blocks[i].name;
+    }
+
+    /**
+     * Account one dense or skipping pass over one block.
+     *
+     * @param bi            block index
+     * @param busy          per-channel busy cycles
+     * @param computed      computed neurons in the block
+     * @param skipped       skipped neurons in the block
+     * @param lane_slots    multiplier-lane slots consumed
+     * @param macs          real multiplications issued
+     * @param stall         prediction-sync stall preceding the block
+     * @param dram_bytes    off-chip traffic of the pass
+     * @return the block's total latency contribution (cycles)
+     */
+    std::uint64_t
+    addPass(std::size_t bi, const std::vector<std::uint64_t> &busy,
+            std::uint64_t computed, std::uint64_t skipped,
+            std::uint64_t lane_slots, std::uint64_t macs,
+            std::uint64_t stall, std::uint64_t dram_bytes)
+    {
+        std::uint64_t sum_busy = 0;
+        const std::uint64_t compute = layerLatency(busy, cfg_.tm,
+                                                   sum_busy);
+        std::uint64_t latency = compute + stall;
+        std::uint64_t dram_stall = 0;
+        if (cfg_.modelDram && cfg_.dramBytesPerCycle > 0.0) {
+            const auto dram_cycles = static_cast<std::uint64_t>(
+                static_cast<double>(dram_bytes) /
+                cfg_.dramBytesPerCycle);
+            if (dram_cycles > latency) {
+                dram_stall = dram_cycles - latency;
+                latency = dram_cycles;
+            }
+        }
+        LayerSimStats &layer = report_.layers[bi];
+        layer.cycles += latency;
+        layer.stallCycles += stall;
+        layer.dramStall += dram_stall;
+        layer.busyCycles += sum_busy;
+        // Idle covers every non-busy PE-cycle of the pass, including
+        // stall and DRAM-bound time; per-cause splits are in
+        // stallCycles / dramStall.
+        layer.idleCycles += cfg_.tm * latency - sum_busy;
+
+        report_.totalCycles += latency;
+        report_.neuronsComputed += computed;
+        report_.neuronsSkipped += skipped;
+        report_.macsComputed += macs;
+        report_.dramBytes += dram_bytes;
+
+        // Convolution-unit energy: multiplies, operand reads, output
+        // writes, skip-engine advances; static burn over the latency.
+        energyOut_.convNj +=
+            1e-3 * (static_cast<double>(macs) * energy_.macPj +
+                    2.0 * static_cast<double>(lane_slots) *
+                        energy_.sramReadPj +
+                    static_cast<double>(computed + skipped) *
+                        energy_.sramWritePj +
+                    static_cast<double>(skipped) *
+                        energy_.skipEnginePj +
+                    static_cast<double>(cfg_.tm) *
+                        static_cast<double>(latency) *
+                        energy_.peStaticPj);
+        energyOut_.dramNj += 1e-3 * static_cast<double>(dram_bytes) *
+                             energy_.dramBytePj;
+        return latency;
+    }
+
+    /** Account the prediction unit + central predictor for one block. */
+    void
+    addPredictionWork(const BlockInfo &next, std::uint64_t pred_cycles)
+    {
+        const double lane_ops =
+            static_cast<double>(cfg_.tm) *
+            static_cast<double>(cfg_.countingLanes) *
+            static_cast<double>(pred_cycles);
+        energyOut_.predNj += 1e-3 * lane_ops * energy_.countLanePj;
+        // Central predictor: a T_m-input adder tree plus one compare
+        // per next-layer neuron.
+        energyOut_.centralNj +=
+            1e-3 * static_cast<double>(next.neurons()) *
+            static_cast<double>(cfg_.tm) * energy_.adder10Pj;
+    }
+
+    /** Finalise the report; @p with_prediction_static gates the
+     *  prediction/central leakage terms. */
+    SimReport
+    finish(std::uint64_t pre_inference_cycles, bool with_prediction_static)
+    {
+        if (with_prediction_static && cfg_.countingLanes > 0) {
+            energyOut_.predNj +=
+                1e-3 * static_cast<double>(cfg_.tm) *
+                static_cast<double>(report_.totalCycles) *
+                energy_.predStaticPj;
+            energyOut_.centralNj +=
+                1e-3 * static_cast<double>(report_.totalCycles) *
+                energy_.centralStaticPj;
+        }
+        report_.preInferenceCycles = pre_inference_cycles;
+        report_.cyclesPerSample =
+            static_cast<double>(report_.totalCycles) /
+            static_cast<double>(report_.samples);
+        report_.msPerSample = report_.cyclesPerSample /
+                              (cfg_.clockMhz * 1e3);
+        report_.energy = energyOut_;
+        report_.energyPerSampleNj = energyOut_.total() /
+                                    static_cast<double>(report_.samples);
+        std::uint64_t busy = 0, idle = 0;
+        for (const LayerSimStats &l : report_.layers) {
+            busy += l.busyCycles;
+            idle += l.idleCycles;
+        }
+        report_.peIdleFraction =
+            busy + idle == 0
+                ? 0.0
+                : static_cast<double>(idle) /
+                      static_cast<double>(busy + idle);
+        // Elided multiplications: dense minus issued.
+        std::uint64_t dense = 0;
+        for (const BlockInfo &b : trace_.blocks) {
+            dense += b.neurons() * b.macsPerNeuron() *
+                     (report_.samples +
+                      (pre_inference_cycles > 0 ? 1 : 0));
+        }
+        report_.macsElided = dense > report_.macsComputed
+                                 ? dense - report_.macsComputed : 0;
+        return report_;
+    }
+
+  private:
+    const InferenceTrace &trace_;
+    const AcceleratorConfig &cfg_;
+    EnergyParams energy_;
+    SimReport report_;
+    EnergyBreakdown energyOut_;
+};
+
+/**
+ * Weight traffic of one pass.  Weights are identical across all T+1
+ * passes of an MC-dropout run, so the scheduler streams each layer's
+ * weights from DRAM once: layers that fit stay resident in the weight
+ * store, larger layers are amortised by batching the T samples
+ * through the layer back-to-back (the natural MC-dropout schedule —
+ * the paper does not model DRAM at all, see DESIGN.md §5).
+ */
+std::uint64_t
+weightTraffic(const BlockGeom &g, const AcceleratorConfig &cfg,
+              bool first_pass)
+{
+    (void)cfg;
+    return first_pass ? g.weightBytes : 0;
+}
+
+/** Dense pass over one block (baseline / pre-inference). */
+std::uint64_t
+densePass(Accounting &acc, const BlockInfo &b, const BlockGeom &g,
+          const AcceleratorConfig &cfg, std::size_t bi,
+          bool write_zero_index, bool first_pass)
+{
+    std::vector<std::uint64_t> busy(
+        b.outChannels,
+        static_cast<std::uint64_t>(b.plane()) * g.cyclesPerNeuron);
+    const std::uint64_t neurons = b.neurons();
+    std::uint64_t bytes = weightTraffic(g, cfg, first_pass) +
+                          g.inputBytes + g.outputBytes;
+    if (write_zero_index)
+        bytes += g.zeroIndexBytes;
+    return acc.addPass(bi, busy, neurons, 0,
+                       neurons * g.laneSlotsPerNeuron,
+                       neurons * g.macsPerNeuron, 0, bytes);
+}
+
+} // namespace
+
+SimReport
+simulateBaseline(const InferenceTrace &trace,
+                 const AcceleratorConfig &cfg, const EnergyParams &energy)
+{
+    Accounting acc(trace, cfg, energy, cfg.name);
+    std::vector<BlockGeom> geoms;
+    geoms.reserve(trace.blocks.size());
+    for (const BlockInfo &b : trace.blocks)
+        geoms.push_back(geomOf(b, cfg));
+
+    for (std::size_t t = 0; t < trace.samples; ++t) {
+        for (std::size_t bi = 0; bi < trace.blocks.size(); ++bi) {
+            densePass(acc, trace.blocks[bi], geoms[bi], cfg, bi, false,
+                      t == 0);
+        }
+    }
+    return acc.finish(0, false);
+}
+
+SimReport
+simulateFastBcnn(const InferenceTrace &trace,
+                 const AcceleratorConfig &cfg, const SimOptions &opts)
+{
+    if (opts.mode == SkipMode::None)
+        return simulateBaseline(trace, cfg, opts.energy);
+    const bool uses_prediction = opts.mode == SkipMode::Full ||
+                                 opts.mode == SkipMode::UnaffectedOnly;
+
+    Accounting acc(trace, cfg, opts.energy, cfg.name);
+    std::vector<BlockGeom> geoms;
+    geoms.reserve(trace.blocks.size());
+    for (const BlockInfo &b : trace.blocks)
+        geoms.push_back(geomOf(b, cfg));
+
+    // Pre-inference: dense, writes the zero index off-chip.
+    std::uint64_t pre_cycles = 0;
+    for (std::size_t bi = 0; bi < trace.blocks.size(); ++bi) {
+        pre_cycles += densePass(acc, trace.blocks[bi], geoms[bi], cfg,
+                                bi, true, true);
+    }
+
+    // Aggregate sync bookkeeping (SyncModel::Aggregate): prediction
+    // backlog vs conv progress, carried across samples because dropout
+    // bits are input-independent and can be generated ahead of time.
+    std::uint64_t pred_backlog = 0, conv_progress = pre_cycles;
+
+    for (const SampleTrace &sample : trace.perSample) {
+        std::uint64_t prev_latency = 0;
+
+        for (std::size_t bi = 0; bi < trace.blocks.size(); ++bi) {
+            const BlockInfo &b = trace.blocks[bi];
+            const BlockGeom &g = geoms[bi];
+            const BlockSampleTrace &bst = sample.blocks[bi];
+
+            // Prediction work for this block overlapped the previous
+            // block's convolution (Eq. 8); the first block needs no
+            // prediction thanks to the shortcut / full compute.
+            std::uint64_t stall = 0;
+            std::uint64_t pred = 0;
+            if (uses_prediction && bi > 0) {
+                pred = predictionCycles(b, cfg);
+                acc.addPredictionWork(b, pred);
+                if (opts.sync == SyncModel::Pairwise) {
+                    stall = pred > prev_latency ? pred - prev_latency
+                                                : 0;
+                } else {
+                    pred_backlog += pred;
+                    if (pred_backlog > conv_progress) {
+                        stall = pred_backlog - conv_progress;
+                        conv_progress = pred_backlog;
+                    }
+                }
+            }
+
+            if (bi == 0 && opts.firstLayerShortcut) {
+                // Layer-1 shortcut: reuse pre-inference outputs, one
+                // cycle per neuron (read, mask-multiply, write).  The
+                // stored outputs stay in the input buffer across
+                // samples when they fit; otherwise each sample
+                // re-reads them from DRAM.
+                std::vector<std::uint64_t> busy(
+                    b.outChannels,
+                    static_cast<std::uint64_t>(b.plane()));
+                const bool resident =
+                    g.outputBytes <= cfg.weightBufferBytes;
+                const bool first = &sample == &trace.perSample[0];
+                const std::uint64_t bytes =
+                    g.outputBytes +
+                    ((first || !resident) ? g.outputBytes : 0);
+                prev_latency = acc.addPass(
+                    bi, busy, 0, b.neurons(), 0, 0, stall, bytes);
+                conv_progress += prev_latency;
+                continue;
+            }
+
+            std::vector<std::uint64_t> busy(b.outChannels, 0);
+            std::uint64_t computed = 0, skipped = 0;
+            for (std::size_t m = 0; m < b.outChannels; ++m) {
+                std::uint32_t sk = 0;
+                switch (opts.mode) {
+                  case SkipMode::DroppedOnly:
+                    sk = bst.dropped[m];
+                    break;
+                  case SkipMode::UnaffectedOnly:
+                    sk = bst.predicted[m];
+                    break;
+                  case SkipMode::Full:
+                    sk = bst.skipped[m];
+                    break;
+                  case SkipMode::None:
+                    break;
+                }
+                const std::uint64_t comp = b.plane() - sk;
+                busy[m] = comp * g.cyclesPerNeuron + sk;
+                computed += comp;
+                skipped += sk;
+            }
+            std::uint64_t bytes = weightTraffic(g, cfg, false) +
+                                  g.inputBytes + g.outputBytes;
+            if (uses_prediction)
+                bytes += g.zeroIndexBytes;
+            prev_latency = acc.addPass(
+                bi, busy, computed, skipped,
+                computed * g.laneSlotsPerNeuron,
+                computed * g.macsPerNeuron, stall, bytes);
+            conv_progress += prev_latency;
+        }
+    }
+    return acc.finish(pre_cycles, uses_prediction);
+}
+
+SimReport
+simulateCnvlutin(const InferenceTrace &trace,
+                 const AcceleratorConfig &cfg, const EnergyParams &energy)
+{
+    // Locate the precomputed ceil-sum column for this T_n.
+    std::size_t tn_idx = traceTnValues.size();
+    for (std::size_t i = 0; i < traceTnValues.size(); ++i) {
+        if (traceTnValues[i] == cfg.tn)
+            tn_idx = i;
+    }
+    if (tn_idx == traceTnValues.size()) {
+        fatal("trace has no Cnvlutin work sums for T_n = %zu "
+              "(available: 4, 8, 16, 32)", cfg.tn);
+    }
+
+    Accounting acc(trace, cfg, energy, cfg.name);
+    std::vector<BlockGeom> geoms;
+    geoms.reserve(trace.blocks.size());
+    for (const BlockInfo &b : trace.blocks)
+        geoms.push_back(geomOf(b, cfg));
+
+    for (const SampleTrace &sample : trace.perSample) {
+        for (std::size_t bi = 0; bi < trace.blocks.size(); ++bi) {
+            const BlockInfo &b = trace.blocks[bi];
+            const BlockGeom &g = geoms[bi];
+            const std::uint64_t per_channel =
+                sample.blocks[bi].cnvLaneCyclesPerChannel[tn_idx];
+            std::vector<std::uint64_t> busy(b.outChannels, per_channel);
+            const std::uint64_t neurons = b.neurons();
+            // All neurons are produced; the issued multiplications are
+            // the nonzero-input products (idle lane slots are gated).
+            const std::uint64_t lane_slots =
+                sample.blocks[bi].cnvMacsPerChannel * b.outChannels;
+            const std::uint64_t bytes =
+                weightTraffic(g, cfg, &sample == &trace.perSample[0]) +
+                g.inputBytes + g.outputBytes;
+            acc.addPass(bi, busy, neurons, 0, lane_slots,
+                        lane_slots, 0, bytes);
+        }
+    }
+    return acc.finish(0, false);
+}
+
+SimReport
+simulateIdeal(const InferenceTrace &trace, const AcceleratorConfig &cfg,
+              const SimOptions &opts)
+{
+    Accounting acc(trace, cfg, opts.energy, "Ideal");
+    std::vector<BlockGeom> geoms;
+    geoms.reserve(trace.blocks.size());
+    for (const BlockInfo &b : trace.blocks)
+        geoms.push_back(geomOf(b, cfg));
+
+    // Ideal pre-inference: perfectly balanced dense pass.
+    std::uint64_t pre_cycles = 0;
+    for (std::size_t bi = 0; bi < trace.blocks.size(); ++bi) {
+        const BlockInfo &b = trace.blocks[bi];
+        const BlockGeom &g = geoms[bi];
+        const std::uint64_t work = b.neurons() * g.cyclesPerNeuron;
+        std::vector<std::uint64_t> busy(
+            cfg.tm, ceilDiv(work, static_cast<std::uint64_t>(cfg.tm)));
+        pre_cycles += acc.addPass(
+            bi, busy, b.neurons(), 0,
+            b.neurons() * g.laneSlotsPerNeuron,
+            b.neurons() * g.macsPerNeuron, 0,
+            g.weightBytes + g.inputBytes + g.outputBytes +
+                g.zeroIndexBytes);
+    }
+
+    for (const SampleTrace &sample : trace.perSample) {
+        for (std::size_t bi = 0; bi < trace.blocks.size(); ++bi) {
+            const BlockInfo &b = trace.blocks[bi];
+            const BlockGeom &g = geoms[bi];
+            if (bi == 0 && opts.firstLayerShortcut) {
+                std::vector<std::uint64_t> busy(
+                    cfg.tm, ceilDiv(b.neurons(),
+                                    static_cast<std::uint64_t>(cfg.tm)));
+                const bool first = &sample == &trace.perSample[0];
+                const bool resident =
+                    g.outputBytes <= cfg.weightBufferBytes;
+                acc.addPass(bi, busy, 0, b.neurons(), 0, 0, 0,
+                            g.outputBytes +
+                                ((first || !resident) ? g.outputBytes
+                                                      : 0));
+                continue;
+            }
+            const std::uint64_t skipped =
+                sample.blocks[bi].totalSkipped();
+            const std::uint64_t computed = b.neurons() - skipped;
+            const std::uint64_t work = computed * g.cyclesPerNeuron;
+            std::vector<std::uint64_t> busy(
+                cfg.tm, ceilDiv(work, static_cast<std::uint64_t>(cfg.tm)));
+            acc.addPass(bi, busy, computed, skipped,
+                        computed * g.laneSlotsPerNeuron,
+                        computed * g.macsPerNeuron, 0,
+                        weightTraffic(g, cfg, false) + g.inputBytes +
+                            g.outputBytes);
+        }
+    }
+    return acc.finish(pre_cycles, false);
+}
+
+} // namespace fastbcnn

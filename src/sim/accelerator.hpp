@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace-driven cycle and energy models of the four accelerators the
+ * paper evaluates: the skip-oblivious baseline, Fast-BCNN (with
+ * dropped-only / unaffected-only ablation modes), a Cnvlutin-style
+ * zero-input skipper, and the ideal (perfectly balanced, zero
+ * overhead) bound.  See DESIGN.md §5 for the cycle-accounting rules.
+ */
+
+#ifndef FASTBCNN_SIM_ACCELERATOR_HPP
+#define FASTBCNN_SIM_ACCELERATOR_HPP
+
+#include "config.hpp"
+#include "report.hpp"
+#include "trace/trace.hpp"
+
+namespace fastbcnn {
+
+/** Which neuron classes the skip engine elides (Fig. 11 ablation). */
+enum class SkipMode {
+    None,            ///< baseline behaviour
+    DroppedOnly,     ///< FB-d: dropout bits only, prediction off
+    UnaffectedOnly,  ///< FB-u: prediction bits only
+    Full             ///< dropped OR predicted (Fast-BCNN proper)
+};
+
+/** How prediction-unit latency interacts with convolution (Eq. 8). */
+enum class SyncModel {
+    /**
+     * Prediction for block l+1 overlaps only block l's convolution —
+     * the strictest reading of Eq. 8, used by the sync-sizing
+     * ablation bench to expose undersized counting-lane arrays.
+     */
+    Pairwise,
+    /**
+     * Prediction is throughput-bound over the whole run: dropout bits
+     * are input-independent (the BRNG can run ahead), so the counting
+     * lanes stall convolution only when their cumulative backlog
+     * exceeds the convolution time available so far — the behaviour
+     * the paper's Eq. 9 sizing is designed to guarantee.  Default.
+     */
+    Aggregate
+};
+
+/** Fast-BCNN simulation options. */
+struct SimOptions {
+    SkipMode mode = SkipMode::Full;
+    SyncModel sync = SyncModel::Aggregate;
+    /** Reuse pre-inference layer-1 outputs in samples >= 2 (§V-B1). */
+    bool firstLayerShortcut = true;
+    EnergyParams energy;
+};
+
+/**
+ * Simulate the skip-oblivious baseline CNN accelerator running the
+ * full T-sample MC-dropout workload (no pre-inference).
+ */
+SimReport simulateBaseline(const InferenceTrace &trace,
+                           const AcceleratorConfig &cfg,
+                           const EnergyParams &energy = {});
+
+/**
+ * Simulate Fast-BCNN: the pre-inference plus T skipping samples.
+ * The mode selects the Fig. 11 ablation variant.
+ */
+SimReport simulateFastBcnn(const InferenceTrace &trace,
+                           const AcceleratorConfig &cfg,
+                           const SimOptions &opts = {});
+
+/**
+ * Simulate a Cnvlutin-style accelerator: every output neuron is
+ * computed, but multiplications with a zero input are elided
+ * (ceil(nnz/T_n) cycles per neuron); the first layer is not skipped.
+ */
+SimReport simulateCnvlutin(const InferenceTrace &trace,
+                           const AcceleratorConfig &cfg,
+                           const EnergyParams &energy = {});
+
+/**
+ * Simulate the ideal bound: Fast-BCNN's computation savings with
+ * perfect PE load balance and zero skip/prediction overhead.
+ */
+SimReport simulateIdeal(const InferenceTrace &trace,
+                        const AcceleratorConfig &cfg,
+                        const SimOptions &opts = {});
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_SIM_ACCELERATOR_HPP

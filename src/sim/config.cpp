@@ -1,0 +1,63 @@
+#include "config.hpp"
+
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace fastbcnn {
+
+AcceleratorConfig
+fastBcnnConfig(std::size_t tm)
+{
+    if (tm == 0 || 256 % tm != 0)
+        fatal("T_m must divide the 256-MAC budget (got %zu)", tm);
+    AcceleratorConfig cfg;
+    cfg.name = format("Fast-BCNN%zu", tm);
+    cfg.tm = tm;
+    cfg.tn = 256 / tm;
+    cfg.countingLanes = std::max<std::size_t>(1, 1024 / tm);
+    return cfg;
+}
+
+AcceleratorConfig
+baselineConfig()
+{
+    AcceleratorConfig cfg = fastBcnnConfig(64);
+    cfg.name = "Baseline";
+    cfg.countingLanes = 0;  // no prediction hardware
+    return cfg;
+}
+
+AcceleratorConfig
+cnvlutinConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "Cnvlutin";
+    cfg.tm = 64;  // 8x8 sub-units
+    cfg.tn = 4;   // 4 synapse lanes each
+    cfg.countingLanes = 0;
+    return cfg;
+}
+
+std::vector<AcceleratorConfig>
+designSpace()
+{
+    return {fastBcnnConfig(8), fastBcnnConfig(16), fastBcnnConfig(32),
+            fastBcnnConfig(64)};
+}
+
+double
+minCountingLanes(std::size_t k_next, std::size_t m_next,
+                 std::size_t r_next, std::size_t c_next, std::size_t k,
+                 std::size_t n, std::size_t r, std::size_t c,
+                 std::size_t tn, double skip_rate)
+{
+    FASTBCNN_ASSERT(skip_rate >= 0.0 && skip_rate < 1.0,
+                    "skip rate must be in [0, 1)");
+    const double num = static_cast<double>(k_next) * k_next * m_next *
+                       r_next * c_next;
+    const double den = static_cast<double>(k) * k * n * r * c *
+                       (1.0 - skip_rate);
+    return num / den * static_cast<double>(tn);
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Accelerator configurations — the Table I design space plus the
+ * baseline and Cnvlutin comparison points.
+ */
+
+#ifndef FASTBCNN_SIM_CONFIG_HPP
+#define FASTBCNN_SIM_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastbcnn {
+
+/**
+ * Hardware parameters of one design point.  The paper fixes the MAC
+ * budget at 256 (T_m · T_n) and varies the PE count T_m; the counting
+ * lanes T_m' scale inversely so the prediction throughput matches
+ * Eq. 9.
+ */
+struct AcceleratorConfig {
+    std::string name = "Fast-BCNN64";
+    std::size_t tm = 64;             ///< number of PEs
+    std::size_t tn = 4;              ///< multiplier lanes per PE
+    std::size_t countingLanes = 16;  ///< T_m' counting lanes per PE
+    double clockMhz = 100.0;         ///< VC709 design frequency
+    double dramBytesPerCycle = 64.0; ///< DDR3 MIG effective bandwidth
+    bool modelDram = true;           ///< include the bandwidth bound
+    /**
+     * On-chip activation/weight store used by the layer-1 shortcut:
+     * pre-inference layer-1 outputs smaller than this stay resident
+     * across samples; larger ones are re-read from DRAM per sample.
+     * (Weights themselves are streamed once per MC run regardless —
+     * the sample-batched schedule of DESIGN.md §5.)
+     */
+    std::size_t weightBufferBytes = 1u << 20;
+
+    /** @return total multiplier count (T_m · T_n). */
+    std::size_t totalMacs() const { return tm * tn; }
+};
+
+/**
+ * @return the Fast-BCNN design point with @p tm PEs (Table I):
+ * T_n = 256 / T_m and T_m' = 1024 / T_m.
+ */
+AcceleratorConfig fastBcnnConfig(std::size_t tm);
+
+/** @return the skip-oblivious baseline (same <64, 4> parallelism). */
+AcceleratorConfig baselineConfig();
+
+/**
+ * @return the Cnvlutin comparison point: the original design scaled to
+ * 8×8 sub-units with 4 synapse lanes (Section VI-A), i.e. the same
+ * 256-MAC budget as every other design point.
+ */
+AcceleratorConfig cnvlutinConfig();
+
+/** @return all four Fast-BCNN design points of Table I. */
+std::vector<AcceleratorConfig> designSpace();
+
+/**
+ * Eq. 9: the minimum counting lanes per PE, T_m' >= δ·T_n with
+ * δ = M'R'C' / (N·R·C·(1 − skip_rate)), for the worst block pair of a
+ * network geometry.  Exposed for the sync-sizing ablation bench.
+ *
+ * @param m_next, r_next, c_next, k_next next layer geometry
+ * @param n, r, c                        current layer geometry
+ * @param tn                             multiplier lanes
+ * @param skip_rate                      estimated skip rate
+ */
+double minCountingLanes(std::size_t k_next, std::size_t m_next,
+                        std::size_t r_next, std::size_t c_next,
+                        std::size_t k, std::size_t n, std::size_t r,
+                        std::size_t c, std::size_t tn,
+                        double skip_rate);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_SIM_CONFIG_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The result record every accelerator timing model produces.
+ */
+
+#ifndef FASTBCNN_SIM_REPORT_HPP
+#define FASTBCNN_SIM_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy.hpp"
+
+namespace fastbcnn {
+
+/** Per-conv-block cycle statistics, summed across samples. */
+struct LayerSimStats {
+    std::string name;
+    std::uint64_t cycles = 0;      ///< compute latency (max over PEs)
+    std::uint64_t stallCycles = 0; ///< prediction-sync stalls (Eq. 8)
+    std::uint64_t dramStall = 0;   ///< bandwidth-bound extra latency
+    std::uint64_t idleCycles = 0;  ///< Σ over PEs of (max − busy)
+    std::uint64_t busyCycles = 0;  ///< Σ over PEs of busy cycles
+};
+
+/** Complete outcome of one simulated MC-dropout execution. */
+struct SimReport {
+    std::string accelerator;       ///< config name
+    std::string model;             ///< network name
+    std::size_t samples = 0;       ///< T
+    std::uint64_t totalCycles = 0; ///< everything, incl. pre-inference
+    std::uint64_t preInferenceCycles = 0;  ///< 0 when not needed
+    double cyclesPerSample = 0.0;  ///< totalCycles / T (paper's metric)
+    double msPerSample = 0.0;      ///< at the config's clock
+    std::uint64_t macsComputed = 0;
+    std::uint64_t macsElided = 0;  ///< multiplications never issued
+    std::uint64_t neuronsSkipped = 0;
+    std::uint64_t neuronsComputed = 0;
+    std::uint64_t dramBytes = 0;
+    double peIdleFraction = 0.0;   ///< idle / (idle + busy)
+    EnergyBreakdown energy;        ///< absolute nanojoules
+    double energyPerSampleNj = 0.0;
+    std::vector<LayerSimStats> layers;
+
+    /** @return speedup of this report relative to @p base. */
+    double speedupOver(const SimReport &base) const
+    {
+        return base.cyclesPerSample / cyclesPerSample;
+    }
+
+    /** @return fractional energy reduction relative to @p base. */
+    double energyReductionOver(const SimReport &base) const
+    {
+        return 1.0 - energyPerSampleNj / base.energyPerSampleNj;
+    }
+
+    /** @return fractional cycle reduction relative to @p base. */
+    double cycleReductionOver(const SimReport &base) const
+    {
+        return 1.0 - cyclesPerSample / base.cyclesPerSample;
+    }
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_SIM_REPORT_HPP

@@ -1,0 +1,51 @@
+#include "resources.hpp"
+
+namespace fastbcnn {
+
+ResourceUsage
+ResourceReport::total() const
+{
+    return ResourceUsage{
+        convUnits.lut + predictionUnits.lut + centralPredictor.lut,
+        convUnits.ff + predictionUnits.ff + centralPredictor.ff,
+        convUnits.bram + predictionUnits.bram + centralPredictor.bram};
+}
+
+ResourceReport
+estimateResources(const AcceleratorConfig &cfg,
+                  const ResourceParams &p)
+{
+    ResourceReport r;
+
+    // Convolution units: per PE, T_n multipliers + (T_n - 1) adder
+    // tree + 1 accumulator adder + skip engine.
+    const std::uint64_t adders = cfg.tn;  // (tn - 1) tree + accumulator
+    r.convUnits.lut = cfg.tm * (cfg.tn * p.lutPerMultiplier +
+                                adders * p.lutPerAdder +
+                                p.lutSkipEngine);
+    r.convUnits.ff = cfg.tm * (cfg.tn * p.ffPerMultiplier +
+                               adders * p.ffPerAdder + p.ffSkipEngine);
+    r.convUnits.bram = cfg.tm * p.bramPerPe;
+
+    // Prediction units: counting lanes are register-level logic; the
+    // mask buffer consumes a whole BRAM despite needing only ~1 KB.
+    r.predictionUnits.lut = cfg.tm * cfg.countingLanes *
+                            p.lutPerCountingLane;
+    r.predictionUnits.ff = cfg.tm * cfg.countingLanes *
+                           p.ffPerCountingLane;
+    r.predictionUnits.bram =
+        cfg.countingLanes > 0 ? cfg.tm * p.bramMaskBuffer : 0;
+
+    // Central predictor: (T_m - 1) tree adders + per-lane comparators
+    // + control / threshold store.
+    if (cfg.countingLanes > 0) {
+        r.centralPredictor.lut = (cfg.tm - 1) * p.lutPerTreeAdder +
+                                 p.lutCentralControl;
+        r.centralPredictor.ff = (cfg.tm - 1) * p.ffPerTreeAdder +
+                                p.ffCentralControl;
+        r.centralPredictor.bram = p.bramCentral;
+    }
+    return r;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Analytic FPGA resource model (Table II substitution, DESIGN.md §2):
+ * LUT / FF / BRAM usage of the convolution units, prediction units and
+ * central predictor as a function of <T_m, T_n>, with per-primitive
+ * constants calibrated against the paper's post-synthesis numbers for
+ * the 64-PE design on a Virtex-7 VC709 (433 K LUT, 866 K FF,
+ * 1470 BRAM).
+ */
+
+#ifndef FASTBCNN_SIM_RESOURCES_HPP
+#define FASTBCNN_SIM_RESOURCES_HPP
+
+#include "config.hpp"
+
+namespace fastbcnn {
+
+/** Resource usage of one component. */
+struct ResourceUsage {
+    std::uint64_t lut = 0;
+    std::uint64_t ff = 0;
+    std::uint64_t bram = 0;  ///< 18 Kb block count
+};
+
+/** The VC709's available resources. */
+struct DeviceCapacity {
+    std::uint64_t lut = 433'200;
+    std::uint64_t ff = 866'400;
+    std::uint64_t bram = 1'470;
+};
+
+/** Per-primitive synthesis cost constants (calibrated, see file doc). */
+struct ResourceParams {
+    // Convolution unit, per PE.
+    std::uint64_t lutPerMultiplier = 700;   ///< 32-bit FP multiplier
+    std::uint64_t lutPerAdder = 350;        ///< 32-bit FP adder
+    std::uint64_t lutSkipEngine = 124;      ///< skip engine + MUX/FIFO
+    std::uint64_t ffPerMultiplier = 1000;
+    std::uint64_t ffPerAdder = 370;
+    std::uint64_t ffSkipEngine = 135;
+    std::uint64_t bramPerPe = 8;            ///< duplicated input buffer
+    // Prediction unit, per PE.
+    std::uint64_t lutPerCountingLane = 1;   ///< AND + 10-bit counter
+    std::uint64_t ffPerCountingLane = 1;
+    std::uint64_t bramMaskBuffer = 1;       ///< >= 18 Kb granularity
+    // Central predictor (whole accelerator).
+    std::uint64_t lutPerTreeAdder = 120;    ///< 10-bit add + compare
+    std::uint64_t ffPerTreeAdder = 120;
+    std::uint64_t lutCentralControl = 2686;
+    std::uint64_t ffCentralControl = 2686;
+    std::uint64_t bramCentral = 2;
+};
+
+/** Complete Table II row set for one configuration. */
+struct ResourceReport {
+    ResourceUsage convUnits;
+    ResourceUsage predictionUnits;
+    ResourceUsage centralPredictor;
+    DeviceCapacity device;
+
+    /** @return the summed usage of all components. */
+    ResourceUsage total() const;
+};
+
+/**
+ * Estimate the resource usage of a configuration.
+ *
+ * Convolution units: T_n multipliers, a (T_n − 1)-adder tree, an
+ * accumulator adder and a skip engine per PE, plus 8 BRAMs for the
+ * duplicated input buffer (the feature-map-parallelism cost, Eq. 7).
+ * Prediction units: T_m' counting lanes plus one mask-buffer BRAM per
+ * PE (1 KB needed, 18 Kb minimum granularity — the paper's note).
+ * Central predictor: a (T_m − 1)-node 10-bit adder tree, comparators
+ * and the threshold store.
+ */
+ResourceReport estimateResources(const AcceleratorConfig &cfg,
+                                 const ResourceParams &params = {});
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_SIM_RESOURCES_HPP

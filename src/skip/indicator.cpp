@@ -1,0 +1,74 @@
+#include "indicator.hpp"
+
+namespace fastbcnn {
+
+LayerIndicators::LayerIndicators(const Conv2d &conv)
+{
+    const std::size_t m_total = conv.outChannels();
+    const std::size_t n_total = conv.inChannels();
+    const std::size_t k = conv.kernelSize();
+    planes_.reserve(m_total);
+    for (std::size_t m = 0; m < m_total; ++m) {
+        BitVolume plane(n_total, k, k);
+        for (std::size_t n = 0; n < n_total; ++n) {
+            for (std::size_t i = 0; i < k; ++i) {
+                for (std::size_t j = 0; j < k; ++j) {
+                    plane.set(n, i, j,
+                              conv.weights()(m, n, i, j) <= 0.0f);
+                }
+            }
+        }
+        planes_.push_back(std::move(plane));
+    }
+}
+
+const BitVolume &
+LayerIndicators::kernel(std::size_t m) const
+{
+    FASTBCNN_ASSERT(m < planes_.size(), "kernel index out of range");
+    return planes_[m];
+}
+
+std::size_t
+LayerIndicators::negativeCount(std::size_t m) const
+{
+    return kernel(m).popcount();
+}
+
+std::size_t
+LayerIndicators::storageBits() const
+{
+    std::size_t bits = 0;
+    for (const BitVolume &p : planes_)
+        bits += p.size();
+    return bits;
+}
+
+IndicatorSet::IndicatorSet(const BcnnTopology &topo)
+{
+    for (const ConvBlock &b : topo.blocks()) {
+        const auto &conv =
+            static_cast<const Conv2d &>(topo.network().layer(b.conv));
+        byConv_.emplace(b.conv, LayerIndicators(conv));
+    }
+}
+
+const LayerIndicators &
+IndicatorSet::of(NodeId conv) const
+{
+    auto it = byConv_.find(conv);
+    if (it == byConv_.end())
+        fatal("no indicators for node %zu", conv);
+    return it->second;
+}
+
+std::size_t
+IndicatorSet::storageBits() const
+{
+    std::size_t bits = 0;
+    for (const auto &[id, ind] : byConv_)
+        bits += ind.storageBits();
+    return bits;
+}
+
+} // namespace fastbcnn

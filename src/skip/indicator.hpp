@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Weight-sign indicator bits (Section V-B2): each conv kernel's
+ * weights are compressed to one bit per weight — 1 for negative
+ * weights, 0 for positive — so the prediction unit can count dropped
+ * nw-inputs with AND gates and counters instead of arithmetic.
+ */
+
+#ifndef FASTBCNN_SKIP_INDICATOR_HPP
+#define FASTBCNN_SKIP_INDICATOR_HPP
+
+#include <map>
+#include <vector>
+
+#include "bayes/topology.hpp"
+#include "common/bitvolume.hpp"
+
+namespace fastbcnn {
+
+/**
+ * Indicator planes for one conv layer: for each output kernel m a
+ * BitVolume of shape (N, K, K) where bit (n, i, j) is set when weight
+ * w(m, n, i, j) <= 0 (Algorithm 1 line 4, "Idx_n").
+ */
+class LayerIndicators
+{
+  public:
+    /** Build from a conv layer's current weights. */
+    explicit LayerIndicators(const Conv2d &conv);
+
+    /** @return indicator planes of kernel @p m. */
+    const BitVolume &kernel(std::size_t m) const;
+
+    /** @return number of kernels (output channels). */
+    std::size_t kernels() const { return planes_.size(); }
+
+    /** @return count of negative weights in kernel @p m. */
+    std::size_t negativeCount(std::size_t m) const;
+
+    /** @return total indicator storage in bits (hardware mini-buffer). */
+    std::size_t storageBits() const;
+
+  private:
+    std::vector<BitVolume> planes_;
+};
+
+/** Indicator sets of every conv block of a network, keyed by conv node. */
+class IndicatorSet
+{
+  public:
+    /** Profile every conv block of @p topo (the "Preparation" stage). */
+    explicit IndicatorSet(const BcnnTopology &topo);
+
+    /** @return indicators of the conv at node @p conv. */
+    const LayerIndicators &of(NodeId conv) const;
+
+    /** @return total storage in bits across all layers. */
+    std::size_t storageBits() const;
+
+  private:
+    std::map<NodeId, LayerIndicators> byConv_;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_SKIP_INDICATOR_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Mask pooling and effective-input-mask resolution.
+ *
+ * The hardware's mask pooling unit (Section V-B2) converts the dropout
+ * mask of a pre-pool feature map into the mask seen by the next conv
+ * layer: a pooled position counts as dropped only when *all* bits in
+ * its window are dropped, because max pooling forwards any non-dropped
+ * non-zero value.
+ */
+
+#ifndef FASTBCNN_SKIP_MASK_POOLING_HPP
+#define FASTBCNN_SKIP_MASK_POOLING_HPP
+
+#include "bayes/hooks.hpp"
+#include "bayes/topology.hpp"
+#include "common/bitvolume.hpp"
+
+namespace fastbcnn {
+
+/**
+ * Pool a dropout mask through a window of @p kernel/@p stride/@p pad.
+ * Out-of-range (zero-padding) positions count as dropped: a constant
+ * zero can never contribute a non-zero pooled value.
+ */
+BitVolume maskPool(const BitVolume &mask, std::size_t kernel,
+                   std::size_t stride, std::size_t pad);
+
+/**
+ * Resolve the dropout mask a given network node's *output* carries,
+ * i.e. which positions of that activation are guaranteed-zero due to
+ * dropout.  Dropout nodes introduce their recorded mask; pooling
+ * applies maskPool(); Concat concatenates; shape-preserving layers
+ * (ReLU, LRN) pass through; anything that mixes values (Conv, Linear,
+ * input) yields an all-zero mask.
+ *
+ * @param topo  analysed network
+ * @param id    node whose output mask is wanted (inputNode allowed)
+ * @param masks this sample's recorded masks; dropout layers missing
+ *              from the set contribute all-zero masks (pre-inference)
+ */
+BitVolume maskAtNode(const BcnnTopology &topo, NodeId id,
+                     const MaskSet &masks);
+
+/**
+ * The mask the accelerator's prediction unit sees at the *input* of a
+ * conv block: maskAtNode() of the conv's producer.
+ */
+BitVolume effectiveInputMask(const BcnnTopology &topo, NodeId conv,
+                             const MaskSet &masks);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_SKIP_MASK_POOLING_HPP

@@ -1,0 +1,100 @@
+#include "nw_counter.hpp"
+
+namespace fastbcnn {
+
+CountVolume::CountVolume(std::size_t channels, std::size_t height,
+                         std::size_t width)
+    : channels_(channels), height_(height), width_(width),
+      data_(channels * height * width, 0)
+{
+}
+
+std::uint16_t &
+CountVolume::at(std::size_t c, std::size_t r, std::size_t col)
+{
+    FASTBCNN_ASSERT(c < channels_ && r < height_ && col < width_,
+                    "CountVolume index out of range");
+    return data_[(c * height_ + r) * width_ + col];
+}
+
+std::uint16_t
+CountVolume::at(std::size_t c, std::size_t r, std::size_t col) const
+{
+    FASTBCNN_ASSERT(c < channels_ && r < height_ && col < width_,
+                    "CountVolume index out of range");
+    return data_[(c * height_ + r) * width_ + col];
+}
+
+std::uint16_t
+CountVolume::atFlat(std::size_t i) const
+{
+    FASTBCNN_ASSERT(i < data_.size(), "CountVolume flat index range");
+    return data_[i];
+}
+
+std::uint16_t
+CountVolume::maxValue() const
+{
+    std::uint16_t m = 0;
+    for (std::uint16_t v : data_)
+        m = std::max(m, v);
+    return m;
+}
+
+CountVolume
+countDroppedNwInputs(const Conv2d &conv, const BitVolume &input_mask,
+                     const LayerIndicators &indicators)
+{
+    FASTBCNN_ASSERT(input_mask.channels() == conv.inChannels(),
+                    "input mask channel mismatch");
+    const std::size_t k = conv.kernelSize();
+    const std::size_t s = conv.stride();
+    const std::size_t p = conv.padding();
+    const std::size_t in_h = input_mask.height();
+    const std::size_t in_w = input_mask.width();
+    const std::size_t out_h = (in_h + 2 * p - k) / s + 1;
+    const std::size_t out_w = (in_w + 2 * p - k) / s + 1;
+
+    CountVolume counts(conv.outChannels(), out_h, out_w);
+    for (std::size_t m = 0; m < conv.outChannels(); ++m) {
+        const BitVolume &ind = indicators.kernel(m);
+        for (std::size_t r = 0; r < out_h; ++r) {
+            for (std::size_t c = 0; c < out_w; ++c) {
+                std::uint32_t n_d = 0;
+                for (std::size_t n = 0; n < conv.inChannels(); ++n) {
+                    for (std::size_t i = 0; i < k; ++i) {
+                        const std::ptrdiff_t in_r =
+                            static_cast<std::ptrdiff_t>(r * s + i) -
+                            static_cast<std::ptrdiff_t>(p);
+                        if (in_r < 0 ||
+                            in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                            continue;
+                        }
+                        for (std::size_t j = 0; j < k; ++j) {
+                            const std::ptrdiff_t in_c =
+                                static_cast<std::ptrdiff_t>(c * s + j) -
+                                static_cast<std::ptrdiff_t>(p);
+                            if (in_c < 0 ||
+                                in_c >=
+                                    static_cast<std::ptrdiff_t>(in_w)) {
+                                continue;
+                            }
+                            if (input_mask.get(
+                                    n, static_cast<std::size_t>(in_r),
+                                    static_cast<std::size_t>(in_c)) &&
+                                ind.get(n, i, j)) {
+                                ++n_d;
+                            }
+                        }
+                    }
+                }
+                counts.at(m, r, c) =
+                    static_cast<std::uint16_t>(std::min<std::uint32_t>(
+                        n_d, 0xffffu));
+            }
+        }
+    }
+    return counts;
+}
+
+} // namespace fastbcnn

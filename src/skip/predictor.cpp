@@ -1,0 +1,73 @@
+#include "predictor.hpp"
+
+#include "bayes/hooks.hpp"
+
+namespace fastbcnn {
+
+ZeroMaps
+computeZeroMaps(const BcnnTopology &topo, const Tensor &input)
+{
+    // Capture every ReLU output of the non-dropout pre-inference.
+    CaptureHooks capture(nullptr,
+                         [](const std::string &, LayerKind k) {
+                             return k == LayerKind::ReLU;
+                         });
+    topo.network().forward(input, &capture);
+
+    ZeroMaps maps;
+    for (const ConvBlock &b : topo.blocks()) {
+        const Tensor &relu_out =
+            capture.activation(topo.network().layer(b.relu).name());
+        const Shape &s = relu_out.shape();
+        BitVolume zero(s.dim(0), s.dim(1), s.dim(2));
+        for (std::size_t i = 0; i < relu_out.numel(); ++i)
+            zero.setFlat(i, relu_out.at(i) == 0.0f);
+        maps.emplace(b.conv, std::move(zero));
+    }
+    return maps;
+}
+
+BitVolume
+predictUnaffected(const BitVolume &zero_map, const CountVolume &counts,
+                  const ThresholdSet &thresholds, NodeId conv)
+{
+    FASTBCNN_ASSERT(zero_map.channels() == counts.channels() &&
+                    zero_map.height() == counts.height() &&
+                    zero_map.width() == counts.width(),
+                    "zero map / count volume shape mismatch");
+    BitVolume predicted(counts.channels(), counts.height(),
+                        counts.width());
+    for (std::size_t m = 0; m < counts.channels(); ++m) {
+        const int alpha = thresholds.of(conv, m);
+        for (std::size_t r = 0; r < counts.height(); ++r) {
+            for (std::size_t c = 0; c < counts.width(); ++c) {
+                // Only zero neurons can be predicted unaffected
+                // (the AND with the zero indexer in Section V-C).
+                if (zero_map.get(m, r, c) &&
+                    static_cast<int>(counts.at(m, r, c)) < alpha) {
+                    predicted.set(m, r, c, true);
+                }
+            }
+        }
+    }
+    return predicted;
+}
+
+BitVolume
+actualUnaffected(const BitVolume &zero_map, const Tensor &true_output)
+{
+    FASTBCNN_ASSERT(true_output.shape().rank() == 3,
+                    "conv output must be CHW");
+    FASTBCNN_ASSERT(zero_map.size() == true_output.numel(),
+                    "zero map / output shape mismatch");
+    BitVolume unaffected(zero_map.channels(), zero_map.height(),
+                         zero_map.width());
+    for (std::size_t i = 0; i < true_output.numel(); ++i) {
+        // Post-ReLU zero <=> pre-activation <= 0.
+        if (zero_map.getFlat(i) && true_output.at(i) <= 0.0f)
+            unaffected.setFlat(i, true);
+    }
+    return unaffected;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,133 @@
+#include "tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.hpp"
+
+namespace fastbcnn {
+
+std::size_t
+Shape::numel() const
+{
+    std::size_t n = 1;
+    for (std::size_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+Shape::toString() const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        out += std::to_string(dims_[i]);
+        if (i + 1 < dims_.size())
+            out += ", ";
+    }
+    out += "]";
+    return out;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_.numel(), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    FASTBCNN_ASSERT(data_.size() == shape_.numel(),
+                    "tensor data size does not match shape");
+}
+
+std::size_t
+Tensor::index3(std::size_t c, std::size_t h, std::size_t w) const
+{
+    FASTBCNN_ASSERT(shape_.rank() == 3, "rank-3 access on non-3D tensor");
+    FASTBCNN_ASSERT(c < shape_.dim(0) && h < shape_.dim(1) &&
+                    w < shape_.dim(2), "CHW index out of range");
+    return (c * shape_.dim(1) + h) * shape_.dim(2) + w;
+}
+
+std::size_t
+Tensor::index4(std::size_t m, std::size_t c, std::size_t i,
+               std::size_t j) const
+{
+    FASTBCNN_ASSERT(shape_.rank() == 4, "rank-4 access on non-4D tensor");
+    FASTBCNN_ASSERT(m < shape_.dim(0) && c < shape_.dim(1) &&
+                    i < shape_.dim(2) && j < shape_.dim(3),
+                    "MCKK index out of range");
+    return ((m * shape_.dim(1) + c) * shape_.dim(2) + i) * shape_.dim(3)
+           + j;
+}
+
+float &
+Tensor::operator()(std::size_t c, std::size_t h, std::size_t w)
+{
+    return data_[index3(c, h, w)];
+}
+
+float
+Tensor::operator()(std::size_t c, std::size_t h, std::size_t w) const
+{
+    return data_[index3(c, h, w)];
+}
+
+float &
+Tensor::operator()(std::size_t m, std::size_t c, std::size_t i,
+                   std::size_t j)
+{
+    return data_[index4(m, c, i, j)];
+}
+
+float
+Tensor::operator()(std::size_t m, std::size_t c, std::size_t i,
+                   std::size_t j) const
+{
+    return data_[index4(m, c, i, j)];
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+std::size_t
+Tensor::zeroCount() const
+{
+    std::size_t n = 0;
+    for (float v : data_)
+        n += (v == 0.0f) ? 1 : 0;
+    return n;
+}
+
+double
+Tensor::sum() const
+{
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+float
+Tensor::maxAbs() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+bool
+Tensor::allClose(const Tensor &other, float tol) const
+{
+    if (!(shape_ == other.shape_))
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (!nearlyEqual(data_[i], other.data_[i], tol))
+            return false;
+    }
+    return true;
+}
+
+} // namespace fastbcnn

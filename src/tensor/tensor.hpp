@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A minimal dense float tensor used by the functional NN library.
+ *
+ * Feature maps are stored CHW (channel, row, column); batches are
+ * handled one image at a time because the accelerator processes single
+ * inputs (MC-dropout repeats one input T times, Section II-B).
+ */
+
+#ifndef FASTBCNN_TENSOR_TENSOR_HPP
+#define FASTBCNN_TENSOR_TENSOR_HPP
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace fastbcnn {
+
+/**
+ * An N-dimensional extent (N <= 4 in practice: kernels are MCKK,
+ * feature maps CHW, logits C).
+ */
+class Shape
+{
+  public:
+    /** Construct an empty (rank-0) shape. */
+    Shape() = default;
+
+    /** Construct from a dimension list, e.g. Shape({16, 28, 28}). */
+    Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+
+    /** Construct from a vector of dimensions. */
+    explicit Shape(std::vector<std::size_t> dims)
+        : dims_(std::move(dims)) {}
+
+    /** @return number of dimensions. */
+    std::size_t rank() const { return dims_.size(); }
+
+    /** @return extent of dimension @p i. */
+    std::size_t dim(std::size_t i) const
+    {
+        FASTBCNN_ASSERT(i < dims_.size(), "shape dim out of range");
+        return dims_[i];
+    }
+
+    /** @return product of all extents (1 for rank-0). */
+    std::size_t numel() const;
+
+    /** @return true when ranks and all extents match. */
+    bool operator==(const Shape &other) const
+    {
+        return dims_ == other.dims_;
+    }
+
+    /** @return "[a, b, c]" rendering for diagnostics. */
+    std::string toString() const;
+
+    /** @return read-only view of the extents. */
+    std::span<const std::size_t> dims() const { return dims_; }
+
+  private:
+    std::vector<std::size_t> dims_;
+};
+
+/**
+ * A dense row-major float tensor.
+ *
+ * Value semantics (copyable, movable).  Indexing helpers are provided
+ * for the ranks the library uses; all are bounds-checked through
+ * FASTBCNN_ASSERT because the functional model is the accuracy
+ * reference for every experiment.
+ */
+class Tensor
+{
+  public:
+    /** Construct an empty tensor. */
+    Tensor() = default;
+
+    /** Construct a zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Construct from shape and explicit data (sizes must agree). */
+    Tensor(Shape shape, std::vector<float> data);
+
+    /** @return the tensor's shape. */
+    const Shape &shape() const { return shape_; }
+
+    /** @return total element count. */
+    std::size_t numel() const { return data_.size(); }
+
+    /** @return true when the tensor holds no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** Flat element access. */
+    float &at(std::size_t i)
+    {
+        FASTBCNN_ASSERT(i < data_.size(), "flat index out of range");
+        return data_[i];
+    }
+    /** Flat element access (const). */
+    float at(std::size_t i) const
+    {
+        FASTBCNN_ASSERT(i < data_.size(), "flat index out of range");
+        return data_[i];
+    }
+
+    /** Rank-1 access. */
+    float &operator()(std::size_t i) { return at(i); }
+    /** Rank-1 access (const). */
+    float operator()(std::size_t i) const { return at(i); }
+
+    /** Rank-3 (CHW) access. */
+    float &operator()(std::size_t c, std::size_t h, std::size_t w);
+    /** Rank-3 (CHW) access (const). */
+    float operator()(std::size_t c, std::size_t h, std::size_t w) const;
+
+    /** Rank-4 (MCKK kernel) access. */
+    float &operator()(std::size_t m, std::size_t c, std::size_t i,
+                      std::size_t j);
+    /** Rank-4 (MCKK kernel) access (const). */
+    float operator()(std::size_t m, std::size_t c, std::size_t i,
+                     std::size_t j) const;
+
+    /** @return mutable view of the underlying storage. */
+    std::span<float> data() { return data_; }
+    /** @return read-only view of the underlying storage. */
+    std::span<const float> data() const { return data_; }
+
+    /** Set every element to @p value. */
+    void fill(float value);
+
+    /** @return number of elements equal to zero. */
+    std::size_t zeroCount() const;
+
+    /** @return sum of all elements. */
+    double sum() const;
+
+    /** @return largest absolute element (0 for empty). */
+    float maxAbs() const;
+
+    /**
+     * @return true when shapes match and every element pair satisfies
+     * nearlyEqual(a, b, tol).
+     */
+    bool allClose(const Tensor &other, float tol = 1e-5f) const;
+
+  private:
+    std::size_t index3(std::size_t c, std::size_t h, std::size_t w) const;
+    std::size_t index4(std::size_t m, std::size_t c, std::size_t i,
+                       std::size_t j) const;
+
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_TENSOR_TENSOR_HPP

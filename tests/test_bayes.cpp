@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the Bayesian layer: hooks, uncertainty statistics,
+ * topology analysis and the MC-dropout runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bayes/mc_runner.hpp"
+#include "bayes/topology.hpp"
+#include "models/zoo.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+
+using namespace fastbcnn;
+
+namespace {
+
+Network
+tinyBcnn(double drop_rate = 0.3)
+{
+    Network net("tiny", Shape({1, 6, 6}));
+    net.add(std::make_unique<Conv2d>("c1", 1, 2, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("r1"));
+    net.add(std::make_unique<Dropout>("d1", drop_rate));
+    net.add(std::make_unique<Conv2d>("c2", 2, 3, 3));
+    net.add(std::make_unique<ReLU>("r2"));
+    net.add(std::make_unique<Dropout>("d2", drop_rate));
+    InitOptions init;
+    init.seed = 3;
+    init.biasShift = 0.0;  // ~50 % zeros; a large shift deadens the net
+    initializeWeights(net, init);
+    return net;
+}
+
+Tensor
+ones(const Shape &s)
+{
+    Tensor t(s);
+    t.fill(1.0f);
+    return t;
+}
+
+} // namespace
+
+TEST(SamplingHooks, DisabledReturnsNull)
+{
+    SoftwareBrng brng(0.3);
+    SamplingHooks hooks(brng, false);
+    EXPECT_EQ(hooks.dropoutMask("d", Shape({1, 2, 2})), nullptr);
+    EXPECT_TRUE(hooks.masks().empty());
+}
+
+TEST(SamplingHooks, GeneratesAndRecords)
+{
+    SoftwareBrng brng(0.5, 7);
+    SamplingHooks hooks(brng, true);
+    const BitVolume *m = hooks.dropoutMask("d", Shape({2, 4, 4}));
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->size(), 32u);
+    EXPECT_EQ(hooks.masks().count("d"), 1u);
+    EXPECT_TRUE(hooks.masks().at("d") == *m);
+}
+
+TEST(SamplingHooks, DeterministicForSeed)
+{
+    SoftwareBrng a(0.5, 7), b(0.5, 7);
+    SamplingHooks ha(a), hb(b);
+    const BitVolume *ma = ha.dropoutMask("d", Shape({1, 8, 8}));
+    const BitVolume *mb = hb.dropoutMask("d", Shape({1, 8, 8}));
+    EXPECT_TRUE(*ma == *mb);
+}
+
+TEST(ReplayHooks, ReplaysRecordedMask)
+{
+    MaskSet masks;
+    masks.emplace("d", BitVolume(1, 2, 2));
+    masks.at("d").set(0, 1, 1, true);
+    ReplayHooks replay(masks);
+    const BitVolume *m = replay.dropoutMask("d", Shape({1, 2, 2}));
+    ASSERT_NE(m, nullptr);
+    EXPECT_TRUE(m->get(0, 1, 1));
+    EXPECT_EQ(replay.dropoutMask("other", Shape({1, 2, 2})), nullptr);
+}
+
+TEST(ReplayHooks, ReproducesForwardExactly)
+{
+    Network net = tinyBcnn();
+    Tensor in = ones(Shape({1, 6, 6}));
+    SoftwareBrng brng(0.4, 11);
+    SamplingHooks sample(brng);
+    Tensor a = net.forward(in, &sample);
+    MaskSet masks = sample.takeMasks();
+    ReplayHooks replay(masks);
+    Tensor b = net.forward(in, &replay);
+    EXPECT_TRUE(a.allClose(b, 0.0f));
+}
+
+TEST(CaptureHooks, FiltersByKind)
+{
+    Network net = tinyBcnn();
+    CaptureHooks capture(nullptr,
+                         [](const std::string &, LayerKind k) {
+                             return k == LayerKind::Conv2d;
+                         });
+    net.forward(ones(Shape({1, 6, 6})), &capture);
+    EXPECT_EQ(capture.activations().size(), 2u);
+    EXPECT_NO_FATAL_FAILURE(capture.activation("c1"));
+    EXPECT_DEATH(capture.activation("r1"), "no captured");
+}
+
+TEST(CaptureHooks, DelegatesMasks)
+{
+    SoftwareBrng brng(0.5, 3);
+    SamplingHooks inner(brng);
+    CaptureHooks capture(&inner);
+    EXPECT_NE(capture.dropoutMask("d", Shape({1, 2, 2})), nullptr);
+}
+
+TEST(Uncertainty, EntropyUniformAndDelta)
+{
+    Tensor uniform(Shape({4}), {0.25f, 0.25f, 0.25f, 0.25f});
+    EXPECT_NEAR(entropy(uniform), std::log(4.0), 1e-6);
+    Tensor delta(Shape({4}), {1.0f, 0.0f, 0.0f, 0.0f});
+    EXPECT_NEAR(entropy(delta), 0.0, 1e-9);
+}
+
+TEST(Uncertainty, SummaryMeanVariance)
+{
+    std::vector<Tensor> samples{
+        Tensor(Shape({2}), {1.0f, 0.0f}),
+        Tensor(Shape({2}), {0.0f, 1.0f}),
+    };
+    UncertaintySummary s = summarizeSamples(samples);
+    EXPECT_FLOAT_EQ(s.mean(0), 0.5f);
+    EXPECT_FLOAT_EQ(s.mean(1), 0.5f);
+    EXPECT_FLOAT_EQ(s.variance(0), 0.25f);
+    // Identical per-sample entropies (0) vs mean entropy ln 2: the
+    // disagreement is purely epistemic.
+    EXPECT_NEAR(s.mutualInformation, std::log(2.0), 1e-6);
+    EXPECT_NEAR(s.expectedEntropy, 0.0, 1e-9);
+}
+
+TEST(Uncertainty, ArgmaxTracksLargestMean)
+{
+    std::vector<Tensor> samples{Tensor(Shape({3}), {0.2f, 0.5f, 0.3f})};
+    UncertaintySummary s = summarizeSamples(samples);
+    EXPECT_EQ(s.argmax, 1u);
+    EXPECT_FLOAT_EQ(static_cast<float>(s.maxProbability), 0.5f);
+}
+
+TEST(Uncertainty, IdenticalSamplesHaveZeroMi)
+{
+    std::vector<Tensor> samples(
+        3, Tensor(Shape({2}), {0.7f, 0.3f}));
+    UncertaintySummary s = summarizeSamples(samples);
+    EXPECT_NEAR(s.mutualInformation, 0.0, 1e-6);
+    EXPECT_NEAR(s.variance(0), 0.0, 1e-9);
+}
+
+TEST(Topology, ExtractsBlocksInOrder)
+{
+    Network net = tinyBcnn();
+    BcnnTopology topo(net);
+    ASSERT_EQ(topo.blocks().size(), 2u);
+    EXPECT_EQ(net.layer(topo.blocks()[0].conv).name(), "c1");
+    EXPECT_EQ(net.layer(topo.blocks()[0].dropout).name(), "d1");
+    EXPECT_EQ(net.layer(topo.blocks()[1].conv).name(), "c2");
+    EXPECT_EQ(topo.blocks()[1].index, 1u);
+    EXPECT_TRUE(topo.blocks()[1].outShape == Shape({3, 4, 4}));
+}
+
+TEST(Topology, BlockLookups)
+{
+    Network net = tinyBcnn();
+    BcnnTopology topo(net);
+    const ConvBlock &b = topo.blockOfDropout("d2");
+    EXPECT_EQ(net.layer(b.conv).name(), "c2");
+    EXPECT_EQ(&topo.blockOfConv(b.conv), &b);
+    EXPECT_DEATH(topo.blockOfDropout("nope"), "no conv block");
+}
+
+TEST(Topology, PlainCnnFatal)
+{
+    Network net("cnn", Shape({1, 6, 6}));
+    net.add(std::make_unique<Conv2d>("c", 1, 2, 3));
+    net.add(std::make_unique<ReLU>("r"));
+    EXPECT_DEATH(BcnnTopology{net}, "no dropout");
+}
+
+TEST(Topology, ConvWithoutReluFatal)
+{
+    Network net("cnn", Shape({1, 6, 6}));
+    net.add(std::make_unique<Conv2d>("c", 1, 2, 3));
+    net.add(std::make_unique<Dropout>("d", 0.3));
+    EXPECT_DEATH(BcnnTopology{net}, "ReLU");
+}
+
+TEST(Topology, ConsumersComputed)
+{
+    Network net = tinyBcnn();
+    BcnnTopology topo(net);
+    const NodeId c1 = net.findNode("c1");
+    ASSERT_EQ(topo.consumersOf(c1).size(), 1u);
+    EXPECT_EQ(net.layer(topo.consumersOf(c1)[0]).name(), "r1");
+}
+
+TEST(McRunner, ProducesRequestedSamples)
+{
+    Network net = tinyBcnn();
+    McOptions opts;
+    opts.samples = 5;
+    opts.brng = BrngKind::Software;
+    McResult res = runMcDropout(net, ones(Shape({1, 6, 6})), opts);
+    EXPECT_EQ(res.outputs.size(), 5u);
+    EXPECT_EQ(res.masks.size(), 5u);
+    EXPECT_FALSE(res.preOutput.empty());
+    EXPECT_TRUE(res.summary.mean.shape() == res.preOutput.shape());
+}
+
+TEST(McRunner, SamplesDifferUnderDropout)
+{
+    Network net = tinyBcnn(0.5);
+    McOptions opts;
+    opts.samples = 4;
+    McResult res = runMcDropout(net, ones(Shape({1, 6, 6})), opts);
+    bool any_diff = false;
+    for (std::size_t t = 1; t < res.outputs.size(); ++t)
+        any_diff |= !res.outputs[t].allClose(res.outputs[0], 0.0f);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(McRunner, DeterministicForSeed)
+{
+    Network net = tinyBcnn();
+    McOptions opts;
+    opts.samples = 3;
+    opts.seed = 5;
+    McResult a = runMcDropout(net, ones(Shape({1, 6, 6})), opts);
+    McResult b = runMcDropout(net, ones(Shape({1, 6, 6})), opts);
+    for (std::size_t t = 0; t < 3; ++t)
+        EXPECT_TRUE(a.outputs[t].allClose(b.outputs[t], 0.0f));
+}
+
+TEST(McRunner, ZeroSamplesFatal)
+{
+    Network net = tinyBcnn();
+    McOptions opts;
+    opts.samples = 0;
+    EXPECT_DEATH(runMcDropout(net, ones(Shape({1, 6, 6})), opts),
+                 "at least one");
+}
+
+TEST(McRunner, MaskRecordingOptional)
+{
+    Network net = tinyBcnn();
+    McOptions opts;
+    opts.samples = 2;
+    opts.recordMasks = false;
+    McResult res = runMcDropout(net, ones(Shape({1, 6, 6})), opts);
+    EXPECT_TRUE(res.masks.empty());
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+
+using namespace fastbcnn;
+
+TEST(MnistLike, ShapeAndRange)
+{
+    Tensor img = makeMnistLikeImage(3, 1);
+    EXPECT_TRUE(img.shape() == Shape({1, 28, 28}));
+    for (float v : img.data()) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(MnistLike, HasForegroundAndBackground)
+{
+    Tensor img = makeMnistLikeImage(0, 4);
+    std::size_t bright = 0, dark = 0;
+    for (float v : img.data()) {
+        bright += v > 0.5f ? 1 : 0;
+        dark += v < 0.1f ? 1 : 0;
+    }
+    EXPECT_GT(bright, 10u);   // a stroke exists
+    EXPECT_GT(dark, 100u);    // a background exists
+}
+
+TEST(MnistLike, DeterministicAndSeedSensitive)
+{
+    Tensor a = makeMnistLikeImage(5, 9);
+    Tensor b = makeMnistLikeImage(5, 9);
+    Tensor c = makeMnistLikeImage(5, 10);
+    EXPECT_TRUE(a.allClose(b, 0.0f));
+    EXPECT_FALSE(a.allClose(c, 0.0f));
+}
+
+TEST(MnistLike, ClassesDiffer)
+{
+    Tensor a = makeMnistLikeImage(1, 3);
+    Tensor b = makeMnistLikeImage(8, 3);
+    EXPECT_FALSE(a.allClose(b, 0.1f));
+}
+
+TEST(CifarLike, ShapeAndStandardisation)
+{
+    Tensor img = makeCifarLikeImage(17, 2);
+    ASSERT_TRUE(img.shape() == Shape({3, 32, 32}));
+    for (std::size_t ch = 0; ch < 3; ++ch) {
+        double mean = 0.0, sq = 0.0;
+        for (std::size_t r = 0; r < 32; ++r) {
+            for (std::size_t c = 0; c < 32; ++c) {
+                mean += img(ch, r, c);
+                sq += img(ch, r, c) * img(ch, r, c);
+            }
+        }
+        mean /= 1024.0;
+        const double var = sq / 1024.0 - mean * mean;
+        EXPECT_NEAR(mean, 0.0, 1e-3);
+        EXPECT_NEAR(var, 1.0, 0.05);
+    }
+}
+
+TEST(CifarLike, Deterministic)
+{
+    EXPECT_TRUE(makeCifarLikeImage(4, 8).allClose(
+        makeCifarLikeImage(4, 8), 0.0f));
+}
+
+TEST(Dataset, LabelsCycleAndShapes)
+{
+    Dataset d = makeDataset(true, 10, 25, 1);
+    EXPECT_EQ(d.numClasses, 10u);
+    ASSERT_EQ(d.examples.size(), 25u);
+    for (std::size_t i = 0; i < d.examples.size(); ++i) {
+        EXPECT_EQ(d.examples[i].label, i % 10);
+        EXPECT_TRUE(d.examples[i].image.shape() ==
+                    Shape({1, 28, 28}));
+    }
+    Dataset c = makeDataset(false, 100, 3, 1);
+    EXPECT_TRUE(c.examples[0].image.shape() == Shape({3, 32, 32}));
+}
+
+TEST(Dataset, DistinctExamplesSameClass)
+{
+    Dataset d = makeDataset(true, 2, 4, 7);
+    // Examples 0 and 2 share a label but must differ (seed offset).
+    EXPECT_EQ(d.examples[0].label, d.examples[2].label);
+    EXPECT_FALSE(d.examples[0].image.allClose(d.examples[2].image,
+                                              0.0f));
+}
+
+TEST(Dataset, ZeroClassesPanics)
+{
+    EXPECT_DEATH(makeDataset(true, 0, 4, 1), "at least one class");
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Cross-module property tests on the real model zoo (scaled down):
+ * functional-equivalence invariants of the skipping machinery across
+ * the inception DAG, monotonicity of the predictor, and traffic
+ * accounting invariants of the timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "skip/predictive_inference.hpp"
+
+using namespace fastbcnn;
+
+namespace {
+
+/** Tiny but topology-complete model instances. */
+Network
+tinyModel(ModelKind kind)
+{
+    ModelOptions opts;
+    opts.widthMultiplier = kind == ModelKind::LeNet5 ? 0.5 : 0.1;
+    opts.numClasses = 10;
+    opts.init.seed = 21;
+    opts.init.biasShift = 0.0;
+    return buildModel(kind, opts);
+}
+
+Tensor
+inputFor(ModelKind kind)
+{
+    return kind == ModelKind::LeNet5 ? makeMnistLikeImage(4, 9)
+                                     : makeCifarLikeImage(4, 9);
+}
+
+} // namespace
+
+/** α = 0 must reproduce the exact inference on EVERY topology,
+ *  including the inception DAG's concat/pool mask plumbing. */
+class AlphaZeroExactness : public ::testing::TestWithParam<ModelKind>
+{
+};
+
+TEST_P(AlphaZeroExactness, PredictiveForwardEqualsReplay)
+{
+    const ModelKind kind = GetParam();
+    Network net = tinyModel(kind);
+    BcnnTopology topo(net);
+    IndicatorSet ind(topo);
+    const Tensor in = inputFor(kind);
+    const ZeroMaps zeros = computeZeroMaps(topo, in);
+    const ThresholdSet alpha0(topo, 0);
+
+    SoftwareBrng brng(0.3, 77);
+    SamplingHooks hooks(brng);
+    const Tensor exact = net.forward(in, &hooks);
+    const MaskSet masks = hooks.takeMasks();
+
+    const PredictiveResult res = predictiveForward(topo, ind, zeros,
+                                                   alpha0, in, masks);
+    EXPECT_EQ(res.predictedNeurons, 0u);
+    EXPECT_TRUE(res.output.allClose(exact, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelZoo, AlphaZeroExactness,
+                         ::testing::Values(ModelKind::LeNet5,
+                                           ModelKind::Vgg16,
+                                           ModelKind::GoogLeNet));
+
+/** Predicted-neuron counts are monotone non-decreasing in α. */
+class AlphaMonotonicity
+    : public ::testing::TestWithParam<std::tuple<ModelKind, int, int>>
+{
+};
+
+TEST_P(AlphaMonotonicity, MorePermissiveThresholdPredictsMore)
+{
+    const auto [kind, lo, hi] = GetParam();
+    ASSERT_LT(lo, hi);
+    Network net = tinyModel(kind);
+    BcnnTopology topo(net);
+    IndicatorSet ind(topo);
+    const Tensor in = inputFor(kind);
+    const ZeroMaps zeros = computeZeroMaps(topo, in);
+
+    SoftwareBrng brng(0.3, 31);
+    SamplingHooks hooks(brng);
+    net.forward(in, &hooks);
+    const MaskSet masks = hooks.takeMasks();
+
+    const PredictiveResult a = predictiveForward(
+        topo, ind, zeros, ThresholdSet(topo, lo), in, masks);
+    const PredictiveResult b = predictiveForward(
+        topo, ind, zeros, ThresholdSet(topo, hi), in, masks);
+    EXPECT_LE(a.predictedNeurons, b.predictedNeurons);
+    // And per block, the lo prediction set is a subset of the hi one.
+    for (const auto &[conv, pred_lo] : a.predicted) {
+        const BitVolume &pred_hi = b.predicted.at(conv);
+        for (std::size_t i = 0; i < pred_lo.size(); ++i) {
+            if (pred_lo.getFlat(i))
+                ASSERT_TRUE(pred_hi.getFlat(i));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlphaMonotonicity,
+    ::testing::Combine(::testing::Values(ModelKind::LeNet5,
+                                         ModelKind::GoogLeNet),
+                       ::testing::Values(0, 2, 8),
+                       ::testing::Values(16, 1024)));
+
+TEST(TrafficAccounting, WeightsStreamOncePerRun)
+{
+    // Baseline DRAM bytes grow per sample by inputs+outputs only; the
+    // weights are counted exactly once per run.
+    WorkloadConfig cfg;
+    cfg.kind = ModelKind::LeNet5;
+    cfg.width = 0.5;
+    cfg.samples = 4;
+    cfg.optimizerSamples = 2;
+    cfg.brng = BrngKind::Software;
+    Workload w(cfg);
+    InferenceTrace t = w.bundles()[0].trace;
+
+    const SimReport four = simulateBaseline(t, baselineConfig());
+    t.samples = 2;
+    t.perSample.resize(2);
+    const SimReport two = simulateBaseline(t, baselineConfig());
+    t.samples = 1;
+    t.perSample.resize(1);
+    const SimReport one = simulateBaseline(t, baselineConfig());
+
+    const std::uint64_t per_sample_01 = two.dramBytes - one.dramBytes;
+    const std::uint64_t per_sample_24 =
+        (four.dramBytes - two.dramBytes) / 2;
+    EXPECT_EQ(per_sample_01, per_sample_24);
+    // The first pass carries the weights on top of the steady state.
+    EXPECT_GT(one.dramBytes, per_sample_01);
+}
+
+TEST(TrafficAccounting, MsPerSampleFollowsClock)
+{
+    WorkloadConfig cfg;
+    cfg.kind = ModelKind::LeNet5;
+    cfg.width = 0.5;
+    cfg.samples = 2;
+    cfg.optimizerSamples = 2;
+    cfg.brng = BrngKind::Software;
+    Workload w(cfg);
+    const InferenceTrace &t = w.bundles()[0].trace;
+    AcceleratorConfig fast = baselineConfig();
+    fast.clockMhz = 200.0;
+    const SimReport at100 = simulateBaseline(t, baselineConfig());
+    const SimReport at200 = simulateBaseline(t, fast);
+    EXPECT_EQ(at100.totalCycles, at200.totalCycles);
+    EXPECT_NEAR(at100.msPerSample, 2.0 * at200.msPerSample, 1e-12);
+}
+
+TEST(TrafficAccounting, EnergyScalesWithSamples)
+{
+    WorkloadConfig cfg;
+    cfg.kind = ModelKind::LeNet5;
+    cfg.width = 0.5;
+    cfg.samples = 4;
+    cfg.optimizerSamples = 2;
+    cfg.brng = BrngKind::Software;
+    Workload w(cfg);
+    InferenceTrace t = w.bundles()[0].trace;
+    const SimReport four = simulateBaseline(t, baselineConfig());
+    t.samples = 2;
+    t.perSample.resize(2);
+    const SimReport two = simulateBaseline(t, baselineConfig());
+    EXPECT_GT(four.energy.total(), 1.5 * two.energy.total());
+    EXPECT_LT(four.energy.total(), 2.5 * two.energy.total());
+}

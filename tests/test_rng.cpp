@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the LFSR and the Bernoulli generators, including the
+ * Table III empirical drop-rate experiment as a test invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bayes/mc_runner.hpp"
+#include "rng/brng.hpp"
+
+using namespace fastbcnn;
+
+TEST(Lfsr32, ZeroSeedRemapped)
+{
+    Lfsr32 lfsr(0);
+    EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr32, NeverLocksUp)
+{
+    Lfsr32 lfsr(1);
+    for (int i = 0; i < 100000; ++i) {
+        lfsr.step();
+        ASSERT_NE(lfsr.state(), 0u);
+    }
+}
+
+TEST(Lfsr32, OutputIsBit)
+{
+    Lfsr32 lfsr(0xdeadbeef);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint32_t b = lfsr.step();
+        ASSERT_TRUE(b == 0 || b == 1);
+    }
+}
+
+TEST(Lfsr32, OutputRoughlyBalanced)
+{
+    Lfsr32 lfsr(0xace1);
+    std::size_t ones = 0;
+    const std::size_t n = 100000;
+    for (std::size_t i = 0; i < n; ++i)
+        ones += lfsr.step();
+    const double rate = static_cast<double>(ones) / n;
+    EXPECT_NEAR(rate, 0.5, 0.01);
+}
+
+TEST(Lfsr32, StatesDoNotRepeatQuickly)
+{
+    // The taps (25, 26, 30, 32) give a maximal-length sequence, so no
+    // state may recur within a modest window.
+    Lfsr32 lfsr(42);
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 20000; ++i) {
+        lfsr.step();
+        ASSERT_TRUE(seen.insert(lfsr.state()).second)
+            << "state repeated after " << i << " steps";
+    }
+}
+
+TEST(Lfsr32, DeterministicForSeed)
+{
+    Lfsr32 a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.step(), b.step());
+}
+
+TEST(LfsrBrng, ThresholdMatchesDropRate)
+{
+    EXPECT_EQ(LfsrBrng(0.5).threshold(), 128u);
+    EXPECT_EQ(LfsrBrng(0.2).threshold(), 51u);
+    EXPECT_EQ(LfsrBrng(0.1).threshold(), 26u);
+    EXPECT_EQ(LfsrBrng(0.0).threshold(), 0u);
+    EXPECT_EQ(LfsrBrng(1.0).threshold(), 256u);
+}
+
+TEST(LfsrBrng, Uniform8Range)
+{
+    LfsrBrng brng(0.3);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_LT(brng.nextUniform8(), 256u);
+}
+
+TEST(LfsrBrng, ExtremeRates)
+{
+    LfsrBrng never(0.0);
+    LfsrBrng always(1.0);
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_FALSE(never.nextBit());
+        EXPECT_TRUE(always.nextBit());
+    }
+}
+
+TEST(LfsrBrng, InvalidRateFatal)
+{
+    EXPECT_DEATH(LfsrBrng(1.5), "probability");
+    EXPECT_DEATH(LfsrBrng(-0.1), "probability");
+}
+
+/** Table III: empirical drop rate at 2000 and 4000 draws. */
+class BrngRateTest
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>>
+{
+};
+
+TEST_P(BrngRateTest, LfsrRateNearNominal)
+{
+    const auto [p, n] = GetParam();
+    LfsrBrng brng(p, 0x1234);
+    // Table III reports |error| < 0.01 at 2000 draws for the LFSR.
+    EXPECT_NEAR(measureDropRate(brng, n), p, 0.03);
+}
+
+TEST_P(BrngRateTest, SoftwareRateNearNominal)
+{
+    const auto [p, n] = GetParam();
+    SoftwareBrng brng(p, 42);
+    EXPECT_NEAR(measureDropRate(brng, n), p, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableThree, BrngRateTest,
+    ::testing::Combine(::testing::Values(0.5, 0.3, 0.2, 0.1),
+                       ::testing::Values(std::size_t(2000),
+                                         std::size_t(4000))));
+
+TEST(MakeBrng, DispatchesKind)
+{
+    auto lfsr = makeBrng(BrngKind::Lfsr, 0.3, 1);
+    auto sw = makeBrng(BrngKind::Software, 0.3, 1);
+    EXPECT_NE(dynamic_cast<LfsrBrng *>(lfsr.get()), nullptr);
+    EXPECT_NE(dynamic_cast<SoftwareBrng *>(sw.get()), nullptr);
+    EXPECT_DOUBLE_EQ(lfsr->dropRate(), 0.3);
+}
+
+TEST(MakeBrng, SeedChangesStream)
+{
+    auto a = makeBrng(BrngKind::Lfsr, 0.5, 1);
+    auto b = makeBrng(BrngKind::Lfsr, 0.5, 2);
+    int diff = 0;
+    for (int i = 0; i < 256; ++i)
+        diff += a->nextBit() != b->nextBit() ? 1 : 0;
+    EXPECT_GT(diff, 0);
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for weight serialisation and model summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "models/zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/serialize.hpp"
+
+using namespace fastbcnn;
+
+namespace {
+
+Network
+smallLenet(std::uint64_t seed)
+{
+    ModelOptions opts;
+    opts.widthMultiplier = 0.5;
+    opts.init.seed = seed;
+    return buildLenet5(opts);
+}
+
+} // namespace
+
+TEST(Serialize, RoundTripIsLossless)
+{
+    Network a = smallLenet(1);
+    Network b = smallLenet(2);  // different weights, same topology
+
+    std::stringstream ss;
+    saveWeights(a, ss);
+    loadWeights(b, ss);
+
+    // Every parameterised layer must now match bit for bit.
+    for (const char *name : {"c1_conv", "c2_conv", "c3_conv"}) {
+        const auto &ca = static_cast<const Conv2d &>(
+            a.layer(a.findNode(name)));
+        const auto &cb = static_cast<const Conv2d &>(
+            b.layer(b.findNode(name)));
+        EXPECT_TRUE(ca.weights().allClose(cb.weights(), 0.0f)) << name;
+        EXPECT_TRUE(ca.bias().allClose(cb.bias(), 0.0f)) << name;
+    }
+    // And so must forward outputs.
+    Tensor in(Shape({1, 28, 28}));
+    in.fill(0.5f);
+    EXPECT_TRUE(a.forward(in).allClose(b.forward(in), 0.0f));
+}
+
+TEST(Serialize, SpecialValuesSurvive)
+{
+    Network a = smallLenet(3);
+    auto &conv = static_cast<Conv2d &>(a.layer(a.findNode("c1_conv")));
+    conv.weights().at(0) = -0.0f;
+    conv.weights().at(1) = 1e-38f;   // subnormal-adjacent
+    conv.weights().at(2) = -3.4e38f; // near float lowest
+    Network b = smallLenet(4);
+    std::stringstream ss;
+    saveWeights(a, ss);
+    loadWeights(b, ss);
+    const auto &cb = static_cast<const Conv2d &>(
+        b.layer(b.findNode("c1_conv")));
+    EXPECT_EQ(cb.weights().at(1), 1e-38f);
+    EXPECT_EQ(cb.weights().at(2), -3.4e38f);
+}
+
+TEST(Serialize, RejectsGarbage)
+{
+    Network net = smallLenet(5);
+    std::stringstream ss("not-a-weight-file at all");
+    EXPECT_DEATH(loadWeights(net, ss), "not a fastbcnn");
+}
+
+TEST(Serialize, RejectsCountMismatch)
+{
+    Network full = smallLenet(6);
+    std::stringstream ss;
+    saveWeights(full, ss);
+    ModelOptions narrow;
+    narrow.widthMultiplier = 0.25;
+    Network other = buildLenet5(narrow);
+    EXPECT_DEATH(loadWeights(other, ss), "checkpoint holds");
+}
+
+TEST(Serialize, RejectsUnknownLayer)
+{
+    Network net = smallLenet(7);
+    std::stringstream ss;
+    ss << "fastbcnn-weights v1 X\nlayer nonexistent Conv2d 1 1\n"
+          "0x1p+0\n0x1p+0\n";
+    EXPECT_DEATH(loadWeights(net, ss), "no layer named");
+}
+
+TEST(Serialize, TruncatedFileFatal)
+{
+    Network a = smallLenet(8);
+    std::stringstream ss;
+    saveWeights(a, ss);
+    std::string text = ss.str();
+    text.resize(text.size() / 2);
+    std::stringstream half(text);
+    Network b = smallLenet(9);
+    EXPECT_DEATH(loadWeights(b, half), "truncated|malformed");
+}
+
+TEST(Summary, ListsLayersAndTotals)
+{
+    Network net = smallLenet(10);
+    std::ostringstream os;
+    printSummary(net, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("c1_conv"), std::string::npos);
+    EXPECT_NE(out.find("Conv2d"), std::string::npos);
+    EXPECT_NE(out.find("parameters"), std::string::npos);
+    EXPECT_NE(out.find("MACs"), std::string::npos);
+}

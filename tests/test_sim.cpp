@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Tests for the timing/energy/resource models, using hand-built
+ * synthetic traces so every cycle count can be checked against the
+ * paper's equations by hand.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/resources.hpp"
+
+using namespace fastbcnn;
+
+namespace {
+
+/**
+ * A synthetic one-block trace: M channels of RxC neurons with a
+ * uniform per-channel skip profile.
+ */
+InferenceTrace
+syntheticTrace(std::size_t samples, std::size_t n, std::size_t m,
+               std::size_t k, std::size_t r, std::size_t c,
+               std::uint32_t dropped_per_ch,
+               std::uint32_t predicted_per_ch,
+               std::uint32_t skipped_per_ch)
+{
+    InferenceTrace t;
+    t.model = "synthetic";
+    t.samples = samples;
+    t.dropRate = 0.3;
+    BlockInfo b;
+    b.index = 0;
+    b.conv = 0;
+    b.name = "conv";
+    b.inChannels = n;
+    b.outChannels = m;
+    b.kernel = k;
+    b.stride = 1;
+    b.padding = 0;
+    b.outH = r;
+    b.outW = c;
+    b.zeroPre = 0;
+    t.blocks.push_back(b);
+    for (std::size_t s = 0; s < samples; ++s) {
+        SampleTrace st;
+        BlockSampleTrace bst;
+        bst.dropped.assign(m, dropped_per_ch);
+        bst.predicted.assign(m, predicted_per_ch);
+        bst.skipped.assign(m, skipped_per_ch);
+        bst.cnvMacsPerChannel =
+            static_cast<std::uint64_t>(r) * c * k * k * n;
+        for (std::size_t i = 0; i < traceTnValues.size(); ++i) {
+            bst.cnvLaneCyclesPerChannel[i] =
+                static_cast<std::uint64_t>(r) * c * k * k *
+                ceilDiv(n, traceTnValues[i]);
+        }
+        st.blocks.push_back(bst);
+        t.perSample.push_back(st);
+    }
+    return t;
+}
+
+AcceleratorConfig
+noDram(AcceleratorConfig cfg)
+{
+    cfg.modelDram = false;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Config, TableOneDesignSpace)
+{
+    const auto space = designSpace();
+    ASSERT_EQ(space.size(), 4u);
+    for (const AcceleratorConfig &cfg : space) {
+        EXPECT_EQ(cfg.totalMacs(), 256u);          // fixed MAC budget
+        EXPECT_EQ(cfg.tm * cfg.countingLanes, 1024u);
+    }
+    EXPECT_EQ(space[0].tm, 8u);
+    EXPECT_EQ(space[0].tn, 32u);
+    EXPECT_EQ(space[0].countingLanes, 128u);
+    EXPECT_EQ(space[3].tm, 64u);
+    EXPECT_EQ(space[3].tn, 4u);
+    EXPECT_EQ(space[3].countingLanes, 16u);
+}
+
+TEST(Config, BaselineAndCnvlutin)
+{
+    EXPECT_EQ(baselineConfig().countingLanes, 0u);
+    EXPECT_EQ(baselineConfig().tm, 64u);
+    EXPECT_EQ(cnvlutinConfig().tn, 4u);
+    EXPECT_DEATH(fastBcnnConfig(7), "divide");
+}
+
+TEST(Config, MinCountingLanesEq9)
+{
+    // delta = M'R'C' / (N R C (1 - s)); with everything equal and
+    // s = 0.75, delta = 4 and T_m' >= 4 T_n.
+    const double lanes = minCountingLanes(3, 64, 16, 16, 3, 64, 16, 16,
+                                          4, 0.75);
+    EXPECT_NEAR(lanes, 16.0, 1e-9);
+}
+
+TEST(Baseline, DenseCycleFormula)
+{
+    // 1 sample, N=8, M=64, K=3, R=C=4 on <64, 4>: every PE owns one
+    // channel; cycles = R*C*K^2*ceil(N/4) = 16*9*2 = 288.
+    InferenceTrace t = syntheticTrace(1, 8, 64, 3, 4, 4, 0, 0, 0);
+    SimReport r = simulateBaseline(t, noDram(baselineConfig()));
+    EXPECT_EQ(r.totalCycles, 288u);
+    EXPECT_EQ(r.preInferenceCycles, 0u);
+    EXPECT_EQ(r.macsComputed, 64u * 16 * 9 * 8);
+    EXPECT_EQ(r.neuronsSkipped, 0u);
+    EXPECT_DOUBLE_EQ(r.peIdleFraction, 0.0);
+}
+
+TEST(Baseline, ChannelsFoldOntoPes)
+{
+    // M = 128 on 64 PEs: two channels each, cycles double.
+    InferenceTrace t = syntheticTrace(1, 8, 128, 3, 4, 4, 0, 0, 0);
+    SimReport r = simulateBaseline(t, noDram(baselineConfig()));
+    EXPECT_EQ(r.totalCycles, 2u * 288);
+}
+
+TEST(Baseline, SamplesScaleLinearly)
+{
+    InferenceTrace t = syntheticTrace(5, 8, 64, 3, 4, 4, 0, 0, 0);
+    SimReport r = simulateBaseline(t, noDram(baselineConfig()));
+    EXPECT_EQ(r.totalCycles, 5u * 288);
+    EXPECT_DOUBLE_EQ(r.cyclesPerSample, 288.0);
+}
+
+TEST(FastBcnn, NoSkipEqualsBaselinePlusPreInference)
+{
+    InferenceTrace t = syntheticTrace(4, 8, 64, 3, 4, 4, 0, 0, 0);
+    SimOptions opts;
+    opts.firstLayerShortcut = false;
+    SimReport fb = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                    opts);
+    SimReport bl = simulateBaseline(t, noDram(baselineConfig()));
+    // Pre-inference adds exactly one dense pass.
+    EXPECT_EQ(fb.totalCycles, bl.totalCycles + 288);
+    EXPECT_EQ(fb.preInferenceCycles, 288u);
+}
+
+TEST(FastBcnn, SkippedNeuronCostsOneCycle)
+{
+    // Every channel: 16 neurons, 10 skipped -> busy = 6*18 + 10 = 118.
+    InferenceTrace t = syntheticTrace(1, 8, 64, 3, 4, 4, 0, 0, 10);
+    SimOptions opts;
+    opts.firstLayerShortcut = false;
+    SimReport fb = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                    opts);
+    EXPECT_EQ(fb.totalCycles - fb.preInferenceCycles, 118u);
+    EXPECT_EQ(fb.neuronsSkipped, 64u * 10);
+    EXPECT_EQ(fb.neuronsComputed, 288u /*pre*/ * 0 + 64u * 16 + 64u * 6);
+}
+
+TEST(FastBcnn, FirstLayerShortcutIsOneCyclePerNeuron)
+{
+    InferenceTrace t = syntheticTrace(1, 8, 64, 3, 4, 4, 0, 0, 0);
+    SimOptions opts;
+    opts.firstLayerShortcut = true;
+    SimReport fb = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                    opts);
+    // Sample pass: 16 cycles (one per neuron, one channel per PE).
+    EXPECT_EQ(fb.totalCycles - fb.preInferenceCycles, 16u);
+}
+
+TEST(FastBcnn, ModeSelectsSkipSource)
+{
+    InferenceTrace t = syntheticTrace(1, 8, 64, 3, 4, 4,
+                                      /*dropped*/ 4, /*pred*/ 6,
+                                      /*union*/ 8);
+    SimOptions opts;
+    opts.firstLayerShortcut = false;
+    auto cycles = [&](SkipMode mode) {
+        opts.mode = mode;
+        SimReport r = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                       opts);
+        return r.totalCycles - r.preInferenceCycles;
+    };
+    // busy = (16 - s)*18 + s per channel.
+    EXPECT_EQ(cycles(SkipMode::DroppedOnly), (16u - 4) * 18 + 4);
+    EXPECT_EQ(cycles(SkipMode::UnaffectedOnly), (16u - 6) * 18 + 6);
+    EXPECT_EQ(cycles(SkipMode::Full), (16u - 8) * 18 + 8);
+}
+
+TEST(FastBcnn, UnionReductionAtMostSumOfParts)
+{
+    // The Fig. 11 observation: the union's saving is bounded by the
+    // sum of the two modes' savings (overlap).
+    InferenceTrace t = syntheticTrace(3, 8, 64, 3, 4, 4, 5, 7, 9);
+    SimOptions opts;
+    opts.firstLayerShortcut = false;
+    SimReport bl = simulateBaseline(t, noDram(baselineConfig()));
+    // Compare the sample-inference portion only: at tiny T the shared
+    // pre-inference constant would otherwise dominate each mode's
+    // reduction (the paper amortises it over T = 50).
+    auto reduction = [&](SkipMode mode) {
+        opts.mode = mode;
+        SimReport r = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                       opts);
+        return 1.0 - static_cast<double>(r.totalCycles -
+                                         r.preInferenceCycles) /
+                         static_cast<double>(bl.totalCycles);
+    };
+    const double d = reduction(SkipMode::DroppedOnly);
+    const double u = reduction(SkipMode::UnaffectedOnly);
+    const double full = reduction(SkipMode::Full);
+    EXPECT_GE(full, std::max(d, u));
+    EXPECT_LE(full, d + u + 1e-12);
+}
+
+TEST(FastBcnn, ImbalanceRaisesLatency)
+{
+    InferenceTrace t = syntheticTrace(1, 8, 64, 3, 4, 4, 0, 0, 8);
+    // Make one channel skip nothing: its PE dominates the layer.
+    t.perSample[0].blocks[0].skipped[13] = 0;
+    SimOptions opts;
+    opts.firstLayerShortcut = false;
+    SimReport r = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                   opts);
+    EXPECT_EQ(r.totalCycles - r.preInferenceCycles, 16u * 18);
+    EXPECT_GT(r.peIdleFraction, 0.0);
+}
+
+TEST(FastBcnn, PairwiseSyncStallsWhenPredictionSlow)
+{
+    // Two-block trace where block 1's prediction work exceeds block
+    // 0's shortcut latency: the Pairwise model must stall.
+    InferenceTrace t = syntheticTrace(1, 8, 64, 3, 4, 4, 0, 0, 0);
+    BlockInfo b1 = t.blocks[0];
+    b1.index = 1;
+    b1.conv = 1;
+    b1.name = "conv2";
+    b1.outH = 16;
+    b1.outW = 16;
+    t.blocks.push_back(b1);
+    BlockSampleTrace bst = t.perSample[0].blocks[0];
+    bst.dropped.assign(64, 0);
+    bst.predicted.assign(64, 0);
+    bst.skipped.assign(64, 0);
+    t.perSample[0].blocks.push_back(bst);
+
+    SimOptions pairwise;
+    pairwise.sync = SyncModel::Pairwise;
+    SimOptions aggregate;
+    aggregate.sync = SyncModel::Aggregate;
+    SimReport strict = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                        pairwise);
+    SimReport loose = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                       aggregate);
+    std::uint64_t strict_stall = 0, loose_stall = 0;
+    for (const LayerSimStats &l : strict.layers)
+        strict_stall += l.stallCycles;
+    for (const LayerSimStats &l : loose.layers)
+        loose_stall += l.stallCycles;
+    // Prediction for block 1: 9 * ceil(64/16) * 256 = 9216 cycles vs
+    // a 16-cycle shortcut: stall = 9200 under Pairwise.
+    EXPECT_EQ(strict_stall, 9216u - 16u);
+    EXPECT_LE(loose_stall, strict_stall);
+    EXPECT_GE(strict.totalCycles, loose.totalCycles);
+}
+
+TEST(Cnvlutin, UsesLaneCycles)
+{
+    InferenceTrace t = syntheticTrace(2, 8, 64, 3, 4, 4, 0, 0, 0);
+    // Dense lane cycles equal the baseline dense cycles here.
+    SimReport cv = simulateCnvlutin(t, noDram(cnvlutinConfig()));
+    SimReport bl = simulateBaseline(t, noDram(baselineConfig()));
+    EXPECT_EQ(cv.totalCycles, bl.totalCycles);
+    // Halve the lane cycles: Cnvlutin gets 2x faster.
+    for (SampleTrace &s : t.perSample)
+        s.blocks[0].cnvLaneCyclesPerChannel[0] /= 2;
+    SimReport cv2 = simulateCnvlutin(t, noDram(cnvlutinConfig()));
+    EXPECT_EQ(cv2.totalCycles * 2, cv.totalCycles);
+}
+
+TEST(Cnvlutin, UnsupportedTnFatal)
+{
+    InferenceTrace t = syntheticTrace(1, 8, 64, 3, 4, 4, 0, 0, 0);
+    AcceleratorConfig cfg = cnvlutinConfig();
+    cfg.tn = 5;
+    EXPECT_DEATH(simulateCnvlutin(t, cfg), "no Cnvlutin work");
+}
+
+TEST(Ideal, LowerBoundsFastBcnn)
+{
+    InferenceTrace t = syntheticTrace(4, 8, 64, 3, 4, 4, 3, 5, 7);
+    // Imbalance: one channel never skips.
+    for (SampleTrace &s : t.perSample)
+        s.blocks[0].skipped[5] = 0;
+    SimOptions opts;
+    SimReport fb = simulateFastBcnn(t, noDram(fastBcnnConfig(64)),
+                                    opts);
+    SimReport ideal = simulateIdeal(t, noDram(fastBcnnConfig(64)),
+                                    opts);
+    EXPECT_LE(ideal.totalCycles, fb.totalCycles);
+    EXPECT_LE(ideal.energy.total(), fb.energy.total());
+}
+
+TEST(Energy, ComponentsSumToTotal)
+{
+    InferenceTrace t = syntheticTrace(2, 8, 64, 3, 4, 4, 2, 3, 4);
+    SimReport fb = simulateFastBcnn(t, fastBcnnConfig(64));
+    const EnergyBreakdown &e = fb.energy;
+    EXPECT_NEAR(e.total(),
+                e.convNj + e.predNj + e.centralNj + e.dramNj, 1e-9);
+    EXPECT_GT(e.convNj, 0.0);
+    EXPECT_GT(e.predNj, 0.0);
+    EXPECT_GT(e.centralNj, 0.0);
+    EXPECT_GT(e.dramNj, 0.0);
+    EXPECT_NEAR(fb.energyPerSampleNj, e.total() / 2.0, 1e-9);
+}
+
+TEST(Energy, BaselineHasNoPredictionEnergy)
+{
+    InferenceTrace t = syntheticTrace(2, 8, 64, 3, 4, 4, 0, 0, 0);
+    SimReport bl = simulateBaseline(t, baselineConfig());
+    EXPECT_DOUBLE_EQ(bl.energy.predNj, 0.0);
+    EXPECT_DOUBLE_EQ(bl.energy.centralNj, 0.0);
+}
+
+TEST(Energy, SkippingReducesEnergy)
+{
+    // With the layer-1 shortcut on, skipping only matters from block 1
+    // onward; disable it so the single-block trace exercises it.
+    InferenceTrace dense = syntheticTrace(4, 8, 64, 3, 4, 4, 0, 0, 0);
+    InferenceTrace sparse = syntheticTrace(4, 8, 64, 3, 4, 4, 8, 8, 12);
+    SimOptions opts;
+    opts.firstLayerShortcut = false;
+    SimReport a = simulateFastBcnn(dense, fastBcnnConfig(64), opts);
+    SimReport b = simulateFastBcnn(sparse, fastBcnnConfig(64), opts);
+    EXPECT_LT(b.energy.total(), a.energy.total());
+}
+
+TEST(Dram, BandwidthBoundAddsStall)
+{
+    InferenceTrace t = syntheticTrace(1, 8, 64, 3, 4, 4, 0, 0, 0);
+    AcceleratorConfig cfg = baselineConfig();
+    cfg.dramBytesPerCycle = 0.5;  // absurdly slow memory
+    SimReport slow = simulateBaseline(t, cfg);
+    SimReport fast = simulateBaseline(t, noDram(baselineConfig()));
+    EXPECT_GT(slow.totalCycles, fast.totalCycles);
+    std::uint64_t stall = 0;
+    for (const LayerSimStats &l : slow.layers)
+        stall += l.dramStall;
+    EXPECT_GT(stall, 0u);
+    EXPECT_GT(slow.dramBytes, 0u);
+}
+
+TEST(Resources, TableTwoCalibration)
+{
+    // The 64-PE design must land on the paper's Table II within a few
+    // per cent: conv 276736 LUT / 359360 FF / 512 BRAM, prediction
+    // 1024 / 1024 / 64, central 10246 / 10246 / 2.
+    ResourceReport r = estimateResources(fastBcnnConfig(64));
+    EXPECT_NEAR(static_cast<double>(r.convUnits.lut), 276736.0,
+                276736.0 * 0.02);
+    EXPECT_NEAR(static_cast<double>(r.convUnits.ff), 359360.0,
+                359360.0 * 0.02);
+    EXPECT_EQ(r.convUnits.bram, 512u);
+    EXPECT_EQ(r.predictionUnits.lut, 1024u);
+    EXPECT_EQ(r.predictionUnits.ff, 1024u);
+    EXPECT_EQ(r.predictionUnits.bram, 64u);
+    EXPECT_NEAR(static_cast<double>(r.centralPredictor.lut), 10246.0,
+                10246.0 * 0.02);
+    EXPECT_EQ(r.centralPredictor.bram, 2u);
+}
+
+TEST(Resources, PredictionOverheadUnderOnePercent)
+{
+    // The paper's headline: prediction units + central predictor cost
+    // <~1% of the device LUT/FF budget.
+    ResourceReport r = estimateResources(fastBcnnConfig(64));
+    const double lut_overhead =
+        static_cast<double>(r.predictionUnits.lut +
+                            r.centralPredictor.lut) /
+        static_cast<double>(r.device.lut);
+    EXPECT_LT(lut_overhead, 0.03);
+    EXPECT_LE(r.total().lut, r.device.lut);
+    EXPECT_LE(r.total().bram, r.device.bram);
+}
+
+TEST(Resources, BaselineOmitsPredictionHardware)
+{
+    ResourceReport r = estimateResources(baselineConfig());
+    EXPECT_EQ(r.predictionUnits.lut, 0u);
+    EXPECT_EQ(r.predictionUnits.bram, 0u);
+    EXPECT_EQ(r.centralPredictor.lut, 0u);
+}
+
+TEST(Report, SpeedupHelpers)
+{
+    SimReport a, b;
+    a.cyclesPerSample = 100.0;
+    b.cyclesPerSample = 50.0;
+    a.energyPerSampleNj = 10.0;
+    b.energyPerSampleNj = 4.0;
+    EXPECT_DOUBLE_EQ(b.speedupOver(a), 2.0);
+    EXPECT_DOUBLE_EQ(b.cycleReductionOver(a), 0.5);
+    EXPECT_DOUBLE_EQ(b.energyReductionOver(a), 0.6);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Unit tests for Shape and Tensor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+using namespace fastbcnn;
+
+TEST(Shape, Basics)
+{
+    Shape s({2, 3, 4});
+    EXPECT_EQ(s.rank(), 3u);
+    EXPECT_EQ(s.dim(0), 2u);
+    EXPECT_EQ(s.dim(2), 4u);
+    EXPECT_EQ(s.numel(), 24u);
+    EXPECT_EQ(s.toString(), "[2, 3, 4]");
+}
+
+TEST(Shape, EmptyAndEquality)
+{
+    Shape empty;
+    EXPECT_EQ(empty.rank(), 0u);
+    EXPECT_EQ(empty.numel(), 1u);  // product of no extents
+    EXPECT_TRUE(Shape({1, 2}) == Shape({1, 2}));
+    EXPECT_FALSE(Shape({1, 2}) == Shape({2, 1}));
+    EXPECT_FALSE(Shape({1, 2}) == Shape({1, 2, 1}));
+}
+
+TEST(Shape, DimOutOfRangePanics)
+{
+    Shape s({2});
+    EXPECT_DEATH(s.dim(1), "out of range");
+}
+
+TEST(Tensor, ZeroFilledConstruction)
+{
+    Tensor t(Shape({2, 2, 2}));
+    EXPECT_EQ(t.numel(), 8u);
+    EXPECT_EQ(t.zeroCount(), 8u);
+    EXPECT_FALSE(t.empty());
+    EXPECT_TRUE(Tensor().empty());
+}
+
+TEST(Tensor, DataConstructionSizeChecked)
+{
+    Tensor ok(Shape({3}), {1.0f, 2.0f, 3.0f});
+    EXPECT_FLOAT_EQ(ok(1), 2.0f);
+    EXPECT_DEATH(Tensor(Shape({3}), {1.0f}), "does not match");
+}
+
+TEST(Tensor, Rank3Indexing)
+{
+    Tensor t(Shape({2, 3, 4}));
+    t(1, 2, 3) = 5.0f;
+    EXPECT_FLOAT_EQ(t.at((1 * 3 + 2) * 4 + 3), 5.0f);
+    EXPECT_FLOAT_EQ(t(1, 2, 3), 5.0f);
+    EXPECT_DEATH(t(2, 0, 0), "out of range");
+}
+
+TEST(Tensor, Rank4Indexing)
+{
+    Tensor t(Shape({2, 3, 2, 2}));
+    t(1, 2, 1, 0) = -1.5f;
+    EXPECT_FLOAT_EQ(t(1, 2, 1, 0), -1.5f);
+    EXPECT_DEATH(t(0, 3, 0, 0), "out of range");
+}
+
+TEST(Tensor, RankMismatchPanics)
+{
+    Tensor t3(Shape({2, 2, 2}));
+    EXPECT_DEATH(t3(0, 0, 0, 0), "non-4D");
+    Tensor t4(Shape({2, 2, 2, 2}));
+    EXPECT_DEATH(t4(0, 0, 0), "non-3D");
+}
+
+TEST(Tensor, FillAndReductions)
+{
+    Tensor t(Shape({4}));
+    t.fill(2.0f);
+    EXPECT_DOUBLE_EQ(t.sum(), 8.0);
+    EXPECT_EQ(t.zeroCount(), 0u);
+    t(2) = -3.0f;
+    EXPECT_FLOAT_EQ(t.maxAbs(), 3.0f);
+    t.fill(0.0f);
+    EXPECT_EQ(t.zeroCount(), 4u);
+}
+
+TEST(Tensor, AllClose)
+{
+    Tensor a(Shape({3}), {1.0f, 2.0f, 3.0f});
+    Tensor b(Shape({3}), {1.0f, 2.0f, 3.0f + 1e-7f});
+    EXPECT_TRUE(a.allClose(b));
+    b(0) = 1.1f;
+    EXPECT_FALSE(a.allClose(b));
+    Tensor c(Shape({1, 3}), {1.0f, 2.0f, 3.0f});
+    EXPECT_FALSE(a.allClose(c));  // shape mismatch
+}
+
+TEST(Tensor, DataSpanIsWritable)
+{
+    Tensor t(Shape({2}));
+    t.data()[0] = 7.0f;
+    EXPECT_FLOAT_EQ(t(0), 7.0f);
+    const Tensor &ct = t;
+    EXPECT_FLOAT_EQ(ct.data()[0], 7.0f);
+}
