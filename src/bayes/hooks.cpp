@@ -1,5 +1,7 @@
 #include "hooks.hpp"
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 const BitVolume *
@@ -8,7 +10,7 @@ SamplingHooks::dropoutMask(const std::string &layer_name,
 {
     if (!enabled_)
         return nullptr;
-    FASTBCNN_ASSERT(shape.rank() == 3, "dropout mask must be CHW");
+    FASTBCNN_CHECK_EQ(shape.rank(), 3u);
     BitVolume mask(shape.dim(0), shape.dim(1), shape.dim(2));
     for (std::size_t i = 0; i < mask.size(); ++i)
         mask.setFlat(i, brng_->nextBit());
@@ -25,10 +27,10 @@ ReplayHooks::dropoutMask(const std::string &layer_name,
     auto it = masks_->find(layer_name);
     if (it == masks_->end())
         return nullptr;
-    FASTBCNN_ASSERT(it->second.channels() == shape.dim(0) &&
-                    it->second.height() == shape.dim(1) &&
-                    it->second.width() == shape.dim(2),
-                    "replayed mask shape mismatch");
+    FASTBCNN_CHECK(it->second.channels() == shape.dim(0) &&
+                   it->second.height() == shape.dim(1) &&
+                   it->second.width() == shape.dim(2),
+                   "replayed mask shape mismatch");
     return &it->second;
 }
 

@@ -1,17 +1,51 @@
 #include "mc_runner.hpp"
 
+#include <atomic>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/math_util.hpp"
+
 namespace fastbcnn {
+
+namespace {
+
+/** Resolve McOptions::threads to a concrete worker count. */
+std::size_t
+resolveThreads(std::size_t requested, std::size_t samples)
+{
+    std::size_t n = requested;
+    if (n == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = hw == 0 ? 1 : hw;
+    }
+    return n < samples ? n : samples;
+}
+
+/** Run sample @p t into its reserved result slots. */
+void
+runOneSample(const Network &net, const Tensor &input,
+             const McOptions &opts, std::size_t t, McResult &result)
+{
+    auto brng = makeBrng(opts.brng, opts.dropRate,
+                         sampleSeed(opts.seed, t));
+    SamplingHooks hooks(*brng, true);
+    result.outputs[t] = net.forward(input, &hooks);
+    if (opts.recordMasks)
+        result.masks[t] = hooks.takeMasks();
+}
+
+} // namespace
 
 std::unique_ptr<Brng>
 makeBrng(BrngKind kind, double drop_rate, std::uint64_t seed)
 {
     switch (kind) {
       case BrngKind::Lfsr:
-        return std::make_unique<LfsrBrng>(
-            drop_rate, static_cast<std::uint32_t>(seed * 2654435761ull
-                                                  + 0x9e3779b9ull));
+        return std::make_unique<LfsrBrng>(drop_rate, mixSeedTo32(seed));
       case BrngKind::Software:
-        return std::make_unique<SoftwareBrng>(drop_rate, seed);
+        return std::make_unique<SoftwareBrng>(drop_rate,
+                                              splitmix64(seed));
     }
     panic("unknown BrngKind %d", static_cast<int>(kind));
 }
@@ -28,14 +62,33 @@ runMcDropout(const Network &net, const Tensor &input,
     // unaffected-neuron machinery downstream.
     result.preOutput = net.forward(input, nullptr);
 
-    auto brng = makeBrng(opts.brng, opts.dropRate, opts.seed);
-    result.outputs.reserve(opts.samples);
-    for (std::size_t t = 0; t < opts.samples; ++t) {
-        SamplingHooks hooks(*brng, true);
-        result.outputs.push_back(net.forward(input, &hooks));
-        if (opts.recordMasks)
-            result.masks.push_back(hooks.takeMasks());
+    // Every sample t owns slot t of outputs/masks and a private BRNG
+    // seeded by sampleSeed(seed, t): workers never share mutable state
+    // and the result is identical for any thread count.
+    result.outputs.resize(opts.samples);
+    if (opts.recordMasks)
+        result.masks.resize(opts.samples);
+
+    const std::size_t workers = resolveThreads(opts.threads, opts.samples);
+    if (workers <= 1) {
+        for (std::size_t t = 0; t < opts.samples; ++t)
+            runOneSample(net, input, opts, t, result);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&]() {
+                for (std::size_t t = next.fetch_add(1);
+                     t < opts.samples; t = next.fetch_add(1)) {
+                    runOneSample(net, input, opts, t, result);
+                }
+            });
+        }
+        for (std::thread &worker : pool)
+            worker.join();
     }
+
     result.summary = summarizeSamples(result.outputs);
     return result;
 }

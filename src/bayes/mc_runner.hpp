@@ -30,6 +30,17 @@ struct McOptions {
     BrngKind brng = BrngKind::Lfsr;
     std::uint64_t seed = 1;        ///< RNG seed (deterministic runs)
     bool recordMasks = true;       ///< keep per-sample MaskSets
+
+    /**
+     * Worker threads running samples concurrently; 1 = serial, 0 =
+     * one per hardware thread.  Every sample draws its masks from a
+     * private BRNG seeded by sampleSeed(seed, t) and lands at index t
+     * of McResult::outputs / masks, so the result — summary included —
+     * is bit-identical for every thread count.  This mirrors the
+     * per-sample parallelism of the FPGA BNN accelerators (Fan et al.),
+     * where the T MC passes map onto independent compute lanes.
+     */
+    std::size_t threads = 1;
 };
 
 /** The outcome of one MC-dropout run. */
@@ -40,13 +51,19 @@ struct McResult {
     UncertaintySummary summary;    ///< Eq. 4 average + uncertainty
 };
 
-/** Construct the requested Brng implementation. */
+/**
+ * Construct the requested Brng implementation.  The 64-bit seed is
+ * mixed with a splitmix64 finalizer before any narrowing, so distinct
+ * seeds yield distinct generator states (no truncation collisions, no
+ * silent trip through the Lfsr32 zero-seed fallback).
+ */
 std::unique_ptr<Brng> makeBrng(BrngKind kind, double drop_rate,
                                std::uint64_t seed);
 
 /**
  * Run a complete MC-dropout inference: one pre-inference with dropout
- * off, then @p opts.samples stochastic samples.
+ * off, then @p opts.samples stochastic samples, serially or on
+ * @p opts.threads workers (deterministic either way; see McOptions).
  *
  * @param net   a BCNN (dropout after every conv; see BcnnTopology)
  * @param input input tensor matching the network input shape

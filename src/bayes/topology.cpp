@@ -1,5 +1,6 @@
 #include "topology.hpp"
 
+#include "common/check.hpp"
 #include "nn/dropout.hpp"
 
 namespace fastbcnn {
@@ -72,7 +73,7 @@ BcnnTopology::blockOfDropout(const std::string &name) const
 const std::vector<NodeId> &
 BcnnTopology::consumersOf(NodeId id) const
 {
-    FASTBCNN_ASSERT(id < consumers_.size(), "node id out of range");
+    FASTBCNN_CHECK(id < consumers_.size(), "node id out of range");
     return consumers_[id];
 }
 

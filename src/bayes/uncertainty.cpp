@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hpp"
+#include "common/check.hpp"
 
 namespace fastbcnn {
 
@@ -20,7 +20,7 @@ entropy(const Tensor &probs)
 UncertaintySummary
 summarizeSamples(const std::vector<Tensor> &samples)
 {
-    FASTBCNN_ASSERT(!samples.empty(), "need at least one sample");
+    FASTBCNN_CHECK(!samples.empty(), "need at least one sample");
     const Shape shape = samples[0].shape();
     const std::size_t n = shape.numel();
     const double t = static_cast<double>(samples.size());
@@ -31,7 +31,7 @@ summarizeSamples(const std::vector<Tensor> &samples)
     double expected_entropy = 0.0;
 
     for (const Tensor &y : samples) {
-        FASTBCNN_ASSERT(y.shape() == shape, "sample shape mismatch");
+        FASTBCNN_CHECK(y.shape() == shape, "sample shape mismatch");
         for (std::size_t i = 0; i < n; ++i)
             s.mean.at(i) += y.at(i) / static_cast<float>(t);
         expected_entropy += entropy(y) / t;

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "check.hpp"
 #include "math_util.hpp"
 
 namespace fastbcnn {
@@ -28,14 +29,14 @@ BitVolume::set(std::size_t c, std::size_t r, std::size_t col, bool value)
 bool
 BitVolume::getFlat(std::size_t idx) const
 {
-    FASTBCNN_ASSERT(idx < size(), "BitVolume flat index out of range");
+    FASTBCNN_DCHECK(idx < size(), "BitVolume flat index out of range");
     return (words_[idx / 64] >> (idx % 64)) & 1ull;
 }
 
 void
 BitVolume::setFlat(std::size_t idx, bool value)
 {
-    FASTBCNN_ASSERT(idx < size(), "BitVolume flat index out of range");
+    FASTBCNN_DCHECK(idx < size(), "BitVolume flat index out of range");
     const std::uint64_t mask = 1ull << (idx % 64);
     if (value)
         words_[idx / 64] |= mask;
@@ -55,7 +56,7 @@ BitVolume::popcount() const
 std::size_t
 BitVolume::popcountChannel(std::size_t c) const
 {
-    FASTBCNN_ASSERT(c < channels_, "channel out of range");
+    FASTBCNN_CHECK(c < channels_, "channel out of range");
     // Channels are not word-aligned, so walk bit-by-bit; channel sizes
     // are small (feature-map planes) and this is not on a hot path.
     std::size_t total = 0;
@@ -87,9 +88,9 @@ BitVolume::fill(bool value)
 std::size_t
 BitVolume::andPopcount(const BitVolume &other) const
 {
-    FASTBCNN_ASSERT(channels_ == other.channels_ &&
-                    height_ == other.height_ && width_ == other.width_,
-                    "BitVolume shape mismatch in andPopcount");
+    FASTBCNN_CHECK(channels_ == other.channels_ &&
+                   height_ == other.height_ && width_ == other.width_,
+                   "BitVolume shape mismatch in andPopcount");
     std::size_t total = 0;
     for (std::size_t i = 0; i < words_.size(); ++i) {
         total += static_cast<std::size_t>(
@@ -101,9 +102,9 @@ BitVolume::andPopcount(const BitVolume &other) const
 void
 BitVolume::orWith(const BitVolume &other)
 {
-    FASTBCNN_ASSERT(channels_ == other.channels_ &&
-                    height_ == other.height_ && width_ == other.width_,
-                    "BitVolume shape mismatch in orWith");
+    FASTBCNN_CHECK(channels_ == other.channels_ &&
+                   height_ == other.height_ && width_ == other.width_,
+                   "BitVolume shape mismatch in orWith");
     for (std::size_t i = 0; i < words_.size(); ++i)
         words_[i] |= other.words_[i];
 }

@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "logging.hpp"
+#include "check.hpp"
 
 namespace fastbcnn {
 
@@ -53,7 +53,7 @@ class BitVolume
     /** @return true when the volume holds no bits. */
     bool empty() const { return size() == 0; }
 
-    /** Read the bit at (c, r, col); bounds-checked via FASTBCNN_ASSERT. */
+    /** Read the bit at (c, r, col); bounds-checked via FASTBCNN_DCHECK. */
     bool get(std::size_t c, std::size_t r, std::size_t col) const;
 
     /** Write the bit at (c, r, col). */
@@ -95,7 +95,7 @@ class BitVolume
     std::size_t flatIndex(std::size_t c, std::size_t r,
                           std::size_t col) const
     {
-        FASTBCNN_ASSERT(c < channels_ && r < height_ && col < width_,
+        FASTBCNN_DCHECK(c < channels_ && r < height_ && col < width_,
                         "BitVolume index out of range");
         return (c * height_ + r) * width_ + col;
     }

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Contract-check layer: runtime invariant macros built on top of the
+ * panic() reporting in logging.hpp.
+ *
+ * Three tiers, following the usual CHECK/DCHECK convention:
+ *
+ *  - FASTBCNN_CHECK(cond, msg): always active, in every build type.
+ *    Use for API preconditions and correctness-critical invariants
+ *    whose cost is negligible next to the work they guard.
+ *  - FASTBCNN_DCHECK(cond, msg): compiled out when
+ *    FASTBCNN_ENABLE_DCHECKS is 0.  Use for hot-path checks (per-element
+ *    bounds checks in Tensor / BitVolume accessors) that would dominate
+ *    the inner loops of a release build.
+ *  - FASTBCNN_CHECK_EQ / _NE / _LT / _LE / _GT / _GE (and FASTBCNN_DCHECK_*
+ *    variants): comparison checks that print both operand values on
+ *    failure, so a violated contract is diagnosable from the log alone.
+ *
+ * The build system defines FASTBCNN_ENABLE_DCHECKS (the FASTBCNN_DCHECKS
+ * CMake option, ON by default).  When the definition is absent the
+ * fallback mirrors assert(): on unless NDEBUG.
+ */
+
+#ifndef FASTBCNN_COMMON_CHECK_HPP
+#define FASTBCNN_COMMON_CHECK_HPP
+
+#include <sstream>
+
+#include "logging.hpp"
+
+#ifndef FASTBCNN_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define FASTBCNN_ENABLE_DCHECKS 0
+#else
+#define FASTBCNN_ENABLE_DCHECKS 1
+#endif
+#endif
+
+namespace fastbcnn::detail {
+
+/** Report a failed comparison check, printing both operand values. */
+template <typename A, typename B>
+[[noreturn]] void
+checkOpFail(const char *file, int line, const char *op_str,
+            const char *a_str, const char *b_str, const A &a, const B &b)
+{
+    std::ostringstream os;
+    os << a_str << ' ' << op_str << ' ' << b_str << " (with " << a_str
+       << " = " << a << ", " << b_str << " = " << b << ")";
+    panic("check '%s' failed at %s:%d", os.str().c_str(), file, line);
+}
+
+} // namespace fastbcnn::detail
+
+/**
+ * Assert an invariant in every build type; calls panic() with location
+ * info when the condition is false.
+ */
+#define FASTBCNN_CHECK(cond, msg)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::fastbcnn::panic("check '%s' failed at %s:%d: %s", #cond,     \
+                              __FILE__, __LINE__, (msg));                  \
+        }                                                                  \
+    } while (0)
+
+/** Comparison check printing both values on failure (always active). */
+#define FASTBCNN_CHECK_OP(op, a, b)                                        \
+    do {                                                                   \
+        const auto &fbchk_a_ = (a);                                        \
+        const auto &fbchk_b_ = (b);                                        \
+        if (!(fbchk_a_ op fbchk_b_)) {                                     \
+            ::fastbcnn::detail::checkOpFail(__FILE__, __LINE__, #op, #a,   \
+                                            #b, fbchk_a_, fbchk_b_);       \
+        }                                                                  \
+    } while (0)
+
+#define FASTBCNN_CHECK_EQ(a, b) FASTBCNN_CHECK_OP(==, a, b)
+#define FASTBCNN_CHECK_NE(a, b) FASTBCNN_CHECK_OP(!=, a, b)
+#define FASTBCNN_CHECK_LT(a, b) FASTBCNN_CHECK_OP(<, a, b)
+#define FASTBCNN_CHECK_LE(a, b) FASTBCNN_CHECK_OP(<=, a, b)
+#define FASTBCNN_CHECK_GT(a, b) FASTBCNN_CHECK_OP(>, a, b)
+#define FASTBCNN_CHECK_GE(a, b) FASTBCNN_CHECK_OP(>=, a, b)
+
+#if FASTBCNN_ENABLE_DCHECKS
+
+#define FASTBCNN_DCHECK(cond, msg) FASTBCNN_CHECK(cond, msg)
+#define FASTBCNN_DCHECK_EQ(a, b) FASTBCNN_CHECK_EQ(a, b)
+#define FASTBCNN_DCHECK_NE(a, b) FASTBCNN_CHECK_NE(a, b)
+#define FASTBCNN_DCHECK_LT(a, b) FASTBCNN_CHECK_LT(a, b)
+#define FASTBCNN_DCHECK_LE(a, b) FASTBCNN_CHECK_LE(a, b)
+#define FASTBCNN_DCHECK_GT(a, b) FASTBCNN_CHECK_GT(a, b)
+#define FASTBCNN_DCHECK_GE(a, b) FASTBCNN_CHECK_GE(a, b)
+
+#else
+
+// Parsed (so the condition stays type-checked) but never evaluated.
+#define FASTBCNN_DCHECK(cond, msg)                                         \
+    do {                                                                   \
+        if (false) {                                                       \
+            (void)(cond);                                                  \
+            (void)(msg);                                                   \
+        }                                                                  \
+    } while (0)
+#define FASTBCNN_DCHECK_OP_OFF(a, b)                                       \
+    do {                                                                   \
+        if (false) {                                                       \
+            (void)(a);                                                     \
+            (void)(b);                                                     \
+        }                                                                  \
+    } while (0)
+#define FASTBCNN_DCHECK_EQ(a, b) FASTBCNN_DCHECK_OP_OFF(a, b)
+#define FASTBCNN_DCHECK_NE(a, b) FASTBCNN_DCHECK_OP_OFF(a, b)
+#define FASTBCNN_DCHECK_LT(a, b) FASTBCNN_DCHECK_OP_OFF(a, b)
+#define FASTBCNN_DCHECK_LE(a, b) FASTBCNN_DCHECK_OP_OFF(a, b)
+#define FASTBCNN_DCHECK_GT(a, b) FASTBCNN_DCHECK_OP_OFF(a, b)
+#define FASTBCNN_DCHECK_GE(a, b) FASTBCNN_DCHECK_OP_OFF(a, b)
+
+#endif // FASTBCNN_ENABLE_DCHECKS
+
+#endif // FASTBCNN_COMMON_CHECK_HPP

@@ -1,17 +1,28 @@
 #include "logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace fastbcnn {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Normal;
+std::atomic<LogLevel> globalLevel{LogLevel::Normal};
+
+/** Serialises whole report lines so concurrent logs never interleave. */
+std::mutex &
+reportMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
+    const std::lock_guard<std::mutex> lock(reportMutex());
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
@@ -23,13 +34,13 @@ vreport(const char *tag, const char *fmt, va_list args)
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
 }
 
 void
@@ -64,7 +75,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (globalLevel == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list args;
     va_start(args, fmt);
@@ -75,7 +86,7 @@ inform(const char *fmt, ...)
 void
 informVerbose(const char *fmt, ...)
 {
-    if (globalLevel != LogLevel::Verbose)
+    if (logLevel() != LogLevel::Verbose)
         return;
     va_list args;
     va_start(args, fmt);

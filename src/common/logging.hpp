@@ -12,6 +12,16 @@
  *  - warn():   something may be modelled imprecisely; execution
  *              continues.
  *  - inform(): status messages with no connotation of incorrectness.
+ *
+ * All reporting functions are thread-safe: concurrent calls serialize
+ * through an internal mutex so lines never interleave, and the log
+ * level is an atomic (setLogLevel() from one thread is visible to
+ * concurrent inform() calls without a data race).  The parallel
+ * MC-dropout runner logs from worker threads, so this is load-bearing,
+ * not defensive.
+ *
+ * Invariant checking lives in check.hpp (FASTBCNN_CHECK and friends),
+ * which layers on panic().
  */
 
 #ifndef FASTBCNN_COMMON_LOGGING_HPP
@@ -29,7 +39,7 @@ enum class LogLevel {
     Verbose  ///< also print debug-ish detail sent via informVerbose()
 };
 
-/** Set the global logging verbosity. Thread-compatible, not atomic. */
+/** Set the global logging verbosity (atomic; safe from any thread). */
 void setLogLevel(LogLevel level);
 
 /** @return the current global logging verbosity. */
@@ -60,18 +70,6 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print a detailed status message (only at LogLevel::Verbose). */
 void informVerbose(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
-
-/**
- * Assert an internal invariant; calls panic() with location info when
- * the condition is false.  Active in all build types, unlike assert().
- */
-#define FASTBCNN_ASSERT(cond, msg)                                         \
-    do {                                                                   \
-        if (!(cond)) {                                                     \
-            ::fastbcnn::panic("assertion '%s' failed at %s:%d: %s",        \
-                              #cond, __FILE__, __LINE__, (msg));           \
-        }                                                                  \
-    } while (0)
 
 } // namespace fastbcnn
 

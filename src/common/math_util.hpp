@@ -54,6 +54,50 @@ clampValue(T v, T lo, T hi)
 }
 
 /**
+ * splitmix64 finalizer (Steele, Lea & Flood; the xorshift-multiply
+ * avalanche stage of SplitMix64).  Bijective on 64-bit values, so
+ * distinct inputs always yield distinct outputs, and every output bit
+ * depends on every input bit — the property the BRNG seed derivation
+ * needs (a plain multiply-and-truncate collides, see mixSeedTo32()).
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Mix a 64-bit seed down to 32 bits with full avalanche: splitmix64
+ * then fold the halves.  Unlike a bare static_cast, seeds differing
+ * only in their high word map to different values (with overwhelming
+ * probability), and seed 0 does not map to 0, so it never trips the
+ * Lfsr32 all-zero fallback.
+ */
+constexpr std::uint32_t
+mixSeedTo32(std::uint64_t seed)
+{
+    const std::uint64_t m = splitmix64(seed);
+    return static_cast<std::uint32_t>(m ^ (m >> 32));
+}
+
+/**
+ * Derive the seed of MC-dropout sample @p index from the user-facing
+ * run seed.  Each sample owns an independent BRNG seeded here, which
+ * is what makes the runner's output independent of the number of
+ * worker threads (DESIGN.md, "Verification & sanitizers").
+ */
+constexpr std::uint64_t
+sampleSeed(std::uint64_t run_seed, std::uint64_t index)
+{
+    // Distinct (run_seed, index) pairs land on distinct splitmix64
+    // streams; the golden-ratio stride keeps neighbouring runs apart.
+    return splitmix64(run_seed + (index + 1) * 0x9e3779b97f4a7c15ull);
+}
+
+/**
  * Relative tolerance comparison used wherever "the same neuron value"
  * must be decided in the presence of float round-off (e.g.
  * EvaluatePredict in Algorithm 1, see DESIGN.md §5).

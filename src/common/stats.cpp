@@ -1,22 +1,27 @@
 #include "stats.hpp"
 
+#include "check.hpp"
+
 namespace fastbcnn {
 
 void
 StatGroup::add(const std::string &key, std::uint64_t delta)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     counters_[key] += delta;
 }
 
 void
 StatGroup::set(const std::string &key, double value)
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     gauges_[key] = value;
 }
 
 std::uint64_t
 StatGroup::counter(const std::string &key) const
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     auto it = counters_.find(key);
     return it == counters_.end() ? 0 : it->second;
 }
@@ -24,6 +29,7 @@ StatGroup::counter(const std::string &key) const
 double
 StatGroup::gauge(const std::string &key) const
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     auto it = gauges_.find(key);
     return it == gauges_.end() ? 0.0 : it->second;
 }
@@ -31,6 +37,7 @@ StatGroup::gauge(const std::string &key) const
 void
 StatGroup::reset()
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     counters_.clear();
     gauges_.clear();
 }
@@ -38,6 +45,9 @@ StatGroup::reset()
 void
 StatGroup::merge(const StatGroup &other)
 {
+    FASTBCNN_CHECK(&other != this, "StatGroup cannot merge with itself");
+    // Lock both sides deadlock-free (merge(a,b) racing merge(b,a)).
+    const std::scoped_lock lock(mutex_, other.mutex_);
     for (const auto &[k, v] : other.counters_)
         counters_[k] += v;
     for (const auto &[k, v] : other.gauges_)
@@ -47,6 +57,7 @@ StatGroup::merge(const StatGroup &other)
 void
 StatGroup::dump(std::ostream &os) const
 {
+    const std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[k, v] : counters_)
         os << name_ << '.' << k << " = " << v << '\n';
     for (const auto &[k, v] : gauges_)

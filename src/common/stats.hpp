@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 
@@ -18,8 +19,11 @@ namespace fastbcnn {
 /**
  * A group of named 64-bit counters and double-valued gauges.
  *
- * Not thread-safe; the simulator is single-threaded by design (the
- * modelled hardware is deterministic and cycle-accounted analytically).
+ * Thread-safe: every member serialises on an internal mutex, so a
+ * group can act as a shared sink for the parallel MC-dropout workers
+ * (add() from many threads, dump() from the harness).  The cycle-level
+ * simulator itself remains single-threaded and pays one uncontended
+ * lock per update.
  */
 class StatGroup
 {
@@ -53,6 +57,7 @@ class StatGroup
 
   private:
     std::string name_;
+    mutable std::mutex mutex_;
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> gauges_;
 };

@@ -3,21 +3,21 @@
 #include <cstdarg>
 #include <cstdio>
 
-#include "logging.hpp"
+#include "check.hpp"
 
 namespace fastbcnn {
 
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {
-    FASTBCNN_ASSERT(!headers_.empty(), "table needs at least one column");
+    FASTBCNN_CHECK(!headers_.empty(), "table needs at least one column");
 }
 
 void
 Table::addRow(std::vector<std::string> cells)
 {
-    FASTBCNN_ASSERT(cells.size() == headers_.size(),
-                    "row width does not match header width");
+    FASTBCNN_CHECK(cells.size() == headers_.size(),
+                   "row width does not match header width");
     rows_.push_back(std::move(cells));
 }
 
@@ -97,7 +97,7 @@ format(const char *fmt, ...)
     va_copy(copy, args);
     const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
     va_end(copy);
-    FASTBCNN_ASSERT(needed >= 0, "vsnprintf failed");
+    FASTBCNN_CHECK(needed >= 0, "vsnprintf failed");
     std::string out(static_cast<std::size_t>(needed), '\0');
     std::vsnprintf(out.data(), out.size() + 1, fmt, args);
     va_end(args);

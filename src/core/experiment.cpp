@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 AggregateMetrics
@@ -163,7 +165,7 @@ Workload::meanOutputError() const
 std::vector<BlockCensus>
 Workload::census() const
 {
-    FASTBCNN_ASSERT(!bundles_.empty(), "workload has no traces");
+    FASTBCNN_CHECK(!bundles_.empty(), "workload has no traces");
     std::vector<BlockCensus> acc = censusOf(bundles_[0].trace);
     for (std::size_t i = 1; i < bundles_.size(); ++i) {
         const auto c = censusOf(bundles_[i].trace);

@@ -5,7 +5,7 @@
 #include <numbers>
 #include <random>
 
-#include "common/logging.hpp"
+#include "common/check.hpp"
 
 namespace fastbcnn {
 
@@ -109,7 +109,7 @@ Dataset
 makeDataset(bool mnist_like, std::size_t num_classes, std::size_t count,
             std::uint64_t seed)
 {
-    FASTBCNN_ASSERT(num_classes > 0, "need at least one class");
+    FASTBCNN_CHECK(num_classes > 0, "need at least one class");
     Dataset set;
     set.numClasses = num_classes;
     set.examples.reserve(count);

@@ -55,7 +55,7 @@ NodeId
 addInception(Network &net, const InceptionSpec &spec, std::size_t in_ch,
              double width, double drop_rate, NodeId from)
 {
-    const std::string p = spec.name;
+    const std::string &p = spec.name;
     const NodeId b1 = addConvBlock(net, p + "_1x1", in_ch,
                                    scaled(spec.c1, width), 1, 1, 0,
                                    drop_rate, from);

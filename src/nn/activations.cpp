@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 Shape
 ReLU::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1, "ReLU takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1, "ReLU takes one input");
     return input_shapes[0];
 }
 
@@ -16,8 +18,8 @@ Tensor
 ReLU::forward(const std::vector<const Tensor *> &inputs,
               ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "ReLU takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "ReLU takes one input");
     Tensor out(inputs[0]->shape());
     const auto in = inputs[0]->data();
     auto o = out.data();
@@ -31,7 +33,7 @@ ReLU::forward(const std::vector<const Tensor *> &inputs,
 Shape
 Softmax::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1, "Softmax takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1, "Softmax takes one input");
     if (input_shapes[0].rank() != 1) {
         fatal("Softmax '%s': expected rank-1 logits, got %s",
               name().c_str(), input_shapes[0].toString().c_str());
@@ -43,8 +45,8 @@ Tensor
 Softmax::forward(const std::vector<const Tensor *> &inputs,
                  ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "Softmax takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "Softmax takes one input");
     const Tensor &in = *inputs[0];
     Tensor out(in.shape());
     float max_v = -std::numeric_limits<float>::infinity();

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 Concat::Concat(std::string name, std::size_t arity)
@@ -14,8 +16,8 @@ Concat::Concat(std::string name, std::size_t arity)
 Shape
 Concat::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == arity_,
-                    "Concat input count mismatch");
+    FASTBCNN_CHECK(input_shapes.size() == arity_,
+                   "Concat input count mismatch");
     std::size_t channels = 0;
     for (const Shape &s : input_shapes) {
         if (s.rank() != 3) {
@@ -38,12 +40,12 @@ Tensor
 Concat::forward(const std::vector<const Tensor *> &inputs,
                 ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == arity_,
-                    "Concat input count mismatch");
+    FASTBCNN_CHECK(inputs.size() == arity_,
+                   "Concat input count mismatch");
     std::vector<Shape> shapes;
     shapes.reserve(inputs.size());
     for (const Tensor *t : inputs) {
-        FASTBCNN_ASSERT(t != nullptr, "null Concat input");
+        FASTBCNN_CHECK(t != nullptr, "null Concat input");
         shapes.push_back(t->shape());
     }
     Tensor out(outputShape(shapes));
@@ -72,7 +74,7 @@ Shape
 LocalResponseNorm::outputShape(
     const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1, "LRN takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1, "LRN takes one input");
     if (input_shapes[0].rank() != 3) {
         fatal("LRN '%s': expected CHW input, got %s", name().c_str(),
               input_shapes[0].toString().c_str());
@@ -84,8 +86,8 @@ Tensor
 LocalResponseNorm::forward(const std::vector<const Tensor *> &inputs,
                            ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "LRN takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "LRN takes one input");
     const Tensor &in = *inputs[0];
     const std::size_t channels = in.shape().dim(0);
     const std::size_t h = in.shape().dim(1);

@@ -1,6 +1,6 @@
 #include "conv2d.hpp"
 
-#include "common/logging.hpp"
+#include "common/check.hpp"
 
 namespace fastbcnn {
 
@@ -24,7 +24,7 @@ Conv2d::Conv2d(std::string name, std::size_t in_channels,
 Shape
 Conv2d::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1, "Conv2d takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1, "Conv2d takes one input");
     const Shape &in = input_shapes[0];
     if (in.rank() != 3 || in.dim(0) != inChannels_) {
         fatal("Conv2d '%s': expected CHW input with %zu channels, got %s",
@@ -76,8 +76,8 @@ Tensor
 Conv2d::forward(const std::vector<const Tensor *> &inputs,
                 ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "Conv2d takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "Conv2d takes one input");
     const Tensor &input = *inputs[0];
     const Shape out_shape = outputShape({input.shape()});
     Tensor out(out_shape);

@@ -1,11 +1,13 @@
 #include "dense.hpp"
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 Shape
 Flatten::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1, "Flatten takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1, "Flatten takes one input");
     return Shape({input_shapes[0].numel()});
 }
 
@@ -13,8 +15,8 @@ Tensor
 Flatten::forward(const std::vector<const Tensor *> &inputs,
                  ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "Flatten takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "Flatten takes one input");
     Tensor out(Shape({inputs[0]->numel()}),
                std::vector<float>(inputs[0]->data().begin(),
                                   inputs[0]->data().end()));
@@ -39,7 +41,7 @@ Linear::Linear(std::string name, std::size_t in_features,
 Shape
 Linear::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1, "Linear takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1, "Linear takes one input");
     if (input_shapes[0].numel() != inFeatures_) {
         fatal("Linear '%s': expected %zu input features, got %s",
               name().c_str(), inFeatures_,
@@ -52,11 +54,10 @@ Tensor
 Linear::forward(const std::vector<const Tensor *> &inputs,
                 ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "Linear takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "Linear takes one input");
     const Tensor &in = *inputs[0];
-    FASTBCNN_ASSERT(in.numel() == inFeatures_,
-                    "Linear input size mismatch");
+    FASTBCNN_CHECK_EQ(in.numel(), inFeatures_);
     Tensor out(Shape({outFeatures_}));
     const float *w = weights_.data().data();
     const float *x = in.data().data();

@@ -1,5 +1,7 @@
 #include "dropout.hpp"
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 Dropout::Dropout(std::string name, double drop_rate)
@@ -14,7 +16,7 @@ Dropout::Dropout(std::string name, double drop_rate)
 Shape
 Dropout::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1, "Dropout takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1, "Dropout takes one input");
     if (input_shapes[0].rank() != 3) {
         fatal("Dropout '%s': expected CHW input, got %s",
               name().c_str(), input_shapes[0].toString().c_str());
@@ -26,17 +28,17 @@ Tensor
 Dropout::forward(const std::vector<const Tensor *> &inputs,
                  ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "Dropout takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "Dropout takes one input");
     const Tensor &in = *inputs[0];
     const BitVolume *mask =
         hooks ? hooks->dropoutMask(name(), in.shape()) : nullptr;
     Tensor out = in;  // identity when no mask is supplied
     if (mask) {
-        FASTBCNN_ASSERT(mask->channels() == in.shape().dim(0) &&
-                        mask->height() == in.shape().dim(1) &&
-                        mask->width() == in.shape().dim(2),
-                        "dropout mask shape mismatch");
+        FASTBCNN_CHECK(mask->channels() == in.shape().dim(0) &&
+                       mask->height() == in.shape().dim(1) &&
+                       mask->width() == in.shape().dim(2),
+                       "dropout mask shape mismatch");
         auto o = out.data();
         for (std::size_t i = 0; i < o.size(); ++i) {
             if (mask->getFlat(i))

@@ -1,5 +1,6 @@
 #include "network.hpp"
 
+#include "common/check.hpp"
 #include "concat.hpp"
 #include "conv2d.hpp"
 #include "dense.hpp"
@@ -35,7 +36,7 @@ Network::Network(std::string name, Shape input_shape)
 NodeId
 Network::add(std::unique_ptr<Layer> layer, std::vector<NodeId> inputs)
 {
-    FASTBCNN_ASSERT(layer != nullptr, "null layer");
+    FASTBCNN_CHECK(layer != nullptr, "null layer");
     if (inputs.empty()) {
         inputs.push_back(nodes_.empty() ? inputNode : nodes_.size() - 1);
     }
@@ -75,7 +76,7 @@ Network::forward(const Tensor &input, ForwardHooks *hooks) const
               name_.c_str(), input.shape().toString().c_str(),
               inputShape_.toString().c_str());
     }
-    FASTBCNN_ASSERT(!nodes_.empty(), "forward on empty network");
+    FASTBCNN_CHECK(!nodes_.empty(), "forward on empty network");
     std::vector<Tensor> outputs(nodes_.size());
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         std::vector<const Tensor *> ins;
@@ -91,35 +92,35 @@ Network::forward(const Tensor &input, ForwardHooks *hooks) const
 const Layer &
 Network::layer(NodeId id) const
 {
-    FASTBCNN_ASSERT(id < nodes_.size(), "node id out of range");
+    FASTBCNN_CHECK(id < nodes_.size(), "node id out of range");
     return *nodes_[id].layer;
 }
 
 Layer &
 Network::layer(NodeId id)
 {
-    FASTBCNN_ASSERT(id < nodes_.size(), "node id out of range");
+    FASTBCNN_CHECK(id < nodes_.size(), "node id out of range");
     return *nodes_[id].layer;
 }
 
 const std::vector<NodeId> &
 Network::inputsOf(NodeId id) const
 {
-    FASTBCNN_ASSERT(id < nodes_.size(), "node id out of range");
+    FASTBCNN_CHECK(id < nodes_.size(), "node id out of range");
     return nodes_[id].inputs;
 }
 
 const Shape &
 Network::shapeOf(NodeId id) const
 {
-    FASTBCNN_ASSERT(id < nodes_.size(), "node id out of range");
+    FASTBCNN_CHECK(id < nodes_.size(), "node id out of range");
     return nodes_[id].shape;
 }
 
 const Shape &
 Network::outputShape() const
 {
-    FASTBCNN_ASSERT(!nodes_.empty(), "empty network has no output");
+    FASTBCNN_CHECK(!nodes_.empty(), "empty network has no output");
     return nodes_.back().shape;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 Pool2dBase::Pool2dBase(std::string name, std::size_t kernel_size,
@@ -19,7 +21,7 @@ Pool2dBase::Pool2dBase(std::string name, std::size_t kernel_size,
 Shape
 Pool2dBase::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1, "pool takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1, "pool takes one input");
     const Shape &in = input_shapes[0];
     if (in.rank() != 3) {
         fatal("pool '%s': expected CHW input, got %s", name().c_str(),
@@ -95,8 +97,8 @@ Tensor
 MaxPool2d::forward(const std::vector<const Tensor *> &inputs,
                    ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "pool takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "pool takes one input");
     // Padding positions act as zeros, matching ReLU-positive maps;
     // init with 0 rather than -inf so padded windows pool to zero.
     Tensor out = poolForward(
@@ -113,8 +115,8 @@ Tensor
 AvgPool2d::forward(const std::vector<const Tensor *> &inputs,
                    ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "pool takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "pool takes one input");
     Tensor out = poolForward(
         *this, *inputs[0],
         [](float a, float b) { return a + b; }, 0.0f, true);
@@ -126,8 +128,8 @@ AvgPool2d::forward(const std::vector<const Tensor *> &inputs,
 Shape
 GlobalAvgPool::outputShape(const std::vector<Shape> &input_shapes) const
 {
-    FASTBCNN_ASSERT(input_shapes.size() == 1,
-                    "global pool takes one input");
+    FASTBCNN_CHECK(input_shapes.size() == 1,
+                   "global pool takes one input");
     const Shape &in = input_shapes[0];
     if (in.rank() != 3) {
         fatal("global pool '%s': expected CHW input, got %s",
@@ -140,8 +142,8 @@ Tensor
 GlobalAvgPool::forward(const std::vector<const Tensor *> &inputs,
                        ForwardHooks *hooks) const
 {
-    FASTBCNN_ASSERT(inputs.size() == 1 && inputs[0] != nullptr,
-                    "global pool takes one input");
+    FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
+                   "global pool takes one input");
     const Tensor &in = *inputs[0];
     const std::size_t c = in.shape().dim(0);
     const std::size_t plane = in.shape().dim(1) * in.shape().dim(2);

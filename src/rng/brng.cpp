@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hpp"
+#include "common/check.hpp"
 
 namespace fastbcnn {
 
@@ -15,8 +15,8 @@ LfsrBrng::LfsrBrng(double drop_rate, std::uint32_t seed)
              Lfsr32(~seed), Lfsr32(seed << 7 | 5u),
              Lfsr32(seed * 48271u + 11), Lfsr32(seed ^ 0x5bd1e995u)}
 {
-    FASTBCNN_ASSERT(drop_rate >= 0.0 && drop_rate <= 1.0,
-                    "drop rate must be a probability");
+    FASTBCNN_CHECK(drop_rate >= 0.0 && drop_rate <= 1.0,
+                   "drop rate must be a probability");
     // Warm up so correlated seeds decorrelate before first use.
     for (int i = 0; i < 64; ++i)
         (void)nextUniform8();
@@ -40,8 +40,8 @@ LfsrBrng::nextBit()
 SoftwareBrng::SoftwareBrng(double drop_rate, std::uint64_t seed)
     : dropRate_(drop_rate), engine_(seed), dist_(drop_rate)
 {
-    FASTBCNN_ASSERT(drop_rate >= 0.0 && drop_rate <= 1.0,
-                    "drop rate must be a probability");
+    FASTBCNN_CHECK(drop_rate >= 0.0 && drop_rate <= 1.0,
+                   "drop rate must be a probability");
 }
 
 bool
@@ -53,7 +53,7 @@ SoftwareBrng::nextBit()
 double
 measureDropRate(Brng &brng, std::size_t n)
 {
-    FASTBCNN_ASSERT(n > 0, "need at least one draw");
+    FASTBCNN_CHECK(n > 0, "need at least one draw");
     std::size_t ones = 0;
     for (std::size_t i = 0; i < n; ++i)
         ones += brng.nextBit() ? 1 : 0;

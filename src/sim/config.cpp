@@ -1,6 +1,6 @@
 #include "config.hpp"
 
-#include "common/logging.hpp"
+#include "common/check.hpp"
 #include "common/table.hpp"
 
 namespace fastbcnn {
@@ -51,8 +51,8 @@ minCountingLanes(std::size_t k_next, std::size_t m_next,
                  std::size_t n, std::size_t r, std::size_t c,
                  std::size_t tn, double skip_rate)
 {
-    FASTBCNN_ASSERT(skip_rate >= 0.0 && skip_rate < 1.0,
-                    "skip rate must be in [0, 1)");
+    FASTBCNN_CHECK(skip_rate >= 0.0 && skip_rate < 1.0,
+                   "skip rate must be in [0, 1)");
     const double num = static_cast<double>(k_next) * k_next * m_next *
                        r_next * c_next;
     const double den = static_cast<double>(k) * k * n * r * c *

@@ -1,5 +1,7 @@
 #include "indicator.hpp"
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 LayerIndicators::LayerIndicators(const Conv2d &conv)
@@ -25,7 +27,7 @@ LayerIndicators::LayerIndicators(const Conv2d &conv)
 const BitVolume &
 LayerIndicators::kernel(std::size_t m) const
 {
-    FASTBCNN_ASSERT(m < planes_.size(), "kernel index out of range");
+    FASTBCNN_CHECK(m < planes_.size(), "kernel index out of range");
     return planes_[m];
 }
 

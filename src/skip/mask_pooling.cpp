@@ -1,5 +1,6 @@
 #include "mask_pooling.hpp"
 
+#include "common/check.hpp"
 #include "nn/pooling.hpp"
 
 namespace fastbcnn {
@@ -8,11 +9,11 @@ BitVolume
 maskPool(const BitVolume &mask, std::size_t kernel, std::size_t stride,
          std::size_t pad)
 {
-    FASTBCNN_ASSERT(kernel > 0 && stride > 0, "bad pooling geometry");
+    FASTBCNN_CHECK(kernel > 0 && stride > 0, "bad pooling geometry");
     const std::size_t h = mask.height() + 2 * pad;
     const std::size_t w = mask.width() + 2 * pad;
-    FASTBCNN_ASSERT(h >= kernel && w >= kernel,
-                    "pool window larger than padded mask");
+    FASTBCNN_CHECK(h >= kernel && w >= kernel,
+                   "pool window larger than padded mask");
     const std::size_t out_h = (h - kernel) / stride + 1;
     const std::size_t out_w = (w - kernel) / stride + 1;
     BitVolume out(mask.channels(), out_h, out_w);
@@ -58,7 +59,7 @@ maskAtNode(const BcnnTopology &topo, NodeId id, const MaskSet &masks)
 {
     const Network &net = topo.network();
     auto zero_mask_of = [&](const Shape &s) {
-        FASTBCNN_ASSERT(s.rank() == 3, "mask resolution needs CHW");
+        FASTBCNN_CHECK(s.rank() == 3, "mask resolution needs CHW");
         return BitVolume(s.dim(0), s.dim(1), s.dim(2));
     };
     if (id == Network::inputNode)

@@ -1,5 +1,7 @@
 #include "nw_counter.hpp"
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 CountVolume::CountVolume(std::size_t channels, std::size_t height,
@@ -12,23 +14,23 @@ CountVolume::CountVolume(std::size_t channels, std::size_t height,
 std::uint16_t &
 CountVolume::at(std::size_t c, std::size_t r, std::size_t col)
 {
-    FASTBCNN_ASSERT(c < channels_ && r < height_ && col < width_,
-                    "CountVolume index out of range");
+    FASTBCNN_CHECK(c < channels_ && r < height_ && col < width_,
+                   "CountVolume index out of range");
     return data_[(c * height_ + r) * width_ + col];
 }
 
 std::uint16_t
 CountVolume::at(std::size_t c, std::size_t r, std::size_t col) const
 {
-    FASTBCNN_ASSERT(c < channels_ && r < height_ && col < width_,
-                    "CountVolume index out of range");
+    FASTBCNN_CHECK(c < channels_ && r < height_ && col < width_,
+                   "CountVolume index out of range");
     return data_[(c * height_ + r) * width_ + col];
 }
 
 std::uint16_t
 CountVolume::atFlat(std::size_t i) const
 {
-    FASTBCNN_ASSERT(i < data_.size(), "CountVolume flat index range");
+    FASTBCNN_CHECK_LT(i, data_.size());
     return data_[i];
 }
 
@@ -45,8 +47,7 @@ CountVolume
 countDroppedNwInputs(const Conv2d &conv, const BitVolume &input_mask,
                      const LayerIndicators &indicators)
 {
-    FASTBCNN_ASSERT(input_mask.channels() == conv.inChannels(),
-                    "input mask channel mismatch");
+    FASTBCNN_CHECK_EQ(input_mask.channels(), conv.inChannels());
     const std::size_t k = conv.kernelSize();
     const std::size_t s = conv.stride();
     const std::size_t p = conv.padding();

@@ -1,6 +1,7 @@
 #include "predictor.hpp"
 
 #include "bayes/hooks.hpp"
+#include "common/check.hpp"
 
 namespace fastbcnn {
 
@@ -31,10 +32,10 @@ BitVolume
 predictUnaffected(const BitVolume &zero_map, const CountVolume &counts,
                   const ThresholdSet &thresholds, NodeId conv)
 {
-    FASTBCNN_ASSERT(zero_map.channels() == counts.channels() &&
-                    zero_map.height() == counts.height() &&
-                    zero_map.width() == counts.width(),
-                    "zero map / count volume shape mismatch");
+    FASTBCNN_CHECK(zero_map.channels() == counts.channels() &&
+                   zero_map.height() == counts.height() &&
+                   zero_map.width() == counts.width(),
+                   "zero map / count volume shape mismatch");
     BitVolume predicted(counts.channels(), counts.height(),
                         counts.width());
     for (std::size_t m = 0; m < counts.channels(); ++m) {
@@ -56,10 +57,10 @@ predictUnaffected(const BitVolume &zero_map, const CountVolume &counts,
 BitVolume
 actualUnaffected(const BitVolume &zero_map, const Tensor &true_output)
 {
-    FASTBCNN_ASSERT(true_output.shape().rank() == 3,
-                    "conv output must be CHW");
-    FASTBCNN_ASSERT(zero_map.size() == true_output.numel(),
-                    "zero map / output shape mismatch");
+    FASTBCNN_CHECK(true_output.shape().rank() == 3,
+                   "conv output must be CHW");
+    FASTBCNN_CHECK(zero_map.size() == true_output.numel(),
+                   "zero map / output shape mismatch");
     BitVolume unaffected(zero_map.channels(), zero_map.height(),
                          zero_map.width());
     for (std::size_t i = 0; i < true_output.numel(); ++i) {

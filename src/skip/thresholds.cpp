@@ -3,6 +3,8 @@
 #include <istream>
 #include <ostream>
 
+#include "common/check.hpp"
+
 namespace fastbcnn {
 
 ThresholdSet::ThresholdSet(const BcnnTopology &topo, int value)
@@ -20,7 +22,7 @@ ThresholdSet::of(NodeId conv, std::size_t m) const
     auto it = byConv_.find(conv);
     if (it == byConv_.end())
         fatal("no thresholds for conv node %zu", conv);
-    FASTBCNN_ASSERT(m < it->second.size(), "kernel index out of range");
+    FASTBCNN_CHECK(m < it->second.size(), "kernel index out of range");
     return it->second[m];
 }
 
@@ -30,7 +32,7 @@ ThresholdSet::set(NodeId conv, std::size_t m, int value)
     auto it = byConv_.find(conv);
     if (it == byConv_.end())
         fatal("no thresholds for conv node %zu", conv);
-    FASTBCNN_ASSERT(m < it->second.size(), "kernel index out of range");
+    FASTBCNN_CHECK(m < it->second.size(), "kernel index out of range");
     it->second[m] = value;
 }
 

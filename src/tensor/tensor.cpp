@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.hpp"
 #include "common/math_util.hpp"
 
 namespace fastbcnn {
@@ -37,15 +38,15 @@ Tensor::Tensor(Shape shape)
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data))
 {
-    FASTBCNN_ASSERT(data_.size() == shape_.numel(),
-                    "tensor data size does not match shape");
+    FASTBCNN_CHECK(data_.size() == shape_.numel(),
+                   "tensor data size does not match shape");
 }
 
 std::size_t
 Tensor::index3(std::size_t c, std::size_t h, std::size_t w) const
 {
-    FASTBCNN_ASSERT(shape_.rank() == 3, "rank-3 access on non-3D tensor");
-    FASTBCNN_ASSERT(c < shape_.dim(0) && h < shape_.dim(1) &&
+    FASTBCNN_DCHECK(shape_.rank() == 3, "rank-3 access on non-3D tensor");
+    FASTBCNN_DCHECK(c < shape_.dim(0) && h < shape_.dim(1) &&
                     w < shape_.dim(2), "CHW index out of range");
     return (c * shape_.dim(1) + h) * shape_.dim(2) + w;
 }
@@ -54,8 +55,8 @@ std::size_t
 Tensor::index4(std::size_t m, std::size_t c, std::size_t i,
                std::size_t j) const
 {
-    FASTBCNN_ASSERT(shape_.rank() == 4, "rank-4 access on non-4D tensor");
-    FASTBCNN_ASSERT(m < shape_.dim(0) && c < shape_.dim(1) &&
+    FASTBCNN_DCHECK(shape_.rank() == 4, "rank-4 access on non-4D tensor");
+    FASTBCNN_DCHECK(m < shape_.dim(0) && c < shape_.dim(1) &&
                     i < shape_.dim(2) && j < shape_.dim(3),
                     "MCKK index out of range");
     return ((m * shape_.dim(1) + c) * shape_.dim(2) + i) * shape_.dim(3)

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "common/logging.hpp"
+#include "common/check.hpp"
 
 namespace fastbcnn {
 
@@ -40,10 +40,10 @@ class Shape
     /** @return number of dimensions. */
     std::size_t rank() const { return dims_.size(); }
 
-    /** @return extent of dimension @p i. */
+    /** @return extent of dimension @p i (bounds DCHECKed). */
     std::size_t dim(std::size_t i) const
     {
-        FASTBCNN_ASSERT(i < dims_.size(), "shape dim out of range");
+        FASTBCNN_DCHECK(i < dims_.size(), "shape dim out of range");
         return dims_[i];
     }
 
@@ -71,8 +71,9 @@ class Shape
  *
  * Value semantics (copyable, movable).  Indexing helpers are provided
  * for the ranks the library uses; all are bounds-checked through
- * FASTBCNN_ASSERT because the functional model is the accuracy
- * reference for every experiment.
+ * FASTBCNN_DCHECK, active by default (FASTBCNN_DCHECKS=ON) because the
+ * functional model is the accuracy reference for every experiment, and
+ * compiled out only in explicitly-requested release builds.
  */
 class Tensor
 {
@@ -95,16 +96,16 @@ class Tensor
     /** @return true when the tensor holds no elements. */
     bool empty() const { return data_.empty(); }
 
-    /** Flat element access. */
+    /** Flat element access (bounds DCHECKed). */
     float &at(std::size_t i)
     {
-        FASTBCNN_ASSERT(i < data_.size(), "flat index out of range");
+        FASTBCNN_DCHECK(i < data_.size(), "flat index out of range");
         return data_[i];
     }
-    /** Flat element access (const). */
+    /** Flat element access (const, bounds DCHECKed). */
     float at(std::size_t i) const
     {
-        FASTBCNN_ASSERT(i < data_.size(), "flat index out of range");
+        FASTBCNN_DCHECK(i < data_.size(), "flat index out of range");
         return data_[i];
     }
 

@@ -143,12 +143,14 @@ TEST(BitVolume, Equality)
     EXPECT_FALSE(a == c);  // same bit count, different shape
 }
 
+#if FASTBCNN_ENABLE_DCHECKS
 TEST(BitVolume, OutOfRangePanics)
 {
     BitVolume v(1, 2, 2);
     EXPECT_DEATH(v.get(1, 0, 0), "out of range");
     EXPECT_DEATH(v.setFlat(4, true), "out of range");
 }
+#endif
 
 /** Property test: BitVolume agrees with a std::vector<bool> model. */
 class BitVolumeProperty : public ::testing::TestWithParam<std::size_t>

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Death tests for the error-reporting paths in common/logging.cpp and
+ * the contract-check macros in common/check.hpp: panic(), fatal() and
+ * every FASTBCNN_CHECK* flavour, including the value printing of the
+ * comparison checks and the compile-time gating of FASTBCNN_DCHECK.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+using namespace fastbcnn;
+
+TEST(PanicDeath, FormatsTagMessageAndAborts)
+{
+    EXPECT_DEATH(panic("broken invariant %d/%s", 7, "x"),
+                 "panic: broken invariant 7/x");
+}
+
+TEST(FatalDeath, ExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad configuration: %s", "threads"),
+                ::testing::ExitedWithCode(1),
+                "fatal: bad configuration: threads");
+}
+
+TEST(WarnInform, DoNotTerminate)
+{
+    warn("modelled imprecisely: %d", 1);
+    inform("status %d", 2);
+    informVerbose("detail %d", 3);
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Verbose);
+    informVerbose("visible detail");
+    setLogLevel(before);
+    SUCCEED();
+}
+
+TEST(CheckDeath, PassingConditionIsSilent)
+{
+    FASTBCNN_CHECK(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(CheckDeath, FailingConditionPanicsWithLocation)
+{
+    EXPECT_DEATH(FASTBCNN_CHECK(false, "the message"),
+                 "check 'false' failed at .*test_contracts\\.cpp:"
+                 ".*the message");
+}
+
+TEST(CheckDeath, ConditionTextIsStringified)
+{
+    const int limit = 3;
+    EXPECT_DEATH(FASTBCNN_CHECK(limit > 5, "limit too small"),
+                 "check 'limit > 5' failed");
+}
+
+TEST(CheckOpDeath, EqPrintsBothValues)
+{
+    const std::size_t got = 3, want = 4;
+    EXPECT_DEATH(FASTBCNN_CHECK_EQ(got, want),
+                 "got == want \\(with got = 3, want = 4\\)");
+}
+
+TEST(CheckOpDeath, LtPrintsBothValues)
+{
+    const int idx = 9, size = 4;
+    EXPECT_DEATH(FASTBCNN_CHECK_LT(idx, size),
+                 "idx < size \\(with idx = 9, size = 4\\)");
+}
+
+TEST(CheckOpDeath, LePassesOnEqualFailsAbove)
+{
+    FASTBCNN_CHECK_LE(4, 4);
+    EXPECT_DEATH(FASTBCNN_CHECK_LE(5, 4), "with 5 = 5, 4 = 4");
+}
+
+TEST(CheckOpDeath, RemainingComparisons)
+{
+    FASTBCNN_CHECK_NE(1, 2);
+    FASTBCNN_CHECK_GT(2, 1);
+    FASTBCNN_CHECK_GE(2, 2);
+    EXPECT_DEATH(FASTBCNN_CHECK_NE(7, 7), "7 != 7");
+    EXPECT_DEATH(FASTBCNN_CHECK_GT(1, 2), "1 > 2");
+    EXPECT_DEATH(FASTBCNN_CHECK_GE(1, 2), "1 >= 2");
+}
+
+TEST(CheckOpDeath, OperandsEvaluatedExactlyOnce)
+{
+    int calls = 0;
+    auto counted = [&calls]() {
+        ++calls;
+        return 1;
+    };
+    FASTBCNN_CHECK_EQ(counted(), 1);
+    EXPECT_EQ(calls, 1);
+}
+
+#if FASTBCNN_ENABLE_DCHECKS
+
+TEST(DcheckDeath, ActiveWhenEnabled)
+{
+    EXPECT_DEATH(FASTBCNN_DCHECK(false, "debug contract"),
+                 "debug contract");
+    EXPECT_DEATH(FASTBCNN_DCHECK_EQ(1, 2), "1 == 2");
+    EXPECT_DEATH(FASTBCNN_DCHECK_LT(2, 1), "2 < 1");
+    EXPECT_DEATH(FASTBCNN_DCHECK_LE(2, 1), "2 <= 1");
+}
+
+#else
+
+TEST(DcheckDeath, CompiledOutWhenDisabled)
+{
+    // Conditions must not be evaluated at all in a no-DCHECK build.
+    int evaluations = 0;
+    auto probe = [&evaluations]() {
+        ++evaluations;
+        return false;
+    };
+    FASTBCNN_DCHECK(probe(), "never evaluated");
+    FASTBCNN_DCHECK_EQ(evaluations, 99);
+    EXPECT_EQ(evaluations, 0);
+}
+
+#endif // FASTBCNN_ENABLE_DCHECKS

@@ -98,8 +98,9 @@ TEST_P(AlphaMonotonicity, MorePermissiveThresholdPredictsMore)
     for (const auto &[conv, pred_lo] : a.predicted) {
         const BitVolume &pred_hi = b.predicted.at(conv);
         for (std::size_t i = 0; i < pred_lo.size(); ++i) {
-            if (pred_lo.getFlat(i))
+            if (pred_lo.getFlat(i)) {
                 ASSERT_TRUE(pred_hi.getFlat(i));
+            }
         }
     }
 }

@@ -425,8 +425,9 @@ TEST(PredictiveInference, PredictedNeuronsAreZeroInOutput)
         const Tensor &out = res.convOutputs.at(b.conv);
         const BitVolume &pred = res.predicted.at(b.conv);
         for (std::size_t i = 0; i < out.numel(); ++i) {
-            if (pred.getFlat(i))
+            if (pred.getFlat(i)) {
                 ASSERT_EQ(out.at(i), 0.0f);
+            }
         }
     }
 }

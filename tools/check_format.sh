@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Verify formatting of new/touched sources against .clang-format.
+#
+# Usage: tools/check_format.sh [file ...]
+#   With no arguments, checks the files changed relative to
+#   ${BASE_REF:-HEAD} (staged + unstaged), so pre-commit and CI both
+#   check exactly what a change touches.  This repo deliberately has
+#   no mass-reformat commit: only new or modified files must conform.
+#
+# Environment:
+#   CLANG_FORMAT  clang-format binary (default: first found on PATH)
+#   BASE_REF      git ref to diff against for the default file list
+#
+# Exits non-zero when any checked file needs reformatting.  Missing
+# clang-format degrades to a no-op (exit 0) with a notice, matching
+# the gating convention of tools/run_tidy.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+find_format() {
+    if [[ -n "${CLANG_FORMAT:-}" ]]; then
+        command -v "$CLANG_FORMAT" && return 0
+    fi
+    local candidate
+    for candidate in clang-format clang-format-18 clang-format-17 \
+                     clang-format-16 clang-format-15 clang-format-14; do
+        if command -v "$candidate" >/dev/null 2>&1; then
+            command -v "$candidate"
+            return 0
+        fi
+    done
+    return 1
+}
+
+FMT=$(find_format) || {
+    echo "check_format.sh: no clang-format on PATH; skipping" >&2
+    exit 0
+}
+
+if [[ $# -gt 0 ]]; then
+    files=("$@")
+else
+    mapfile -t files < <(git diff --name-only --diff-filter=d \
+                             "${BASE_REF:-HEAD}" -- \
+                             '*.cpp' '*.hpp' | sort -u)
+fi
+
+# Keep only C++ sources that still exist.
+cxx_files=()
+for f in "${files[@]:-}"; do
+    [[ "$f" == *.cpp || "$f" == *.hpp ]] || continue
+    [[ -f "$f" ]] && cxx_files+=("$f")
+done
+
+if [[ ${#cxx_files[@]} -eq 0 ]]; then
+    echo "check_format.sh: no C++ files to check" >&2
+    exit 0
+fi
+
+echo "check_format.sh: $FMT --dry-run over ${#cxx_files[@]} file(s)" >&2
+"$FMT" --dry-run -Werror "${cxx_files[@]}"

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the library sources with the checked-in
+# .clang-tidy profile.
+#
+# Usage: tools/run_tidy.sh [file ...]
+#   With no arguments, analyses every .cpp under src/.
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy binary to use (default: first of
+#               clang-tidy, clang-tidy-18 .. clang-tidy-14 on PATH)
+#   BUILD_DIR   compile-database directory (default: build-tidy,
+#               configured on demand with the `tidy` CMake preset)
+#
+# Exits non-zero on any finding (.clang-tidy sets WarningsAsErrors: '*').
+# When no clang-tidy binary exists on this machine the script reports
+# that and exits 0, so environments without LLVM tooling (this repo's
+# build container ships only GCC) degrade to a no-op instead of a
+# false failure; CI installs clang-tidy and gets the real check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+find_tidy() {
+    if [[ -n "${CLANG_TIDY:-}" ]]; then
+        command -v "$CLANG_TIDY" && return 0
+    fi
+    local candidate
+    for candidate in clang-tidy clang-tidy-18 clang-tidy-17 \
+                     clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+        if command -v "$candidate" >/dev/null 2>&1; then
+            command -v "$candidate"
+            return 0
+        fi
+    done
+    return 1
+}
+
+TIDY=$(find_tidy) || {
+    echo "run_tidy.sh: no clang-tidy binary found on PATH; skipping" \
+         "(install clang-tidy to run the static-analysis gate)" >&2
+    exit 0
+}
+
+BUILD_DIR=${BUILD_DIR:-build-tidy}
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "run_tidy.sh: generating compile database in $BUILD_DIR" >&2
+    cmake --preset tidy >/dev/null
+fi
+
+if [[ $# -gt 0 ]]; then
+    files=("$@")
+else
+    mapfile -t files < <(find src -name '*.cpp' | sort)
+fi
+
+echo "run_tidy.sh: $TIDY over ${#files[@]} file(s)" >&2
+status=0
+for f in "${files[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+    echo "run_tidy.sh: clang-tidy reported findings" >&2
+fi
+exit $status
