@@ -51,6 +51,14 @@ CaptureHooks::onActivation(const std::string &layer_name, LayerKind kind,
         activations_.insert_or_assign(layer_name, out);
 }
 
+void
+CaptureHooks::mutateActivation(const std::string &layer_name,
+                               LayerKind kind, Tensor &out)
+{
+    if (inner_)
+        inner_->mutateActivation(layer_name, kind, out);
+}
+
 const Tensor &
 CaptureHooks::activation(const std::string &layer_name) const
 {

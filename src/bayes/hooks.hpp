@@ -90,6 +90,8 @@ class CaptureHooks : public ForwardHooks
                                  const Shape &shape) override;
     void onActivation(const std::string &layer_name, LayerKind kind,
                       const Tensor &out) override;
+    void mutateActivation(const std::string &layer_name, LayerKind kind,
+                          Tensor &out) override;
 
     /** @return captured activations keyed by layer name. */
     const std::map<std::string, Tensor> &activations() const

@@ -1,14 +1,21 @@
 #include "mc_runner.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <optional>
 #include <thread>
 
 #include "common/check.hpp"
 #include "common/math_util.hpp"
+#include "common/table.hpp"
 
 namespace fastbcnn {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /** Resolve McOptions::threads to a concrete worker count. */
 std::size_t
@@ -22,20 +29,112 @@ resolveThreads(std::size_t requested, std::size_t samples)
     return n < samples ? n : samples;
 }
 
-/** Run sample @p t into its reserved result slots. */
+/** @return the flat index of the first non-finite element, or npos. */
+std::size_t
+firstNonFinite(const Tensor &t)
+{
+    const auto data = t.data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (!std::isfinite(data[i]))
+            return i;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+/** One sample's reserved slot: its output, masks, and fate. */
+struct SampleSlot {
+    Tensor output;
+    MaskSet masks;
+    ErrorCode code = ErrorCode::Ok;  ///< Ok = survived
+    std::string reason;
+};
+
+/** Run sample @p t (unguarded body shared by both paths). */
 void
-runOneSample(const Network &net, const Tensor &input,
-             const McOptions &opts, std::size_t t, McResult &result)
+runSampleBody(const Network &net, const Tensor &input,
+              const McOptions &opts, std::size_t t, SampleSlot &slot)
 {
     auto brng = makeBrng(opts.brng, opts.dropRate,
                          sampleSeed(opts.seed, t));
-    SamplingHooks hooks(*brng, true);
-    result.outputs[t] = net.forward(input, &hooks);
+    if (opts.faults != nullptr)
+        brng = opts.faults->wrapBrng(std::move(brng), t);
+    SamplingHooks sampling(*brng, true);
+    ForwardHooks *hooks = &sampling;
+    std::optional<FaultInjectionHooks> injector;
+    if (opts.faults != nullptr && !opts.faults->empty()) {
+        injector.emplace(*opts.faults, t, &sampling);
+        hooks = &*injector;
+    }
+    slot.output = net.forward(input, hooks);
     if (opts.recordMasks)
-        result.masks[t] = hooks.takeMasks();
+        slot.masks = sampling.takeMasks();
+}
+
+/** Run sample @p t under the isolation guard, recording its fate. */
+void
+runGuardedSample(const Network &net, const Tensor &input,
+                 const McOptions &opts, std::size_t t,
+                 SampleSlot &slot)
+{
+    if (opts.faults != nullptr && opts.faults->sampleKilled(t)) {
+        slot.code = ErrorCode::FaultInjected;
+        slot.reason = "injected sample failure (SampleKill)";
+        return;
+    }
+    if (!opts.sampleGuard) {
+        runSampleBody(net, input, opts, t, slot);
+        return;
+    }
+    try {
+        runSampleBody(net, input, opts, t, slot);
+        const std::size_t bad = firstNonFinite(slot.output);
+        if (bad != static_cast<std::size_t>(-1)) {
+            slot.code = ErrorCode::NonFinite;
+            slot.reason = format(
+                "sample output non-finite at element %zu", bad);
+            slot.output = Tensor();
+            slot.masks.clear();
+        }
+    } catch (const std::exception &e) {
+        slot.code = ErrorCode::SampleFailed;
+        slot.reason = format("exception: %s", e.what());
+        slot.output = Tensor();
+        slot.masks.clear();
+    }
 }
 
 } // namespace
+
+Status
+validateMcOptions(const McOptions &opts)
+{
+    if (opts.samples == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "McOptions::samples: need at least one MC "
+                      "sample (got 0)");
+    }
+    if (!(opts.dropRate >= 0.0 && opts.dropRate < 1.0)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "McOptions::dropRate %g outside [0, 1)",
+                      opts.dropRate);
+    }
+    if (opts.threads > kMaxMcThreads) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "McOptions::threads %zu exceeds the %zu-thread "
+                      "ceiling", opts.threads, kMaxMcThreads);
+    }
+    if (opts.quorum > opts.samples) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "McOptions::quorum %zu exceeds samples %zu "
+                      "(can never be met)", opts.quorum, opts.samples);
+    }
+    if (!(opts.deadlineMs >= 0.0)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "McOptions::deadlineMs %g must be >= 0 and "
+                      "finite", opts.deadlineMs);
+    }
+    return Status::ok();
+}
 
 std::unique_ptr<Brng>
 makeBrng(BrngKind kind, double drop_rate, std::uint64_t seed)
@@ -50,29 +149,69 @@ makeBrng(BrngKind kind, double drop_rate, std::uint64_t seed)
     panic("unknown BrngKind %d", static_cast<int>(kind));
 }
 
-McResult
-runMcDropout(const Network &net, const Tensor &input,
-             const McOptions &opts)
+Expected<McResult>
+tryRunMcDropout(const Network &net, const Tensor &input,
+                const McOptions &opts)
 {
-    if (opts.samples == 0)
-        fatal("MC dropout needs at least one sample");
+    FASTBCNN_RETURN_IF_ERROR(validateMcOptions(opts));
+    if (!(input.shape() == net.inputShape())) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "input shape %s does not match network '%s' "
+                      "input %s", input.shape().toString().c_str(),
+                      net.name().c_str(),
+                      net.inputShape().toString().c_str());
+    }
+
+    const Clock::time_point start = Clock::now();
+    const bool haveDeadline = opts.deadlineMs > 0.0;
+    const auto deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        opts.deadlineMs));
+
     McResult result;
 
     // Pre-inference: dropout off.  Its zero-neuron positions seed the
-    // unaffected-neuron machinery downstream.
+    // unaffected-neuron machinery downstream.  A non-finite output
+    // here is a whole-run failure — every sample shares these
+    // weights, so no quorum of samples could be healthy.
     result.preOutput = net.forward(input, nullptr);
+    if (opts.sampleGuard) {
+        const std::size_t bad = firstNonFinite(result.preOutput);
+        if (bad != static_cast<std::size_t>(-1)) {
+            return errorf(ErrorCode::NonFinite,
+                          "pre-inference output non-finite at element "
+                          "%zu (poisoned weights?)", bad);
+        }
+    }
 
-    // Every sample t owns slot t of outputs/masks and a private BRNG
-    // seeded by sampleSeed(seed, t): workers never share mutable state
-    // and the result is identical for any thread count.
-    result.outputs.resize(opts.samples);
-    if (opts.recordMasks)
-        result.masks.resize(opts.samples);
+    // Every sample t owns slot t and a private BRNG seeded by
+    // sampleSeed(seed, t): workers never share mutable state and the
+    // result is identical for any thread count.  Failed samples leave
+    // their slot's fate code set; survivors are compacted afterwards
+    // in ascending sample order.
+    std::vector<SampleSlot> slots(opts.samples);
+    const auto expired = [&]() {
+        return haveDeadline && Clock::now() >= deadline;
+    };
+    const auto markSkipped = [&](SampleSlot &slot) {
+        slot.code = ErrorCode::DeadlineExceeded;
+        slot.reason = format("not launched: %.3f ms deadline expired",
+                             opts.deadlineMs);
+    };
 
-    const std::size_t workers = resolveThreads(opts.threads, opts.samples);
+    const std::size_t workers =
+        resolveThreads(opts.threads, opts.samples);
     if (workers <= 1) {
-        for (std::size_t t = 0; t < opts.samples; ++t)
-            runOneSample(net, input, opts, t, result);
+        for (std::size_t t = 0; t < opts.samples; ++t) {
+            // Sample 0 always launches: a partial average needs at
+            // least one term no matter how tight the deadline.
+            if (t > 0 && expired()) {
+                markSkipped(slots[t]);
+                continue;
+            }
+            runGuardedSample(net, input, opts, t, slots[t]);
+        }
     } else {
         std::atomic<std::size_t> next{0};
         std::vector<std::thread> pool;
@@ -81,7 +220,11 @@ runMcDropout(const Network &net, const Tensor &input,
             pool.emplace_back([&]() {
                 for (std::size_t t = next.fetch_add(1);
                      t < opts.samples; t = next.fetch_add(1)) {
-                    runOneSample(net, input, opts, t, result);
+                    if (t > 0 && expired()) {
+                        markSkipped(slots[t]);
+                        continue;
+                    }
+                    runGuardedSample(net, input, opts, t, slots[t]);
                 }
             });
         }
@@ -89,8 +232,46 @@ runMcDropout(const Network &net, const Tensor &input,
             worker.join();
     }
 
+    // Compact survivors and build the census, both in sample order.
+    result.census.requested = opts.samples;
+    for (std::size_t t = 0; t < opts.samples; ++t) {
+        SampleSlot &slot = slots[t];
+        if (slot.code == ErrorCode::Ok) {
+            result.outputs.push_back(std::move(slot.output));
+            if (opts.recordMasks)
+                result.masks.push_back(std::move(slot.masks));
+            result.sampleIndices.push_back(t);
+        } else {
+            result.census.failures.push_back(
+                SampleFailure{t, slot.code, std::move(slot.reason)});
+        }
+    }
+    result.census.survived = result.outputs.size();
+    result.census.degraded =
+        result.census.survived < result.census.requested;
+
+    const std::size_t quorum =
+        opts.quorum > 0 ? opts.quorum : std::size_t{1};
+    if (result.census.survived < quorum) {
+        return errorf(ErrorCode::QuorumNotMet,
+                      "only %zu of %zu MC samples survived "
+                      "(quorum %zu)", result.census.survived,
+                      result.census.requested, quorum);
+    }
+
     result.summary = summarizeSamples(result.outputs);
     return result;
+}
+
+McResult
+runMcDropout(const Network &net, const Tensor &input,
+             const McOptions &opts)
+{
+    Expected<McResult> result = tryRunMcDropout(net, input, opts);
+    if (!result)
+        fatal("MC dropout failed: %s",
+              result.error().toString().c_str());
+    return std::move(result).value();
 }
 
 } // namespace fastbcnn

@@ -4,6 +4,14 @@
  * forward passes over one input plus one non-dropout pre-inference,
  * producing the averaged prediction, uncertainty statistics, and the
  * recorded masks / activations the tracing layer consumes.
+ *
+ * The runner is fault-isolating: every sample executes under a guard
+ * that catches injected faults (FaultPlan), natural non-finite
+ * outputs, and thrown errors, drops the casualty, and degrades the
+ * estimate to the T' survivors — each MC sample is an independent
+ * lane, exactly as in the FPGA BNN accelerators the design mirrors,
+ * and a posterior mean over T' < T Bernoulli-dropout samples is still
+ * a valid (wider-variance) estimate.
  */
 
 #ifndef FASTBCNN_BAYES_MC_RUNNER_HPP
@@ -11,6 +19,7 @@
 
 #include <cstdint>
 
+#include "fault/fault.hpp"
 #include "hooks.hpp"
 #include "nn/network.hpp"
 #include "uncertainty.hpp"
@@ -22,6 +31,9 @@ enum class BrngKind {
     Lfsr,     ///< the hardware 8-LFSR design (Section V-B3)
     Software  ///< std::mt19937 reference
 };
+
+/** Hard ceiling on McOptions::threads (suspicious beyond this). */
+inline constexpr std::size_t kMaxMcThreads = 4096;
 
 /** Options for one MC-dropout run. */
 struct McOptions {
@@ -41,14 +53,68 @@ struct McOptions {
      * where the T MC passes map onto independent compute lanes.
      */
     std::size_t threads = 1;
+
+    /**
+     * Per-sample fault isolation.  When on, each sample runs under a
+     * guard that converts injected faults, non-finite outputs and
+     * thrown exceptions into per-sample failures recorded in
+     * McResult::census; the run degrades to the survivors instead of
+     * dying.  When off the runner behaves exactly like the unguarded
+     * PR 1 path (no output scanning, no catch) — the fault-overhead
+     * bench compares the two.
+     */
+    bool sampleGuard = true;
+
+    /**
+     * Minimum surviving samples T' for the run to count as usable;
+     * fewer survivors fail the whole run with ErrorCode::QuorumNotMet.
+     * 0 means "any", but at least one survivor is always required
+     * (an average over zero samples is meaningless).
+     */
+    std::size_t quorum = 0;
+
+    /**
+     * Wall-clock budget in milliseconds; 0 disables.  Once the budget
+     * is spent the runner stops *launching* samples (in-flight ones
+     * finish), records the never-launched ones as DeadlineExceeded in
+     * the census, and returns the partial average.  Sample 0 is
+     * always launched, so a quorum of <= 1 cannot be starved by the
+     * deadline alone.  Note this knob is inherently wall-clock
+     * dependent: results with a deadline are NOT reproducible across
+     * machines or runs.
+     */
+    double deadlineMs = 0.0;
+
+    /**
+     * Fault-injection plan (not owned; may be nullptr).  Must outlive
+     * the run.  See fault/fault.hpp for the plan format.
+     */
+    const FaultPlan *faults = nullptr;
 };
+
+/**
+ * Validate @p opts at the API boundary.
+ * @return ok, or an InvalidArgument error naming the bad value.
+ */
+Status validateMcOptions(const McOptions &opts);
 
 /** The outcome of one MC-dropout run. */
 struct McResult {
     Tensor preOutput;              ///< non-dropout inference output
-    std::vector<Tensor> outputs;   ///< T per-sample outputs
-    std::vector<MaskSet> masks;    ///< per-sample masks (when recorded)
-    UncertaintySummary summary;    ///< Eq. 4 average + uncertainty
+    /**
+     * Surviving per-sample outputs in ascending sample order.  With
+     * no failures this is exactly the T requested samples; after
+     * casualties it holds the T' survivors (sampleIndices maps each
+     * entry back to its original sample index).
+     */
+    std::vector<Tensor> outputs;
+    std::vector<MaskSet> masks;    ///< per-survivor masks (recorded)
+    std::vector<std::size_t> sampleIndices;  ///< outputs[i] ran as t
+    UncertaintySummary summary;    ///< Eq. 4 average over survivors
+    DegradationCensus census;      ///< requested/survived/casualties
+
+    /** @return true when fewer than the requested samples survived. */
+    bool degraded() const { return census.degraded; }
 };
 
 /**
@@ -65,9 +131,23 @@ std::unique_ptr<Brng> makeBrng(BrngKind kind, double drop_rate,
  * off, then @p opts.samples stochastic samples, serially or on
  * @p opts.threads workers (deterministic either way; see McOptions).
  *
+ * Errors (never aborts): invalid options, input shape mismatch,
+ * non-finite pre-inference output, or fewer survivors than the
+ * quorum.  Per-sample failures degrade the result instead (see
+ * McResult::census).
+ *
  * @param net   a BCNN (dropout after every conv; see BcnnTopology)
  * @param input input tensor matching the network input shape
  * @param opts  sampling configuration
+ */
+Expected<McResult> tryRunMcDropout(const Network &net,
+                                   const Tensor &input,
+                                   const McOptions &opts);
+
+/**
+ * Legacy convenience wrapper around tryRunMcDropout(): identical
+ * behaviour, but a run-level Error is fatal().  Per-sample
+ * degradation still only degrades.
  */
 McResult runMcDropout(const Network &net, const Tensor &input,
                       const McOptions &opts);

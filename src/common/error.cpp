@@ -1,0 +1,56 @@
+#include "error.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace fastbcnn {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "Ok";
+      case ErrorCode::InvalidArgument: return "InvalidArgument";
+      case ErrorCode::ParseError: return "ParseError";
+      case ErrorCode::Truncated: return "Truncated";
+      case ErrorCode::NotFound: return "NotFound";
+      case ErrorCode::Mismatch: return "Mismatch";
+      case ErrorCode::NonFinite: return "NonFinite";
+      case ErrorCode::FaultInjected: return "FaultInjected";
+      case ErrorCode::SampleFailed: return "SampleFailed";
+      case ErrorCode::QuorumNotMet: return "QuorumNotMet";
+      case ErrorCode::DeadlineExceeded: return "DeadlineExceeded";
+      case ErrorCode::IoError: return "IoError";
+      case ErrorCode::Internal: return "Internal";
+    }
+    panic("unknown ErrorCode %d", static_cast<int>(code));
+}
+
+std::string
+Error::toString() const
+{
+    if (isOk())
+        return "ok";
+    std::string out = "[";
+    out += errorCodeName(code_);
+    out += "] ";
+    for (const std::string &frame : context_) {
+        out += frame;
+        out += ": ";
+    }
+    out += message_;
+    return out;
+}
+
+Error
+errorf(ErrorCode code, const char *fmt, ...)
+{
+    char buf[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    return {code, std::string(buf)};
+}
+
+} // namespace fastbcnn

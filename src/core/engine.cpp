@@ -2,14 +2,45 @@
 
 namespace fastbcnn {
 
+Status
+validateEngineOptions(const EngineOptions &opts)
+{
+    FASTBCNN_RETURN_IF_ERROR(validateMcOptions(opts.mc)
+                                 .withContext("EngineOptions::mc"));
+    FASTBCNN_RETURN_IF_ERROR(
+        validateOptimizerOptions(opts.optimizer)
+            .withContext("EngineOptions::optimizer"));
+    FASTBCNN_RETURN_IF_ERROR(
+        validateAcceleratorConfig(opts.config)
+            .withContext("EngineOptions::config"));
+    return Status::ok();
+}
+
 FastBcnnEngine::FastBcnnEngine(Network net, EngineOptions opts)
     : net_(std::move(net)), opts_(std::move(opts)), topo_(net_),
       indicators_(topo_)
 {
+    if (Status status = validateEngineOptions(opts_); !status.isOk())
+        fatal("%s", status.toString().c_str());
     // Keep the optimizer's sampling consistent with inference unless
     // the caller configured it explicitly.
     if (opts_.optimizer.dropRate != opts_.mc.dropRate)
         opts_.optimizer.dropRate = opts_.mc.dropRate;
+}
+
+Expected<std::unique_ptr<FastBcnnEngine>>
+FastBcnnEngine::create(Network net, EngineOptions opts)
+{
+    FASTBCNN_RETURN_IF_ERROR(
+        validateEngineOptions(opts).withContext("creating engine"));
+    if (net.size() == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "network '%s' has no layers",
+                      net.name().c_str());
+    }
+    // Options are valid, so the constructor cannot fatal() on them.
+    return std::make_unique<FastBcnnEngine>(std::move(net),
+                                            std::move(opts));
 }
 
 void
@@ -20,6 +51,29 @@ FastBcnnEngine::calibrate(const std::vector<Tensor> &calibration_inputs)
                                             opts_.optimizer);
     thresholds_ = std::move(res.thresholds);
     tuneReports_ = std::move(res.reports);
+}
+
+Status
+FastBcnnEngine::tryCalibrate(
+    const std::vector<Tensor> &calibration_inputs)
+{
+    if (calibration_inputs.empty()) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "calibration needs at least one input");
+    }
+    for (std::size_t i = 0; i < calibration_inputs.size(); ++i) {
+        if (!(calibration_inputs[i].shape() == net_.inputShape())) {
+            return errorf(
+                ErrorCode::InvalidArgument,
+                "calibration input %zu shape %s does not match "
+                "network '%s' input %s", i,
+                calibration_inputs[i].shape().toString().c_str(),
+                net_.name().c_str(),
+                net_.inputShape().toString().c_str());
+        }
+    }
+    calibrate(calibration_inputs);
+    return Status::ok();
 }
 
 const ThresholdSet &
@@ -70,6 +124,30 @@ FastBcnnEngine::infer(const Tensor &input)
     result.energyReduction =
         result.fastBcnn.energyReductionOver(result.baseline);
     return result;
+}
+
+Expected<EngineResult>
+FastBcnnEngine::tryInfer(const Tensor &input)
+{
+    if (!(input.shape() == net_.inputShape())) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "input shape %s does not match network '%s' "
+                      "input %s", input.shape().toString().c_str(),
+                      net_.name().c_str(),
+                      net_.inputShape().toString().c_str());
+    }
+    if (!calibrated()) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "engine is not calibrated; call tryCalibrate() "
+                      "before tryInfer()");
+    }
+    return infer(input);
+}
+
+Expected<McResult>
+FastBcnnEngine::tryMcReference(const Tensor &input) const
+{
+    return tryRunMcDropout(net_, input, opts_.mc);
 }
 
 } // namespace fastbcnn

@@ -12,8 +12,10 @@
 #ifndef FASTBCNN_CORE_ENGINE_HPP
 #define FASTBCNN_CORE_ENGINE_HPP
 
+#include <memory>
 #include <optional>
 
+#include "common/error.hpp"
 #include "sim/accelerator.hpp"
 
 namespace fastbcnn {
@@ -29,6 +31,13 @@ struct EngineOptions {
     /** Timing-model options (skip mode, sync model, shortcut). */
     SimOptions sim;
 };
+
+/**
+ * Validate every sub-option block of @p opts at the engine boundary.
+ * @return ok, or the first InvalidArgument error, with context naming
+ * the offending block (mc / optimizer / config).
+ */
+Status validateEngineOptions(const EngineOptions &opts);
 
 /** The outcome of one engine inference. */
 struct EngineResult {
@@ -61,12 +70,22 @@ class FastBcnnEngine
   public:
     /**
      * @param net  a BCNN (dropout after every conv); ownership moves in
-     * @param opts engine configuration
+     * @param opts engine configuration (must validate; see create()
+     *             for the error-returning construction path)
      */
     explicit FastBcnnEngine(Network net, EngineOptions opts = {});
 
     FastBcnnEngine(const FastBcnnEngine &) = delete;
     FastBcnnEngine &operator=(const FastBcnnEngine &) = delete;
+
+    /**
+     * Error-returning construction: validates @p opts (and that the
+     * network is non-trivial) before building, so a serving process
+     * can reject a bad configuration instead of dying in the
+     * constructor.
+     */
+    static Expected<std::unique_ptr<FastBcnnEngine>> create(
+        Network net, EngineOptions opts = {});
 
     /**
      * Offline stage: run Algorithm 1 on a calibration set.  Must be
@@ -75,11 +94,33 @@ class FastBcnnEngine
      */
     void calibrate(const std::vector<Tensor> &calibration_inputs);
 
+    /**
+     * Error-returning calibrate(): rejects an empty set or inputs of
+     * the wrong shape instead of terminating.
+     */
+    Status tryCalibrate(const std::vector<Tensor> &calibration_inputs);
+
     /** @return true once thresholds have been calibrated. */
     bool calibrated() const { return thresholds_.has_value(); }
 
     /** Run the full pipeline on one input. */
     EngineResult infer(const Tensor &input);
+
+    /**
+     * Error-returning infer(): rejects a wrong-shape input and an
+     * uncalibrated engine (no silent self-calibration) instead of
+     * warning / terminating.
+     */
+    Expected<EngineResult> tryInfer(const Tensor &input);
+
+    /**
+     * Fault-isolating exact MC-dropout reference on the owned
+     * network, using the engine's McOptions (including any FaultPlan,
+     * quorum and deadline).  This is the serving-path entry point the
+     * degradation census flows from; copy McResult::census into a
+     * SimReport::degradation to report it beside timing results.
+     */
+    Expected<McResult> tryMcReference(const Tensor &input) const;
 
     /**
      * Build (and return) the raw trace bundle of one input — the

@@ -64,6 +64,21 @@ class ForwardHooks
     {
         (void)layer_name; (void)kind; (void)out;
     }
+
+    /**
+     * Mutate the output of node @p layer_name in place before any
+     * downstream layer consumes it.  Called by Network::forward()
+     * after the layer finishes (so the faulted value also reaches the
+     * network output when the layer is last).  Default: no-op.  The
+     * fault-injection layer (src/fault) uses this to model datapath
+     * bit-flips and NaN/Inf poisoning; the mutated tensor is what the
+     * rest of the forward pass — and the MC sample guard — sees.
+     */
+    virtual void mutateActivation(const std::string &layer_name,
+                                  LayerKind kind, Tensor &out)
+    {
+        (void)layer_name; (void)kind; (void)out;
+    }
 };
 
 /**

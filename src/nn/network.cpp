@@ -85,6 +85,10 @@ Network::forward(const Tensor &input, ForwardHooks *hooks) const
             ins.push_back(id == inputNode ? &input : &outputs[id]);
         }
         outputs[i] = nodes_[i].layer->forward(ins, hooks);
+        if (hooks) {
+            hooks->mutateActivation(nodes_[i].layer->name(),
+                                    nodes_[i].layer->kind(), outputs[i]);
+        }
     }
     return std::move(outputs.back());
 }
@@ -127,12 +131,20 @@ Network::outputShape() const
 NodeId
 Network::findNode(const std::string &layer_name) const
 {
+    if (std::optional<NodeId> id = tryFindNode(layer_name))
+        return *id;
+    fatal("network '%s' has no layer named '%s'", name_.c_str(),
+          layer_name.c_str());
+}
+
+std::optional<NodeId>
+Network::tryFindNode(const std::string &layer_name) const noexcept
+{
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         if (nodes_[i].layer->name() == layer_name)
             return i;
     }
-    fatal("network '%s' has no layer named '%s'", name_.c_str(),
-          layer_name.c_str());
+    return std::nullopt;
 }
 
 std::uint64_t

@@ -8,6 +8,7 @@
 #define FASTBCNN_NN_NETWORK_HPP
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,14 @@ class Network
      * @return the node id, or fatal() when absent.
      */
     NodeId findNode(const std::string &layer_name) const;
+
+    /**
+     * Find a node by layer name without terminating on a miss — the
+     * error-returning boundary paths (tryLoadWeights, fault targeting)
+     * use this to reject untrusted names gracefully.
+     */
+    std::optional<NodeId> tryFindNode(const std::string &layer_name)
+        const noexcept;
 
     /** @return total multiply-accumulate count of one dense inference. */
     std::uint64_t totalMacs() const;

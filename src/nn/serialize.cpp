@@ -1,8 +1,12 @@
 #include "serialize.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
+#include <utility>
+#include <vector>
 
 #include "common/table.hpp"
 #include "conv2d.hpp"
@@ -46,21 +50,55 @@ writeValues(std::ostream &os, const Tensor &t)
     }
 }
 
-void
-readValues(std::istream &is, Tensor &t)
+/**
+ * Read @p count float tokens into @p out.  Rejects truncation and
+ * tokens that are not entirely a float literal (bit rot inside a
+ * value), so corrupt streams fail loudly instead of loading zeros.
+ */
+Status
+readValues(std::istream &is, std::size_t count,
+           std::vector<float> &out)
 {
-    for (float &v : t.data()) {
-        std::string token;
-        if (!(is >> token))
-            fatal("weight file truncated");
-        v = std::strtof(token.c_str(), nullptr);
+    out.clear();
+    out.reserve(count);
+    std::string token;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!(is >> token)) {
+            return errorf(ErrorCode::Truncated,
+                          "weight file truncated after %zu of %zu "
+                          "values", i, count);
+        }
+        char *end = nullptr;
+        const float v = std::strtof(token.c_str(), &end);
+        if (end == token.c_str() ||
+            end != token.c_str() + token.size()) {
+            // A half-token at end of stream is a cut, not bit rot.
+            if (is.peek() == std::istream::traits_type::eof()) {
+                return errorf(ErrorCode::Truncated,
+                              "weight file truncated inside value %zu "
+                              "of %zu ('%.32s')", i, count,
+                              token.c_str());
+            }
+            return errorf(ErrorCode::ParseError,
+                          "corrupt value token '%.32s' at value %zu "
+                          "of %zu", token.c_str(), i, count);
+        }
+        out.push_back(v);
     }
+    return Status::ok();
 }
+
+/** One parsed-and-validated record awaiting commit. */
+struct StagedRecord {
+    NodeId node = 0;
+    std::vector<float> weights;
+    std::vector<float> bias;
+};
 
 } // namespace
 
-void
-saveWeights(const Network &net, std::ostream &os)
+Status
+trySaveWeights(const Network &net, std::ostream &os)
 {
     os << "fastbcnn-weights v1 " << net.name() << '\n';
     for (NodeId id = 0; id < net.size(); ++id) {
@@ -74,40 +112,102 @@ saveWeights(const Network &net, std::ostream &os)
         writeValues(os, *p.weights);
         writeValues(os, *p.bias);
     }
+    if (!os.good()) {
+        return errorf(ErrorCode::IoError,
+                      "stream failed while saving weights of '%s'",
+                      net.name().c_str());
+    }
+    return Status::ok();
+}
+
+void
+saveWeights(const Network &net, std::ostream &os)
+{
+    Status status = trySaveWeights(net, os);
+    if (!status.isOk())
+        fatal("%s", status.toString().c_str());
+}
+
+Status
+tryLoadWeights(Network &net, std::istream &is)
+{
+    std::string magic, version, model;
+    if (!(is >> magic >> version >> model) ||
+        magic != "fastbcnn-weights" || version != "v1") {
+        return errorf(ErrorCode::ParseError,
+                      "not a fastbcnn v1 weight file (header "
+                      "'%.32s %.32s')", magic.c_str(),
+                      version.c_str());
+    }
+
+    // Stage 1: parse and validate every record without touching the
+    // network, so any error leaves the weights exactly as they were.
+    std::vector<StagedRecord> staged;
+    std::string tag;
+    while (is >> tag) {
+        if (tag != "layer") {
+            return errorf(ErrorCode::ParseError,
+                          "malformed weight file near '%.32s'",
+                          tag.c_str());
+        }
+        std::string name, kind;
+        std::size_t w_count = 0, b_count = 0;
+        if (!(is >> name >> kind >> w_count >> b_count)) {
+            return errorf(ErrorCode::ParseError,
+                          "malformed layer record near '%.64s'",
+                          name.c_str());
+        }
+        const std::optional<NodeId> id = net.tryFindNode(name);
+        if (!id) {
+            return errorf(ErrorCode::NotFound,
+                          "network '%s' has no layer named '%.64s'",
+                          net.name().c_str(), name.c_str());
+        }
+        ParamRefs p = paramsOf(net.layer(*id));
+        if (!p.weights) {
+            return errorf(ErrorCode::Mismatch,
+                          "layer '%.64s' in weight file has no "
+                          "parameters in the network", name.c_str());
+        }
+        if (p.weights->numel() != w_count ||
+            p.bias->numel() != b_count) {
+            return errorf(ErrorCode::Mismatch,
+                          "layer '%.64s': checkpoint holds %zu/%zu "
+                          "values but the network needs %zu/%zu",
+                          name.c_str(), w_count, b_count,
+                          p.weights->numel(), p.bias->numel());
+        }
+        StagedRecord rec;
+        rec.node = *id;
+        FASTBCNN_RETURN_IF_ERROR(
+            readValues(is, w_count, rec.weights)
+                .withContext(format("weights of layer '%.64s'",
+                                    name.c_str())));
+        FASTBCNN_RETURN_IF_ERROR(
+            readValues(is, b_count, rec.bias)
+                .withContext(format("bias of layer '%.64s'",
+                                    name.c_str())));
+        staged.push_back(std::move(rec));
+    }
+
+    // Stage 2: commit.  Counts were validated above, so this cannot
+    // fail half-way.
+    for (StagedRecord &rec : staged) {
+        ParamRefs p = paramsOf(net.layer(rec.node));
+        std::copy(rec.weights.begin(), rec.weights.end(),
+                  p.weights->data().begin());
+        std::copy(rec.bias.begin(), rec.bias.end(),
+                  p.bias->data().begin());
+    }
+    return Status::ok();
 }
 
 void
 loadWeights(Network &net, std::istream &is)
 {
-    std::string magic, version, model;
-    if (!(is >> magic >> version >> model) ||
-        magic != "fastbcnn-weights" || version != "v1") {
-        fatal("not a fastbcnn v1 weight file");
-    }
-    std::string tag;
-    while (is >> tag) {
-        if (tag != "layer")
-            fatal("malformed weight file near '%s'", tag.c_str());
-        std::string name, kind;
-        std::size_t w_count = 0, b_count = 0;
-        if (!(is >> name >> kind >> w_count >> b_count))
-            fatal("malformed layer record");
-        const NodeId id = net.findNode(name);  // fatal when absent
-        ParamRefs p = paramsOf(net.layer(id));
-        if (!p.weights) {
-            fatal("layer '%s' in weight file has no parameters in "
-                  "the network", name.c_str());
-        }
-        if (p.weights->numel() != w_count ||
-            p.bias->numel() != b_count) {
-            fatal("layer '%s': checkpoint holds %zu/%zu values but "
-                  "the network needs %zu/%zu",
-                  name.c_str(), w_count, b_count, p.weights->numel(),
-                  p.bias->numel());
-        }
-        readValues(is, *p.weights);
-        readValues(is, *p.bias);
-    }
+    Status status = tryLoadWeights(net, is);
+    if (!status.isOk())
+        fatal("%s", status.toString().c_str());
 }
 
 void

@@ -6,6 +6,11 @@
  * layer name, so weights survive rebuilds as long as the topology's
  * names match — the property the offline threshold store (Algorithm 1
  * artefacts) also relies on.
+ *
+ * Loading is a boundary path: checkpoint streams are untrusted input
+ * (truncated files, bit rot, wrong formats), so tryLoadWeights()
+ * returns an Error instead of terminating, and commits weights
+ * all-or-nothing — a failed load leaves the network untouched.
  */
 
 #ifndef FASTBCNN_NN_SERIALIZE_HPP
@@ -13,6 +18,7 @@
 
 #include <iosfwd>
 
+#include "common/error.hpp"
 #include "network.hpp"
 
 namespace fastbcnn {
@@ -22,17 +28,26 @@ namespace fastbcnn {
  *
  * Format: `layer <name> <kind> <weight-count> <bias-count>` followed
  * by the values in row-major order (hex floats, lossless round trip).
+ *
+ * @return ok, or IoError when the stream reports failure.
  */
+Status trySaveWeights(const Network &net, std::ostream &os);
+
+/** Legacy wrapper around trySaveWeights(); fatal() on error. */
 void saveWeights(const Network &net, std::ostream &os);
 
 /**
  * Load weights saved by saveWeights() into @p net.
  *
- * Layers are matched by name; a record whose name or element counts do
- * not match the network is a user error (fatal()).  Records for
- * layers absent from the network are also fatal — a silently ignored
- * checkpoint is worse than a loud one.
+ * Layers are matched by name.  Every malformed input — wrong magic,
+ * truncation, bit-corrupted values, unknown layer names, element
+ * counts that do not match the network — returns a descriptive Error
+ * (ParseError / Truncated / NotFound / Mismatch).  On any error the
+ * network's weights are left exactly as they were (staged commit).
  */
+Status tryLoadWeights(Network &net, std::istream &is);
+
+/** Legacy wrapper around tryLoadWeights(); fatal() on error. */
 void loadWeights(Network &net, std::istream &is);
 
 /**

@@ -5,6 +5,35 @@
 
 namespace fastbcnn {
 
+Status
+validateAcceleratorConfig(const AcceleratorConfig &cfg)
+{
+    if (cfg.tm == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "AcceleratorConfig '%s': tm (PE count) must be "
+                      "positive", cfg.name.c_str());
+    }
+    if (cfg.tn == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "AcceleratorConfig '%s': tn (multiplier lanes) "
+                      "must be positive", cfg.name.c_str());
+    }
+    if (!(cfg.clockMhz > 0.0) ||
+        !(cfg.clockMhz < 1e9)) {  // also rejects NaN / Inf
+        return errorf(ErrorCode::InvalidArgument,
+                      "AcceleratorConfig '%s': clockMhz %g must be a "
+                      "finite positive frequency", cfg.name.c_str(),
+                      cfg.clockMhz);
+    }
+    if (cfg.modelDram && !(cfg.dramBytesPerCycle > 0.0)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "AcceleratorConfig '%s': dramBytesPerCycle %g "
+                      "must be positive while modelDram is set",
+                      cfg.name.c_str(), cfg.dramBytesPerCycle);
+    }
+    return Status::ok();
+}
+
 AcceleratorConfig
 fastBcnnConfig(std::size_t tm)
 {

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace fastbcnn {
 
 /**
@@ -39,6 +41,15 @@ struct AcceleratorConfig {
     /** @return total multiplier count (T_m · T_n). */
     std::size_t totalMacs() const { return tm * tn; }
 };
+
+/**
+ * Validate a (possibly hand-built) design point at the API boundary.
+ * @return ok, or an InvalidArgument error naming the bad value: zero
+ * PEs / lanes, non-positive or non-finite clock, non-positive DRAM
+ * bandwidth while modelDram is set.  countingLanes may be 0 (the
+ * baseline has no prediction hardware).
+ */
+Status validateAcceleratorConfig(const AcceleratorConfig &cfg);
 
 /**
  * @return the Fast-BCNN design point with @p tm PEs (Table I):

@@ -1,0 +1,47 @@
+#include "report.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "common/table.hpp"
+
+namespace fastbcnn {
+
+std::string
+degradationSummary(const DegradationCensus &census)
+{
+    std::string out = format("%zu/%zu samples survived",
+                             census.survived, census.requested);
+    if (!census.degraded)
+        return out;
+    // Aggregate casualties by error code, in code order.
+    std::map<ErrorCode, std::size_t> byCode;
+    for (const SampleFailure &f : census.failures)
+        ++byCode[f.code];
+    out += " (degraded; ";
+    bool first = true;
+    for (const auto &[code, count] : byCode) {
+        if (!first)
+            out += ", ";
+        out += format("%zu %s", count, errorCodeName(code));
+        first = false;
+    }
+    out += ")";
+    return out;
+}
+
+void
+printDegradation(const DegradationCensus &census, std::ostream &os)
+{
+    os << degradationSummary(census) << '\n';
+    if (!census.degraded)
+        return;
+    Table t({"sample", "code", "reason"});
+    for (const SampleFailure &f : census.failures) {
+        t.addRow({format("%zu", f.sample), errorCodeName(f.code),
+                  f.reason});
+    }
+    t.print(os);
+}
+
+} // namespace fastbcnn

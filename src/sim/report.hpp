@@ -7,10 +7,12 @@
 #define FASTBCNN_SIM_REPORT_HPP
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "energy.hpp"
+#include "fault/fault.hpp"
 
 namespace fastbcnn {
 
@@ -43,6 +45,15 @@ struct SimReport {
     double energyPerSampleNj = 0.0;
     std::vector<LayerSimStats> layers;
 
+    /**
+     * Degradation census of the MC run behind this report.  Default
+     * (all-zero) means "census not recorded"; callers running the
+     * guarded MC path (FastBcnnEngine::tryMcReference, the fault
+     * bench) copy McResult::census here so timing and survivability
+     * are reported side by side.
+     */
+    DegradationCensus degradation;
+
     /** @return speedup of this report relative to @p base. */
     double speedupOver(const SimReport &base) const
     {
@@ -61,6 +72,21 @@ struct SimReport {
         return 1.0 - cyclesPerSample / base.cyclesPerSample;
     }
 };
+
+/**
+ * One-line rendering of a degradation census, e.g.
+ * "47/50 samples survived (degraded; 2 FaultInjected, 1 NonFinite)"
+ * or "50/50 samples survived" for a clean run.
+ */
+std::string degradationSummary(const DegradationCensus &census);
+
+/**
+ * Print the full per-casualty census table (sample, code, reason) —
+ * the sim-report counterpart of the per-block skip census tables.
+ * Prints a single clean-run line when nothing failed.
+ */
+void printDegradation(const DegradationCensus &census,
+                      std::ostream &os);
 
 } // namespace fastbcnn
 

@@ -35,6 +35,43 @@ evalNode(const Network &net, NodeId id, const Tensor &input,
 
 } // namespace
 
+Status
+validateOptimizerOptions(const OptimizerOptions &opts)
+{
+    if (opts.initialThreshold <= 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "OptimizerOptions::initialThreshold Th must be "
+                      "positive (got %d)", opts.initialThreshold);
+    }
+    if (opts.step <= 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "OptimizerOptions::step Δs must be positive "
+                      "(got %d)", opts.step);
+    }
+    if (!(opts.confidence > 0.0 && opts.confidence <= 1.0)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "OptimizerOptions::confidence p_cf %g outside "
+                      "(0, 1]", opts.confidence);
+    }
+    if (opts.samples == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "OptimizerOptions::samples: need at least one "
+                      "tuning sample (got 0)");
+    }
+    if (!(opts.dropRate >= 0.0 && opts.dropRate < 1.0)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "OptimizerOptions::dropRate %g outside [0, 1)",
+                      opts.dropRate);
+    }
+    if (!(opts.tolerance >= 0.0f)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "OptimizerOptions::tolerance %g must be >= 0 "
+                      "and finite",
+                      static_cast<double>(opts.tolerance));
+    }
+    return Status::ok();
+}
+
 OptimizeResult
 optimizeThresholds(const BcnnTopology &topo,
                    const IndicatorSet &indicators,
@@ -43,10 +80,8 @@ optimizeThresholds(const BcnnTopology &topo,
 {
     if (dataset.empty())
         fatal("threshold optimization needs at least one input");
-    if (opts.confidence <= 0.0 || opts.confidence > 1.0)
-        fatal("confidence level must be in (0, 1]");
-    if (opts.step <= 0)
-        fatal("threshold step must be positive");
+    if (Status status = validateOptimizerOptions(opts); !status.isOk())
+        fatal("%s", status.toString().c_str());
 
     const Network &net = topo.network();
     const int th0 = static_cast<int>(

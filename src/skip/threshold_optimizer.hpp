@@ -22,6 +22,7 @@
 #define FASTBCNN_SKIP_THRESHOLD_OPTIMIZER_HPP
 
 #include "bayes/mc_runner.hpp"
+#include "common/error.hpp"
 #include "predictive_inference.hpp"
 
 namespace fastbcnn {
@@ -67,6 +68,14 @@ struct OptimizeResult {
     ThresholdSet thresholds;
     std::vector<BlockTuneReport> reports;
 };
+
+/**
+ * Validate @p opts at the API boundary (the engine does this before
+ * any work).  @return ok, or an InvalidArgument error naming the bad
+ * value: non-positive Th or Δs, p_cf outside (0, 1], zero tuning
+ * samples, dropRate outside [0, 1), negative tolerance.
+ */
+Status validateOptimizerOptions(const OptimizerOptions &opts);
 
 /**
  * Run Algorithm 1 over an optimization dataset.

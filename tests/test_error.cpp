@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the recoverable-error layer: Error / Status /
+ * Expected<T>, context chaining, errorf formatting, and the
+ * RETURN_IF_ERROR propagation macro.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+using namespace fastbcnn;
+
+namespace {
+
+Status
+failInner()
+{
+    return errorf(ErrorCode::Truncated, "ended after %d bytes", 12);
+}
+
+Status
+failOuter()
+{
+    FASTBCNN_RETURN_IF_ERROR(failInner().withContext("reading header"));
+    return Status::ok();
+}
+
+Expected<int>
+parsePositive(int v)
+{
+    if (v <= 0)
+        return errorf(ErrorCode::InvalidArgument, "%d is not positive",
+                      v);
+    return v;
+}
+
+} // namespace
+
+TEST(Error, DefaultIsOk)
+{
+    Error e;
+    EXPECT_TRUE(e.isOk());
+    EXPECT_EQ(e.code(), ErrorCode::Ok);
+    EXPECT_EQ(e.toString(), "ok");
+    EXPECT_TRUE(Error::ok().isOk());
+}
+
+TEST(Error, CarriesCodeAndMessage)
+{
+    Error e(ErrorCode::NotFound, "no such layer");
+    EXPECT_FALSE(e.isOk());
+    EXPECT_EQ(e.code(), ErrorCode::NotFound);
+    EXPECT_EQ(e.message(), "no such layer");
+    EXPECT_EQ(e.toString(), "[NotFound] no such layer");
+}
+
+TEST(Error, OkCodeWithMessageIsContractViolation)
+{
+    EXPECT_DEATH((void)Error(ErrorCode::Ok, "not really an error"),
+                 "carries no message");
+}
+
+TEST(Error, ContextChainsOutermostFirst)
+{
+    Error e = errorf(ErrorCode::ParseError, "bad token");
+    e.withContext("record 3");
+    e.withContext("loading checkpoint");
+    ASSERT_EQ(e.context().size(), 2u);
+    EXPECT_EQ(e.context()[0], "loading checkpoint");
+    EXPECT_EQ(e.context()[1], "record 3");
+    EXPECT_EQ(e.toString(),
+              "[ParseError] loading checkpoint: record 3: bad token");
+}
+
+TEST(Error, WithContextOnOkIsNoop)
+{
+    Status s = Status::ok();
+    s.withContext("should vanish");
+    EXPECT_TRUE(s.isOk());
+    EXPECT_TRUE(s.context().empty());
+}
+
+TEST(Error, ErrorfFormats)
+{
+    Error e = errorf(ErrorCode::Mismatch, "want %zu got %zu values",
+                     std::size_t{100}, std::size_t{7});
+    EXPECT_EQ(e.message(), "want 100 got 7 values");
+    EXPECT_STREQ(errorCodeName(e.code()), "Mismatch");
+}
+
+TEST(Error, EveryCodeHasAName)
+{
+    for (ErrorCode code :
+         {ErrorCode::Ok, ErrorCode::InvalidArgument,
+          ErrorCode::ParseError, ErrorCode::Truncated,
+          ErrorCode::NotFound, ErrorCode::Mismatch,
+          ErrorCode::NonFinite, ErrorCode::FaultInjected,
+          ErrorCode::SampleFailed, ErrorCode::QuorumNotMet,
+          ErrorCode::DeadlineExceeded, ErrorCode::IoError,
+          ErrorCode::Internal}) {
+        EXPECT_STRNE(errorCodeName(code), "");
+    }
+}
+
+TEST(Error, ReturnIfErrorPropagatesWithContext)
+{
+    Status s = failOuter();
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::Truncated);
+    EXPECT_EQ(s.toString(),
+              "[Truncated] reading header: ended after 12 bytes");
+}
+
+TEST(Expected, HoldsValue)
+{
+    Expected<int> r = parsePositive(41);
+    ASSERT_TRUE(r.hasValue());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 41);
+    EXPECT_EQ(r.valueOr(-1), 41);
+}
+
+TEST(Expected, HoldsError)
+{
+    Expected<int> r = parsePositive(-3);
+    ASSERT_FALSE(r.hasValue());
+    EXPECT_EQ(r.error().code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(r.error().message(), "-3 is not positive");
+    EXPECT_EQ(r.valueOr(-1), -1);
+}
+
+TEST(Expected, TakeErrorMovesOut)
+{
+    Error e = parsePositive(0).takeError();
+    EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+    e.withContext("validating input");
+    EXPECT_EQ(e.context().size(), 1u);
+}
+
+TEST(Expected, MoveOnlyPayload)
+{
+    Expected<std::unique_ptr<int>> r = std::make_unique<int>(5);
+    ASSERT_TRUE(r.hasValue());
+    std::unique_ptr<int> p = std::move(r).value();
+    EXPECT_EQ(*p, 5);
+}
+
+TEST(Expected, WrongAccessPanics)
+{
+    EXPECT_DEATH((void)parsePositive(-1).value(), "Expected::value");
+    EXPECT_DEATH((void)parsePositive(1).error(), "value result");
+    EXPECT_DEATH((void)Expected<int>(Error::ok()), "ok Error");
+}

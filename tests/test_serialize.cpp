@@ -106,6 +106,144 @@ TEST(Serialize, TruncatedFileFatal)
     EXPECT_DEATH(loadWeights(b, half), "truncated|malformed");
 }
 
+// ---------------------------------------------------------------------
+// Corrupt-fixture corpus: every class of damaged stream must come back
+// as a clean Error from tryLoadWeights (no abort, no partial load).
+// The CI fault-smoke job runs these under ASan/UBSan.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A valid serialized checkpoint to corrupt. */
+std::string
+goodCheckpoint(std::uint64_t seed)
+{
+    Network net = smallLenet(seed);
+    std::stringstream ss;
+    saveWeights(net, ss);
+    return ss.str();
+}
+
+/** Load @p text into a fresh network and return the error. */
+Status
+loadCorrupt(const std::string &text)
+{
+    Network net = smallLenet(99);
+    std::stringstream ss(text);
+    return tryLoadWeights(net, ss);
+}
+
+} // namespace
+
+TEST(SerializeCorpus, WrongMagicVariants)
+{
+    for (const char *fixture :
+         {"", "x", "fastbcnn-weights v2 lenet\n",
+          "fastbcnn-weight v1 lenet\n", "PK\x03\x04 zipfile junk",
+          "\x7f" "ELF not text at all"}) {
+        Status s = loadCorrupt(fixture);
+        ASSERT_FALSE(s.isOk()) << '"' << fixture << '"';
+        EXPECT_EQ(s.code(), ErrorCode::ParseError) << fixture;
+        EXPECT_NE(s.message().find("not a fastbcnn"),
+                  std::string::npos);
+    }
+}
+
+TEST(SerializeCorpus, TruncationAtEveryRegion)
+{
+    const std::string good = goodCheckpoint(20);
+    // Cut inside the magic, inside the first record line, and inside
+    // the value payload; every cut must produce an error, never a
+    // clean partial load.  (Cutting exactly after the header is NOT
+    // here: a header with zero records is a valid empty checkpoint.)
+    const std::size_t record = good.find("layer");
+    ASSERT_NE(record, std::string::npos);
+    for (std::size_t cut : {std::size_t{4}, record + 3,
+                            good.size() / 3, good.size() / 2,
+                            good.size() - 3}) {
+        Status s = loadCorrupt(good.substr(0, cut));
+        ASSERT_FALSE(s.isOk()) << "cut at " << cut;
+        EXPECT_TRUE(s.code() == ErrorCode::ParseError ||
+                    s.code() == ErrorCode::Truncated)
+            << "cut at " << cut << ": " << s.toString();
+    }
+}
+
+TEST(SerializeCorpus, BitRotInsideAValueIsParseError)
+{
+    std::string text = goodCheckpoint(21);
+    // Corrupt a hex-float digit in the middle of the payload with a
+    // byte no float literal can contain.
+    const std::size_t payload = text.find("0x", text.find("layer"));
+    ASSERT_NE(payload, std::string::npos);
+    text[payload + 1] = '#';
+    Status s = loadCorrupt(text);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::ParseError);
+    EXPECT_NE(s.message().find("corrupt value token"),
+              std::string::npos);
+    // Context names the layer whose payload rotted.
+    EXPECT_NE(s.toString().find("layer"), std::string::npos);
+}
+
+TEST(SerializeCorpus, CorruptRecordTagIsParseError)
+{
+    std::string text = goodCheckpoint(22);
+    const std::size_t tag = text.find("layer");
+    ASSERT_NE(tag, std::string::npos);
+    text.replace(tag, 5, "lay3r");
+    Status s = loadCorrupt(text);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::ParseError);
+    EXPECT_NE(s.message().find("malformed"), std::string::npos);
+}
+
+TEST(SerializeCorpus, FailedLoadLeavesWeightsUntouched)
+{
+    Network net = smallLenet(23);
+    std::stringstream before_ss;
+    saveWeights(net, before_ss);
+    const std::string before = before_ss.str();
+
+    // A checkpoint that validates its first record but dies in the
+    // second must not commit the first (all-or-nothing staging).
+    std::string text = goodCheckpoint(24);
+    const std::size_t second = text.find("layer",
+                                         text.find("layer") + 1);
+    ASSERT_NE(second, std::string::npos);
+    text.resize(second + 3);  // cut inside the second record tag
+    std::stringstream ss(text);
+    Status s = tryLoadWeights(net, ss);
+    ASSERT_FALSE(s.isOk());
+
+    std::stringstream after_ss;
+    saveWeights(net, after_ss);
+    EXPECT_EQ(after_ss.str(), before);
+}
+
+TEST(SerializeCorpus, TryLoadReportsMissingLayerWithoutDying)
+{
+    Network net = smallLenet(25);
+    std::stringstream ss(
+        "fastbcnn-weights v1 X\nlayer nope Conv2d 1 1\n0x1p+0\n0x1p+0\n");
+    Status s = tryLoadWeights(net, ss);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::NotFound);
+    EXPECT_NE(s.message().find("no layer named"), std::string::npos);
+}
+
+TEST(SerializeCorpus, RoundTripThroughTryPaths)
+{
+    Network a = smallLenet(26);
+    Network b = smallLenet(27);
+    std::stringstream ss;
+    ASSERT_TRUE(trySaveWeights(a, ss).isOk());
+    ASSERT_TRUE(tryLoadWeights(b, ss).isOk());
+    Tensor in(Shape({1, 28, 28}));
+    in.fill(0.25f);
+    EXPECT_TRUE(a.forward(in).allClose(b.forward(in), 0.0f));
+}
+
 TEST(Summary, ListsLayersAndTotals)
 {
     Network net = smallLenet(10);
