@@ -4,9 +4,18 @@
  * thresholds offline, run one uncertainty-aware inference and print
  * the prediction, the uncertainty, the neuron census and the
  * speedup/energy win of Fast-BCNN over the baseline accelerator.
+ *
+ * Flags (each tunes the MC-dropout run; see serve/ for the full
+ * serving treatment of the same knobs):
+ *   --threads N       parallel MC sampling threads (0 = hardware)
+ *   --deadline-ms D   latency budget; late samples are not launched
+ *                     and the run degrades to the survivors
+ *   --quorum Q        minimum surviving samples for a usable result
  */
 
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common/table.hpp"
 #include "core/engine.hpp"
@@ -15,9 +24,49 @@
 
 using namespace fastbcnn;
 
-int
-main()
+namespace {
+
+/** Parse "--flag value" pairs; exits with usage on a bad flag. */
+struct CliOptions {
+    std::size_t threads = 1;
+    double deadlineMs = 0.0;  // 0 = no deadline
+    std::size_t quorum = 0;   // 0 = any survivor suffices
+};
+
+CliOptions
+parseArgs(int argc, char **argv)
 {
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (flag == "--threads") {
+            cli.threads = std::stoul(value());
+        } else if (flag == "--deadline-ms") {
+            cli.deadlineMs = std::stod(value());
+        } else if (flag == "--quorum") {
+            cli.quorum = std::stoul(value());
+        } else {
+            std::cerr << "usage: quickstart [--threads N] "
+                         "[--deadline-ms D] [--quorum Q]\n";
+            std::exit(flag == "--help" ? 0 : 2);
+        }
+    }
+    return cli;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions cli = parseArgs(argc, argv);
     // 1. Build the model: LeNet-5 with a dropout layer after every
     //    convolution (the BCNN construction, drop rate 0.3).
     ModelOptions mopts;
@@ -35,8 +84,18 @@ main()
     //    Fast-BCNN64 design point, thresholds tuned to p_cf = 68 %.
     EngineOptions eopts;
     eopts.mc.samples = 50;
+    eopts.mc.threads = cli.threads;
+    eopts.mc.deadlineMs = cli.deadlineMs;
+    eopts.mc.quorum = cli.quorum;
     eopts.optimizer.confidence = 0.68;
     FastBcnnEngine engine(std::move(net), eopts);
+    std::cout << format("MC config: T = %zu, threads = %zu",
+                        eopts.mc.samples, cli.threads);
+    if (cli.deadlineMs > 0.0)
+        std::cout << format(", deadline %.1f ms", cli.deadlineMs);
+    if (cli.quorum > 0)
+        std::cout << format(", quorum %zu", cli.quorum);
+    std::cout << "\n";
 
     // 3. Offline stage: Algorithm 1 on a small calibration set.
     const Dataset calib = makeDataset(true, 10, 2, 42);
@@ -50,9 +109,18 @@ main()
         std::cout << ' ' << format("%.1f", r.meanAlpha);
     std::cout << ")\n\n";
 
-    // 4. One inference with uncertainty.
+    // 4. One inference with uncertainty.  tryInfer() reports deadline
+    //    and quorum failures as recoverable errors instead of
+    //    aborting, so a too-tight budget prints a diagnosis.
     const Tensor input = makeMnistLikeImage(3, 7);
-    EngineResult result = engine.infer(input);
+    Expected<EngineResult> inferred = engine.tryInfer(input);
+    if (!inferred.hasValue()) {
+        std::cerr << "inference failed ["
+                  << errorCodeName(inferred.error().code())
+                  << "]: " << inferred.error().message() << "\n";
+        return 1;
+    }
+    EngineResult result = std::move(inferred).value();
 
     std::cout << "Prediction: class " << result.prediction.argmax
               << format(" (p = %.3f)", result.prediction.maxProbability)
@@ -87,5 +155,23 @@ main()
                         "PE idle %.1f%%\n",
                         result.speedup, 100.0 * result.energyReduction,
                         100.0 * result.fastBcnn.peIdleFraction);
+
+    // 5. The exact MC-dropout reference under the latency budget.
+    //    --deadline-ms stops launching samples when the budget runs
+    //    out (the run degrades to the survivors) and --quorum sets
+    //    the floor below which the result is an error, not an answer.
+    Expected<McResult> reference = engine.tryMcReference(input);
+    if (!reference.hasValue()) {
+        std::cerr << "\nMC reference failed ["
+                  << errorCodeName(reference.error().code())
+                  << "]: " << reference.error().message() << "\n";
+        return 1;
+    }
+    const DegradationCensus &census2 = reference.value().census;
+    std::cout << format("\nMC reference: %zu of %zu samples survived",
+                        census2.survived, census2.requested)
+              << (census2.degraded ? " (degraded by the deadline)"
+                                   : "")
+              << "\n";
     return 0;
 }

@@ -253,10 +253,25 @@ tryRunMcDropout(const Network &net, const Tensor &input,
     const std::size_t quorum =
         opts.quorum > 0 ? opts.quorum : std::size_t{1};
     if (result.census.survived < quorum) {
-        return errorf(ErrorCode::QuorumNotMet,
+        // A quorum starved by the deadline is a deadline failure: the
+        // samples were healthy, the budget simply ran out before
+        // enough of them could launch.  Callers (the serving layer)
+        // key retry/shed policy off this distinction.
+        bool deadlineStarved = false;
+        for (const SampleFailure &f : result.census.failures) {
+            if (f.code == ErrorCode::DeadlineExceeded) {
+                deadlineStarved = true;
+                break;
+            }
+        }
+        return errorf(deadlineStarved ? ErrorCode::DeadlineExceeded
+                                      : ErrorCode::QuorumNotMet,
                       "only %zu of %zu MC samples survived "
-                      "(quorum %zu)", result.census.survived,
-                      result.census.requested, quorum);
+                      "(quorum %zu)%s", result.census.survived,
+                      result.census.requested, quorum,
+                      deadlineStarved
+                          ? " after the deadline stopped launches"
+                          : "");
     }
 
     result.summary = summarizeSamples(result.outputs);

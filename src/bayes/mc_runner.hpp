@@ -67,9 +67,12 @@ struct McOptions {
 
     /**
      * Minimum surviving samples T' for the run to count as usable;
-     * fewer survivors fail the whole run with ErrorCode::QuorumNotMet.
-     * 0 means "any", but at least one survivor is always required
-     * (an average over zero samples is meaningless).
+     * fewer survivors fail the whole run with ErrorCode::QuorumNotMet
+     * — or ErrorCode::DeadlineExceeded when the quorum was starved by
+     * the deadline stopping launches (the samples themselves were
+     * healthy; the budget ran out).  0 means "any", but at least one
+     * survivor is always required (an average over zero samples is
+     * meaningless).
      */
     std::size_t quorum = 0;
 

@@ -20,6 +20,9 @@ errorCodeName(ErrorCode code)
       case ErrorCode::SampleFailed: return "SampleFailed";
       case ErrorCode::QuorumNotMet: return "QuorumNotMet";
       case ErrorCode::DeadlineExceeded: return "DeadlineExceeded";
+      case ErrorCode::ResourceExhausted: return "ResourceExhausted";
+      case ErrorCode::Cancelled: return "Cancelled";
+      case ErrorCode::Unavailable: return "Unavailable";
       case ErrorCode::IoError: return "IoError";
       case ErrorCode::Internal: return "Internal";
     }

@@ -47,6 +47,9 @@ enum class ErrorCode {
     SampleFailed,      ///< an MC sample died for a non-injected reason
     QuorumNotMet,      ///< surviving samples below the required quorum
     DeadlineExceeded,  ///< wall-clock budget expired
+    ResourceExhausted, ///< a bounded resource (queue, pool) is full
+    Cancelled,         ///< the caller abandoned the request
+    Unavailable,       ///< the component is shut down / not accepting
     IoError,           ///< underlying stream reported failure
     Internal           ///< caught exception / unclassified failure
 };

@@ -8,6 +8,7 @@
 #ifndef FASTBCNN_COMMON_STATS_HPP
 #define FASTBCNN_COMMON_STATS_HPP
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -60,6 +61,88 @@ class StatGroup
     mutable std::mutex mutex_;
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> gauges_;
+};
+
+/**
+ * A log-bucketed latency histogram with quantile estimation.
+ *
+ * Samples are recorded in milliseconds and land in power-of-two
+ * microsecond buckets (bucket 0 covers [0, 1) us, bucket b covers
+ * [2^(b-1), 2^b) us), so sub-microsecond dispatch overheads and
+ * multi-second soak-test stalls share one fixed-size array.  Quantiles
+ * interpolate linearly inside the winning bucket and are clamped to
+ * the observed [min, max], which keeps single-sample histograms exact.
+ *
+ * Thread-safe like StatGroup (internal mutex): the serving layer
+ * records completions from every worker thread into one per-outcome
+ * histogram.  merge() makes per-worker local histograms cheap to
+ * aggregate; copying takes a consistent snapshot.
+ */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram() = default;
+
+    LatencyHistogram(const LatencyHistogram &other);
+    LatencyHistogram &operator=(const LatencyHistogram &other);
+
+    /** Record one latency sample (negative values clamp to zero). */
+    void record(double ms);
+
+    /** @return the number of recorded samples. */
+    std::uint64_t count() const;
+
+    /** @return the sum of all samples in ms (0 when empty). */
+    double totalMs() const;
+
+    /** @return the arithmetic mean in ms (0 when empty). */
+    double meanMs() const;
+
+    /** @return the smallest recorded sample (0 when empty). */
+    double minMs() const;
+
+    /** @return the largest recorded sample (0 when empty). */
+    double maxMs() const;
+
+    /**
+     * Estimate the @p q quantile (q in [0, 1]) in ms; 0 when empty.
+     * Log-bucket resolution: the estimate is exact to within its
+     * bucket's width (a factor of two) and clamped to [min, max].
+     */
+    double quantileMs(double q) const;
+
+    /** Median estimate. */
+    double p50Ms() const { return quantileMs(0.50); }
+    /** 95th-percentile estimate. */
+    double p95Ms() const { return quantileMs(0.95); }
+    /** 99th-percentile estimate. */
+    double p99Ms() const { return quantileMs(0.99); }
+
+    /** Fold another histogram's samples into this one. */
+    void merge(const LatencyHistogram &other);
+
+    /** Forget every sample. */
+    void reset();
+
+    /** Dump "prefix.count / .mean_ms / .p50_ms ..." lines. */
+    void dump(std::ostream &os, const std::string &prefix) const;
+
+  private:
+    /** [0,1)us, [1,2)us, [2,4)us ... ~2^62 us: covers any latency. */
+    static constexpr std::size_t kBuckets = 64;
+
+    static std::size_t bucketIndex(double ms);
+    static double bucketLowerMs(std::size_t bucket);
+    static double bucketUpperMs(std::size_t bucket);
+
+    double quantileLocked(double q) const;
+
+    mutable std::mutex mutex_;
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sumMs_ = 0.0;
+    double minMs_ = 0.0;
+    double maxMs_ = 0.0;
 };
 
 } // namespace fastbcnn

@@ -150,4 +150,11 @@ FastBcnnEngine::tryMcReference(const Tensor &input) const
     return tryRunMcDropout(net_, input, opts_.mc);
 }
 
+Expected<McResult>
+FastBcnnEngine::tryMcReference(const Tensor &input,
+                               const McOptions &mc) const
+{
+    return tryRunMcDropout(net_, input, mc);
+}
+
 } // namespace fastbcnn

@@ -123,6 +123,18 @@ class FastBcnnEngine
     Expected<McResult> tryMcReference(const Tensor &input) const;
 
     /**
+     * Per-request overload: run the MC reference with caller-supplied
+     * @p mc options instead of the engine defaults.  This is the
+     * serving-path hook — the serve worker merges a request's
+     * overrides (T, quorum, remaining deadline budget, fault plan)
+     * into the replica's defaults and dispatches here, so one
+     * calibrated engine replica can serve requests with heterogeneous
+     * sampling policies.
+     */
+    Expected<McResult> tryMcReference(const Tensor &input,
+                                      const McOptions &mc) const;
+
+    /**
      * Build (and return) the raw trace bundle of one input — the
      * benches use this to evaluate many accelerator configurations on
      * one captured workload.

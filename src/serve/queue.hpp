@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Bounded MPMC request queue with admission control.
+ *
+ * Producers are submit() callers; consumers are the scheduler running
+ * on the worker threads.  The queue is the server's backpressure
+ * point: push() never blocks — a full queue rejects the request with
+ * ErrorCode::ResourceExhausted so the client can back off, and a
+ * closed queue rejects with ErrorCode::Unavailable.
+ *
+ * Internally requests sit in one ordered bucket per priority class,
+ * keyed by (absolute deadline, admission sequence): pop() serves the
+ * highest non-empty priority earliest-deadline-first, with FIFO among
+ * requests that carry no deadline (their key is time_point::max()).
+ * tryPopModel() supports micro-batch formation by extracting the best
+ * queued request of a given model without blocking.
+ */
+
+#ifndef FASTBCNN_SERVE_QUEUE_HPP
+#define FASTBCNN_SERVE_QUEUE_HPP
+
+#include <array>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/request.hpp"
+
+namespace fastbcnn::serve {
+
+class BoundedRequestQueue
+{
+  public:
+    /** @param capacity admission bound across all priority classes */
+    explicit BoundedRequestQueue(std::size_t capacity);
+
+    BoundedRequestQueue(const BoundedRequestQueue &) = delete;
+    BoundedRequestQueue &operator=(const BoundedRequestQueue &) = delete;
+
+    /**
+     * Admit @p pending (never blocks).
+     * @return ok, ResourceExhausted when full, Unavailable when
+     *         closed.  On error the caller still owns the request.
+     */
+    Status push(PendingRequest &&pending);
+
+    /**
+     * Block until a request is available, then extract the best one
+     * (priority, then earliest deadline, then admission order).
+     * @return nullopt once the queue is closed — immediately for a
+     *         hard close, after running dry for a draining close.
+     */
+    std::optional<PendingRequest> pop();
+
+    /**
+     * Extract the best queued request of @p model_id without
+     * blocking (micro-batch fill).  Respects the same ordering as
+     * pop() within the model's requests.
+     */
+    std::optional<PendingRequest> tryPopModel(
+        const std::string &model_id);
+
+    /**
+     * Stop admitting requests.  @p drain true lets consumers run the
+     * queue dry before pop() returns nullopt; false makes pop()
+     * return nullopt immediately, leaving leftovers for flush().
+     */
+    void close(bool drain);
+
+    /** Remove and return every queued request (after a hard close). */
+    std::vector<PendingRequest> flush();
+
+    /** @return the number of queued requests. */
+    std::size_t size() const;
+
+    /** @return the admission bound. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** @return true once close() has been called. */
+    bool closed() const;
+
+  private:
+    /** (absolute deadline, admission seq): EDF with FIFO tiebreak. */
+    using Key = std::pair<ServeClock::time_point, std::uint64_t>;
+    using Bucket = std::map<Key, PendingRequest>;
+
+    /** Extract the globally best request.  Caller holds the lock. */
+    PendingRequest takeBestLocked();
+
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    std::array<Bucket, kPriorityLevels> buckets_;
+    std::size_t size_ = 0;
+    const std::size_t capacity_;
+    bool closed_ = false;
+    bool drain_ = false;
+};
+
+} // namespace fastbcnn::serve
+
+#endif // FASTBCNN_SERVE_QUEUE_HPP

@@ -1,0 +1,42 @@
+#include "request.hpp"
+
+#include "common/check.hpp"
+
+namespace fastbcnn::serve {
+
+const char *
+priorityName(Priority priority)
+{
+    switch (priority) {
+      case Priority::Interactive: return "Interactive";
+      case Priority::Standard: return "Standard";
+      case Priority::Background: return "Background";
+    }
+    panic("unknown Priority %d", static_cast<int>(priority));
+}
+
+const char *
+outcomeName(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Ok: return "Ok";
+      case Outcome::Shed: return "Shed";
+      case Outcome::Cancelled: return "Cancelled";
+      case Outcome::Failed: return "Failed";
+    }
+    panic("unknown Outcome %d", static_cast<int>(outcome));
+}
+
+const char *
+outcomeStatKey(Outcome outcome)
+{
+    switch (outcome) {
+      case Outcome::Ok: return "ok";
+      case Outcome::Shed: return "shed";
+      case Outcome::Cancelled: return "cancelled";
+      case Outcome::Failed: return "failed";
+    }
+    panic("unknown Outcome %d", static_cast<int>(outcome));
+}
+
+} // namespace fastbcnn::serve

@@ -1,0 +1,52 @@
+#include "scheduler.hpp"
+
+#include "common/check.hpp"
+
+namespace fastbcnn::serve {
+
+BatchScheduler::BatchScheduler(BoundedRequestQueue &queue,
+                               SchedulerOptions opts, ShedFn shed)
+    : queue_(queue), opts_(opts), shed_(std::move(shed))
+{
+    FASTBCNN_CHECK(opts_.maxBatch > 0,
+                   "SchedulerOptions::maxBatch must be >= 1");
+    FASTBCNN_CHECK(shed_ != nullptr,
+                   "BatchScheduler needs a shed callback");
+}
+
+std::optional<std::vector<PendingRequest>>
+BatchScheduler::nextBatch()
+{
+    for (;;) {
+        std::optional<PendingRequest> head = queue_.pop();
+        if (!head.has_value())
+            return std::nullopt;
+        if (head->expired(ServeClock::now())) {
+            shed_(std::move(*head));
+            continue;
+        }
+
+        std::vector<PendingRequest> batch;
+        batch.reserve(opts_.maxBatch);
+        batch.push_back(std::move(*head));
+        // The batch head fixes the model; fill with compatible
+        // requests, shedding expired ones found along the way (they
+        // would be shed at their own dispatch anyway — doing it here
+        // frees queue slots sooner).
+        const std::string model = batch.front().request.modelId;
+        while (batch.size() < opts_.maxBatch) {
+            std::optional<PendingRequest> next =
+                queue_.tryPopModel(model);
+            if (!next.has_value())
+                break;
+            if (next->expired(ServeClock::now())) {
+                shed_(std::move(*next));
+                continue;
+            }
+            batch.push_back(std::move(*next));
+        }
+        return batch;
+    }
+}
+
+} // namespace fastbcnn::serve

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deadline- and priority-aware batch scheduler.
+ *
+ * Worker threads call nextBatch() in a loop.  The scheduler pulls the
+ * best queued request (priority, then earliest deadline — the queue's
+ * ordering), sheds any request whose deadline already expired before
+ * dispatch (load shedding: completing it now with Outcome::Shed is
+ * strictly better than burning a replica on an answer nobody is
+ * waiting for), and then fills a micro-batch with up to maxBatch - 1
+ * more queued requests of the *same model*.  Batching by model is
+ * what makes the amortization work: every request in the batch runs
+ * on one already-calibrated engine replica, so the predictor
+ * thresholds and pre-inference machinery are resolved once per batch
+ * instead of once per request.
+ */
+
+#ifndef FASTBCNN_SERVE_SCHEDULER_HPP
+#define FASTBCNN_SERVE_SCHEDULER_HPP
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "serve/queue.hpp"
+
+namespace fastbcnn::serve {
+
+/** Scheduling policy knobs. */
+struct SchedulerOptions {
+    /** Micro-batch size cap (1 disables batching). */
+    std::size_t maxBatch = 8;
+};
+
+class BatchScheduler
+{
+  public:
+    /** Disposal of a request shed before dispatch. */
+    using ShedFn = std::function<void(PendingRequest &&)>;
+
+    /**
+     * @param queue the admission queue (not owned; must outlive this)
+     * @param opts  policy knobs
+     * @param shed  called with every load-shed request; must complete
+     *              its promise (the server wires this to its
+     *              completion path)
+     */
+    BatchScheduler(BoundedRequestQueue &queue, SchedulerOptions opts,
+                   ShedFn shed);
+
+    BatchScheduler(const BatchScheduler &) = delete;
+    BatchScheduler &operator=(const BatchScheduler &) = delete;
+
+    /**
+     * Block until a micro-batch of unexpired same-model requests is
+     * available (at least one request; never empty).
+     * @return nullopt once the queue is closed and — when draining —
+     *         empty.
+     */
+    std::optional<std::vector<PendingRequest>> nextBatch();
+
+  private:
+    BoundedRequestQueue &queue_;
+    SchedulerOptions opts_;
+    ShedFn shed_;
+};
+
+} // namespace fastbcnn::serve
+
+#endif // FASTBCNN_SERVE_SCHEDULER_HPP

@@ -1,0 +1,314 @@
+#include "server.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace fastbcnn::serve {
+
+Status
+validateServerOptions(const ServerOptions &opts)
+{
+    if (opts.workers == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "ServerOptions::workers must be >= 1");
+    }
+    if (opts.queueCapacity == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "ServerOptions::queueCapacity must be >= 1");
+    }
+    if (opts.maxBatch == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "ServerOptions::maxBatch must be >= 1");
+    }
+    return Status::ok();
+}
+
+InferenceServer::InferenceServer(ServerOptions opts)
+    : opts_(opts), queue_(opts.queueCapacity)
+{}
+
+Expected<std::unique_ptr<InferenceServer>>
+InferenceServer::create(std::vector<ModelSpec> models,
+                        ServerOptions opts)
+{
+    {
+        Status valid = validateServerOptions(opts);
+        if (!valid.isOk())
+            return std::move(valid).withContext("creating server");
+    }
+    if (models.empty()) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "InferenceServer needs at least one ModelSpec");
+    }
+
+    // The constructor is private; create() is the only way in.
+    std::unique_ptr<InferenceServer> server(
+        new InferenceServer(opts));
+
+    // Build opts.workers calibrated replicas of every model.  Replica
+    // 0 of each model defines the admission-time contract (input
+    // shape, MC defaults); later replicas must agree.
+    std::vector<std::map<std::string, std::unique_ptr<FastBcnnEngine>>>
+        replicaSets(opts.workers);
+    for (const ModelSpec &spec : models) {
+        if (spec.id.empty()) {
+            return errorf(ErrorCode::InvalidArgument,
+                          "ModelSpec::id must be non-empty");
+        }
+        if (spec.factory == nullptr) {
+            return errorf(ErrorCode::InvalidArgument,
+                          "ModelSpec '%s' has no factory",
+                          spec.id.c_str());
+        }
+        if (server->models_.count(spec.id) != 0) {
+            return errorf(ErrorCode::InvalidArgument,
+                          "duplicate ModelSpec id '%s'",
+                          spec.id.c_str());
+        }
+        for (std::size_t w = 0; w < opts.workers; ++w) {
+            Expected<std::unique_ptr<FastBcnnEngine>> engine =
+                spec.factory();
+            if (!engine.hasValue()) {
+                return std::move(engine).takeError().withContext(
+                    format("building replica %zu of model '%s'", w,
+                           spec.id.c_str()));
+            }
+            std::unique_ptr<FastBcnnEngine> replica =
+                std::move(engine).value();
+            if (replica == nullptr || !replica->calibrated()) {
+                return errorf(ErrorCode::InvalidArgument,
+                              "factory of model '%s' must return a "
+                              "calibrated engine", spec.id.c_str());
+            }
+            if (w == 0) {
+                ModelInfo info;
+                info.inputShape = replica->network().inputShape();
+                info.mcDefaults = replica->options().mc;
+                server->models_.emplace(spec.id, std::move(info));
+            } else if (!(replica->network().inputShape() ==
+                         server->models_.at(spec.id).inputShape)) {
+                return errorf(ErrorCode::Mismatch,
+                              "replica %zu of model '%s' has a "
+                              "different input shape", w,
+                              spec.id.c_str());
+            }
+            replicaSets[w].emplace(spec.id, std::move(replica));
+        }
+    }
+
+    for (std::size_t w = 0; w < opts.workers; ++w) {
+        server->workers_.push_back(std::make_unique<EngineWorker>(
+            w, std::move(replicaSets[w])));
+    }
+    InferenceServer *raw = server.get();
+    server->scheduler_ = std::make_unique<BatchScheduler>(
+        server->queue_, SchedulerOptions{opts.maxBatch},
+        [raw](PendingRequest &&pending) {
+            raw->shed(std::move(pending));
+        });
+    server->threads_.reserve(opts.workers);
+    for (std::size_t w = 0; w < opts.workers; ++w)
+        server->threads_.emplace_back(
+            [raw, w]() { raw->workerLoop(w); });
+    return server;
+}
+
+InferenceServer::~InferenceServer()
+{
+    stop(false);
+}
+
+Expected<RequestHandle>
+InferenceServer::submit(InferRequest request)
+{
+    stats_.add("submitted");
+    auto it = models_.find(request.modelId);
+    if (it == models_.end()) {
+        stats_.add("rejected_invalid");
+        return errorf(ErrorCode::NotFound,
+                      "model '%s' is not served",
+                      request.modelId.c_str());
+    }
+    const ModelInfo &info = it->second;
+    if (!(request.input.shape() == info.inputShape)) {
+        stats_.add("rejected_invalid");
+        return errorf(ErrorCode::InvalidArgument,
+                      "input shape %s does not match model '%s' "
+                      "input %s",
+                      request.input.shape().toString().c_str(),
+                      request.modelId.c_str(),
+                      info.inputShape.toString().c_str());
+    }
+    if (!(request.deadlineMs >= 0.0) ||
+        !std::isfinite(request.deadlineMs)) {
+        stats_.add("rejected_invalid");
+        return errorf(ErrorCode::InvalidArgument,
+                      "InferRequest::deadlineMs %g must be finite "
+                      "and >= 0", request.deadlineMs);
+    }
+    if (static_cast<std::size_t>(request.priority) >=
+        kPriorityLevels) {
+        stats_.add("rejected_invalid");
+        return errorf(ErrorCode::InvalidArgument,
+                      "InferRequest::priority %d out of range",
+                      static_cast<int>(request.priority));
+    }
+    {
+        // Validate the merged MC options now, so a bad override is an
+        // immediate submit error instead of a deferred Failed
+        // response.  The deadline merge is dispatch-time state and is
+        // validated by construction (remainingMs() >= 0).
+        McOptions merged = info.mcDefaults;
+        const McOverrides &over = request.mc;
+        if (over.samples.has_value())
+            merged.samples = *over.samples;
+        if (over.quorum.has_value())
+            merged.quorum = *over.quorum;
+        if (over.threads.has_value())
+            merged.threads = *over.threads;
+        if (over.seed.has_value())
+            merged.seed = *over.seed;
+        Status valid = validateMcOptions(merged);
+        if (!valid.isOk()) {
+            stats_.add("rejected_invalid");
+            return std::move(valid).withContext(
+                "per-request MC overrides");
+        }
+    }
+
+    PendingRequest pending;
+    pending.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    pending.seq = nextSeq_.fetch_add(1, std::memory_order_relaxed);
+    pending.submitted = ServeClock::now();
+    if (request.deadlineMs > 0.0) {
+        pending.hasDeadline = true;
+        pending.deadline =
+            pending.submitted +
+            std::chrono::duration_cast<ServeClock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    request.deadlineMs));
+    }
+    RequestHandle handle;
+    handle.id = pending.id;
+    handle.token = request.token;
+    handle.response = pending.promise.get_future();
+    pending.request = std::move(request);
+
+    Status admitted = queue_.push(std::move(pending));
+    if (!admitted.isOk()) {
+        stats_.add(admitted.code() == ErrorCode::ResourceExhausted
+                       ? "rejected_full"
+                       : "rejected_closed");
+        return std::move(admitted).withContext("submitting request");
+    }
+    stats_.add("accepted");
+    return handle;
+}
+
+void
+InferenceServer::workerLoop(std::size_t index)
+{
+    EngineWorker &worker = *workers_[index];
+    const EngineWorker::CompleteFn completer =
+        [this](PendingRequest &&pending, InferResponse &&response) {
+            complete(std::move(pending), std::move(response));
+        };
+    while (auto batch = scheduler_->nextBatch()) {
+        stats_.add("batches");
+        stats_.add("batched_requests", batch->size());
+        worker.runBatch(std::move(*batch), completer);
+    }
+}
+
+void
+InferenceServer::complete(PendingRequest &&pending,
+                          InferResponse &&response)
+{
+    response.totalMs =
+        elapsedMs(pending.submitted, ServeClock::now());
+    response.queueMs = response.totalMs - response.serviceMs;
+    if (response.queueMs < 0.0)
+        response.queueMs = 0.0;
+
+    stats_.add(outcomeStatKey(response.outcome));
+    if (response.degraded())
+        stats_.add("degraded");
+    latency_[static_cast<std::size_t>(response.outcome)].record(
+        response.totalMs);
+    pending.promise.set_value(std::move(response));
+}
+
+void
+InferenceServer::shed(PendingRequest &&pending)
+{
+    InferResponse response;
+    response.id = pending.id;
+    response.outcome = Outcome::Shed;
+    response.error =
+        errorf(ErrorCode::DeadlineExceeded,
+               "shed: deadline (%.3f ms) expired while queued",
+               pending.request.deadlineMs);
+    complete(std::move(pending), std::move(response));
+}
+
+void
+InferenceServer::stop(bool drain_queue)
+{
+    {
+        const std::lock_guard<std::mutex> lock(lifecycle_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+    }
+    queue_.close(drain_queue);
+    for (std::thread &thread : threads_)
+        thread.join();
+    // Hard shutdown: everything the workers never pulled resolves as
+    // Cancelled (drain leaves nothing behind).
+    for (PendingRequest &pending : queue_.flush()) {
+        InferResponse response;
+        response.id = pending.id;
+        response.outcome = Outcome::Cancelled;
+        response.error = errorf(ErrorCode::Cancelled,
+                                "server shut down before dispatch");
+        complete(std::move(pending), std::move(response));
+    }
+}
+
+void
+InferenceServer::drain()
+{
+    stop(true);
+}
+
+void
+InferenceServer::shutdown()
+{
+    stop(false);
+}
+
+bool
+InferenceServer::accepting() const
+{
+    return !queue_.closed();
+}
+
+std::vector<std::string>
+InferenceServer::modelIds() const
+{
+    std::vector<std::string> ids;
+    ids.reserve(models_.size());
+    for (const auto &[id, info] : models_)
+        ids.push_back(id);
+    return ids;
+}
+
+LatencyHistogram
+InferenceServer::latencySnapshot(Outcome outcome) const
+{
+    return latency_[static_cast<std::size_t>(outcome)];
+}
+
+} // namespace fastbcnn::serve

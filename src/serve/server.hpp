@@ -1,0 +1,166 @@
+/**
+ * @file
+ * InferenceServer — concurrent batch-inference serving front end.
+ *
+ * Owns the full pipeline: a bounded MPMC admission queue
+ * (backpressure: a full queue rejects with ResourceExhausted), a
+ * deadline/priority-aware batch scheduler with pre-dispatch load
+ * shedding, and a pool of worker threads each holding its own
+ * calibrated engine replica per served model.  Per-outcome latency
+ * histograms and a StatGroup give the load-generator harness and the
+ * soak tests a consistent view of what happened to every request.
+ *
+ * Lifecycle: create() → submit()* → drain() (graceful: serve
+ * everything queued, then stop) or shutdown() (hard: stop pulling,
+ * cancel everything still queued).  Either way every accepted
+ * request's future resolves exactly once; the destructor performs a
+ * hard shutdown if neither was called.
+ */
+
+#ifndef FASTBCNN_SERVE_SERVER_HPP
+#define FASTBCNN_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "serve/queue.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/worker.hpp"
+
+namespace fastbcnn::serve {
+
+/** One model the server hosts. */
+struct ModelSpec {
+    /** The id requests address (InferRequest::modelId). */
+    std::string id;
+    /**
+     * Builds one *calibrated* engine replica.  Called once per worker
+     * at create() time; every call must produce an engine with the
+     * same input shape and MC defaults (replicas of one model).
+     */
+    std::function<Expected<std::unique_ptr<FastBcnnEngine>>()> factory;
+};
+
+/** Server sizing knobs. */
+struct ServerOptions {
+    /** Worker threads == engine replicas per model. */
+    std::size_t workers = 2;
+    /** Admission-queue bound (backpressure point). */
+    std::size_t queueCapacity = 64;
+    /** Micro-batch size cap (1 disables batching). */
+    std::size_t maxBatch = 8;
+};
+
+/**
+ * Validate @p opts at the API boundary.
+ * @return ok, or an InvalidArgument error naming the bad value.
+ */
+Status validateServerOptions(const ServerOptions &opts);
+
+class InferenceServer
+{
+  public:
+    /**
+     * Build a server: validates @p opts, instantiates
+     * opts.workers replicas of every model in @p models (rejecting
+     * factories that fail or return uncalibrated engines), and starts
+     * the worker threads.
+     */
+    static Expected<std::unique_ptr<InferenceServer>> create(
+        std::vector<ModelSpec> models, ServerOptions opts = {});
+
+    /** Hard shutdown if the caller never stopped the server. */
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Submit one request (thread-safe, never blocks).
+     *
+     * Admission control rejects — returning the error, with no future
+     * ever created — on: unknown model (NotFound), wrong input shape
+     * or invalid merged MC options (InvalidArgument), full queue
+     * (ResourceExhausted), stopping server (Unavailable).  An
+     * accepted request's future resolves exactly once with its
+     * InferResponse.
+     */
+    Expected<RequestHandle> submit(InferRequest request);
+
+    /**
+     * Graceful drain: stop admitting, serve everything queued
+     * (shedding what expires on the way), join the workers.
+     * Idempotent with shutdown(); first caller wins.
+     */
+    void drain();
+
+    /**
+     * Hard shutdown: stop admitting, finish only the batches already
+     * dispatched, complete everything still queued with
+     * Outcome::Cancelled, join the workers.
+     */
+    void shutdown();
+
+    /** @return true while submit() can still accept requests. */
+    bool accepting() const;
+
+    /** @return the number of queued (not yet dispatched) requests. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** @return the server options. */
+    const ServerOptions &options() const { return opts_; }
+
+    /** @return the served model ids. */
+    std::vector<std::string> modelIds() const;
+
+    /**
+     * Serving counters: accepted, rejected_full, rejected_invalid,
+     * ok, shed, cancelled, failed, degraded, batches,
+     * batched_requests.
+     */
+    const StatGroup &stats() const { return stats_; }
+
+    /** @return a snapshot of the latency histogram of @p outcome. */
+    LatencyHistogram latencySnapshot(Outcome outcome) const;
+
+  private:
+    /** Admission-time knowledge about one served model. */
+    struct ModelInfo {
+        Shape inputShape;
+        McOptions mcDefaults;
+    };
+
+    explicit InferenceServer(ServerOptions opts);
+
+    void workerLoop(std::size_t index);
+    /** Resolve @p pending's promise and account for the outcome. */
+    void complete(PendingRequest &&pending, InferResponse &&response);
+    /** complete() for a load-shed request. */
+    void shed(PendingRequest &&pending);
+    void stop(bool drain_queue);
+
+    ServerOptions opts_;
+    std::map<std::string, ModelInfo> models_;
+    BoundedRequestQueue queue_;
+    std::unique_ptr<BatchScheduler> scheduler_;
+    std::vector<std::unique_ptr<EngineWorker>> workers_;
+    std::vector<std::thread> threads_;
+
+    StatGroup stats_{"serve"};
+    std::array<LatencyHistogram, kOutcomeCount> latency_;
+    std::atomic<std::uint64_t> nextId_{1};
+    std::atomic<std::uint64_t> nextSeq_{1};
+
+    std::mutex lifecycle_;
+    bool stopped_ = false;
+};
+
+} // namespace fastbcnn::serve
+
+#endif // FASTBCNN_SERVE_SERVER_HPP

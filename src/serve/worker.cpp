@@ -1,0 +1,124 @@
+#include "worker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+
+namespace fastbcnn::serve {
+
+EngineWorker::EngineWorker(
+    std::size_t index,
+    std::map<std::string, std::unique_ptr<FastBcnnEngine>> replicas)
+    : index_(index), replicas_(std::move(replicas))
+{
+    FASTBCNN_CHECK(!replicas_.empty(),
+                   "EngineWorker needs at least one engine replica");
+    for (const auto &[id, engine] : replicas_) {
+        FASTBCNN_CHECK(engine != nullptr,
+                       format("replica '%s' is null", id.c_str())
+                           .c_str());
+        FASTBCNN_CHECK(engine->calibrated(),
+                       format("replica '%s' is not calibrated",
+                              id.c_str())
+                           .c_str());
+    }
+}
+
+const FastBcnnEngine *
+EngineWorker::replica(const std::string &model_id) const
+{
+    auto it = replicas_.find(model_id);
+    return it == replicas_.end() ? nullptr : it->second.get();
+}
+
+McOptions
+EngineWorker::effectiveOptions(const FastBcnnEngine &engine,
+                               const PendingRequest &pending,
+                               ServeClock::time_point now)
+{
+    McOptions mc = engine.options().mc;
+    const McOverrides &over = pending.request.mc;
+    if (over.samples.has_value())
+        mc.samples = *over.samples;
+    if (over.quorum.has_value())
+        mc.quorum = *over.quorum;
+    if (over.threads.has_value())
+        mc.threads = *over.threads;
+    if (over.seed.has_value())
+        mc.seed = *over.seed;
+    if (over.faults != nullptr)
+        mc.faults = over.faults;
+    if (pending.hasDeadline) {
+        // Hand the MC runner only what is left of the end-to-end
+        // budget, tightened further by any replica-level deadline.
+        const double remaining = pending.remainingMs(now);
+        mc.deadlineMs = mc.deadlineMs > 0.0
+                            ? std::min(mc.deadlineMs, remaining)
+                            : remaining;
+    }
+    return mc;
+}
+
+void
+EngineWorker::runBatch(std::vector<PendingRequest> &&batch,
+                       const CompleteFn &complete)
+{
+    FASTBCNN_CHECK(!batch.empty(), "runBatch on an empty batch");
+    // Resolve the replica once for the whole batch: same-model
+    // grouping means every request shares this engine's calibrated
+    // thresholds and predictor state (the per-request setup the
+    // single-call API would redo each time).
+    const std::string &model = batch.front().request.modelId;
+    const FastBcnnEngine *engine = replica(model);
+    FASTBCNN_CHECK(engine != nullptr,
+                   format("worker %zu has no replica of model '%s' "
+                          "(admission should have rejected this)",
+                          index_, model.c_str())
+                       .c_str());
+    const std::size_t batchSize = batch.size();
+
+    for (PendingRequest &pending : batch) {
+        FASTBCNN_DCHECK(pending.request.modelId == model,
+                        "mixed-model batch");
+        InferResponse response;
+        response.id = pending.id;
+        response.batchSize = batchSize;
+        response.worker = index_;
+
+        const ServeClock::time_point now = ServeClock::now();
+        if (pending.request.token.cancelled()) {
+            response.outcome = Outcome::Cancelled;
+            response.error = errorf(ErrorCode::Cancelled,
+                                    "cancelled before dispatch");
+            complete(std::move(pending), std::move(response));
+            continue;
+        }
+        if (pending.expired(now)) {
+            response.outcome = Outcome::Shed;
+            response.error =
+                errorf(ErrorCode::DeadlineExceeded,
+                       "deadline (%.3f ms) expired before dispatch",
+                       pending.request.deadlineMs);
+            complete(std::move(pending), std::move(response));
+            continue;
+        }
+
+        const McOptions mc = effectiveOptions(*engine, pending, now);
+        const ServeClock::time_point begin = ServeClock::now();
+        Expected<McResult> run =
+            engine->tryMcReference(pending.request.input, mc);
+        response.serviceMs = elapsedMs(begin, ServeClock::now());
+        if (run.hasValue()) {
+            response.outcome = Outcome::Ok;
+            response.result = std::move(run).value();
+        } else {
+            response.outcome = Outcome::Failed;
+            response.error = std::move(run).takeError().withContext(
+                format("serving model '%s'", model.c_str()));
+        }
+        complete(std::move(pending), std::move(response));
+    }
+}
+
+} // namespace fastbcnn::serve

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Engine-replica worker: executes micro-batches on its own engines.
+ *
+ * Each worker owns one calibrated FastBcnnEngine replica per served
+ * model and is driven by exactly one thread, so no engine is ever
+ * touched concurrently — the only cross-thread state is the request
+ * queue and the server's (internally locked) metrics.  For every
+ * request the worker re-checks cancellation and the deadline at
+ * dispatch time, merges the request's McOverrides into the replica's
+ * default McOptions — converting the *remaining* end-to-end budget
+ * into McOptions::deadlineMs so the MC runner stops launching samples
+ * when the request's budget runs out — and dispatches through the
+ * engine's Expected<T> API.
+ */
+
+#ifndef FASTBCNN_SERVE_WORKER_HPP
+#define FASTBCNN_SERVE_WORKER_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/request.hpp"
+
+namespace fastbcnn::serve {
+
+class EngineWorker
+{
+  public:
+    /** Disposal of a finished request: must complete its promise. */
+    using CompleteFn =
+        std::function<void(PendingRequest &&, InferResponse &&)>;
+
+    /**
+     * @param index    worker id (reported in responses)
+     * @param replicas one calibrated engine per served model id
+     */
+    EngineWorker(
+        std::size_t index,
+        std::map<std::string, std::unique_ptr<FastBcnnEngine>>
+            replicas);
+
+    EngineWorker(const EngineWorker &) = delete;
+    EngineWorker &operator=(const EngineWorker &) = delete;
+
+    /**
+     * Execute one same-model micro-batch, completing every request
+     * through @p complete (exactly once each).
+     */
+    void runBatch(std::vector<PendingRequest> &&batch,
+                  const CompleteFn &complete);
+
+    /** @return this worker's replica of @p model_id (nullptr: none). */
+    const FastBcnnEngine *replica(const std::string &model_id) const;
+
+    /** @return the worker id. */
+    std::size_t index() const { return index_; }
+
+    /**
+     * Merge @p pending's overrides into @p engine's default McOptions
+     * at dispatch time @p now (remaining-deadline conversion included).
+     * Exposed for tests.
+     */
+    static McOptions effectiveOptions(const FastBcnnEngine &engine,
+                                      const PendingRequest &pending,
+                                      ServeClock::time_point now);
+
+  private:
+    std::size_t index_;
+    std::map<std::string, std::unique_ptr<FastBcnnEngine>> replicas_;
+};
+
+} // namespace fastbcnn::serve
+
+#endif // FASTBCNN_SERVE_WORKER_HPP

@@ -151,6 +151,54 @@ TEST(ParallelMc, DistinctSeedsYieldDistinctMaskStreams)
     }
 }
 
+/**
+ * Regression for the deadline/quorum interaction: a quorum miss caused
+ * by the deadline stopping launches must surface as DeadlineExceeded
+ * (the serving layer sheds/retries on it), never QuorumNotMet (which
+ * means samples actually died), and the outcome must not depend on the
+ * thread count.  A pre-expired deadline pins the schedule: only sample
+ * 0 ever launches, whatever the pool size.
+ */
+TEST(ParallelMc, DeadlineStarvedQuorumIsDeadlineExceededAtAnyThreadCount)
+{
+    const Network net = tinyBcnn();
+    const Tensor in = ones(Shape({1, 6, 6}));
+    McOptions opts;
+    opts.samples = 6;
+    opts.seed = 11;
+    opts.deadlineMs = 1e-9;  // expired before any launch decision
+    opts.quorum = 2;         // sample 0 alone can never satisfy it
+
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        opts.threads = threads;
+        Expected<McResult> run = tryRunMcDropout(net, in, opts);
+        ASSERT_FALSE(run.hasValue()) << "threads = " << threads;
+        EXPECT_EQ(run.error().code(), ErrorCode::DeadlineExceeded)
+            << "threads = " << threads << ": "
+            << run.error().message();
+    }
+
+    // With the quorum satisfiable by the always-launched sample 0, the
+    // same starved run succeeds degraded — and bit-identically at
+    // every thread count, because the survivor set is pinned to {0}.
+    opts.quorum = 1;
+    opts.threads = 1;
+    Expected<McResult> reference = tryRunMcDropout(net, in, opts);
+    ASSERT_TRUE(reference.hasValue());
+    EXPECT_EQ(reference.value().sampleIndices,
+              std::vector<std::size_t>{0});
+    EXPECT_TRUE(reference.value().degraded());
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+        opts.threads = threads;
+        Expected<McResult> run = tryRunMcDropout(net, in, opts);
+        ASSERT_TRUE(run.hasValue()) << "threads = " << threads;
+        EXPECT_EQ(run.value().sampleIndices,
+                  std::vector<std::size_t>{0});
+        expectBitIdentical(reference.value(), run.value());
+    }
+}
+
 TEST(ConcurrencyStress, IndependentRunsOnSharedNetwork)
 {
     const Network net = tinyBcnn();

@@ -100,8 +100,9 @@ TEST(Error, EveryCodeHasAName)
           ErrorCode::NotFound, ErrorCode::Mismatch,
           ErrorCode::NonFinite, ErrorCode::FaultInjected,
           ErrorCode::SampleFailed, ErrorCode::QuorumNotMet,
-          ErrorCode::DeadlineExceeded, ErrorCode::IoError,
-          ErrorCode::Internal}) {
+          ErrorCode::DeadlineExceeded, ErrorCode::ResourceExhausted,
+          ErrorCode::Cancelled, ErrorCode::Unavailable,
+          ErrorCode::IoError, ErrorCode::Internal}) {
         EXPECT_STRNE(errorCodeName(code), "");
     }
 }

@@ -1,0 +1,629 @@
+/**
+ * @file
+ * Serving-layer tests: queue admission control and ordering, scheduler
+ * load shedding and micro-batch formation, InferenceServer end-to-end
+ * behaviour (per-request overrides, deadlines, cancellation, fault
+ * plans, drain/shutdown), and the ServeConcurrency soak suite — the
+ * TSan-targeted workload proving that many producers, fault-injected
+ * engines and a mid-load shutdown lose no request and complete none
+ * twice.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "models/zoo.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "serve/server.hpp"
+
+using namespace fastbcnn;
+using namespace fastbcnn::serve;
+
+namespace {
+
+Network
+tinyBcnn(double drop_rate = 0.3)
+{
+    Network net("tiny", Shape({1, 6, 6}));
+    net.add(std::make_unique<Conv2d>("c1", 1, 2, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("r1"));
+    net.add(std::make_unique<Dropout>("d1", drop_rate));
+    net.add(std::make_unique<Conv2d>("c2", 2, 3, 3));
+    net.add(std::make_unique<ReLU>("r2"));
+    net.add(std::make_unique<Dropout>("d2", drop_rate));
+    InitOptions init;
+    init.seed = 3;
+    init.biasShift = 0.0;
+    initializeWeights(net, init);
+    return net;
+}
+
+Tensor
+ones(const Shape &s)
+{
+    Tensor t(s);
+    t.fill(1.0f);
+    return t;
+}
+
+/** A calibrated tiny-model replica factory (deterministic). */
+Expected<std::unique_ptr<FastBcnnEngine>>
+makeTinyReplica(std::size_t samples = 4)
+{
+    EngineOptions eopts;
+    eopts.mc.samples = samples;
+    eopts.mc.seed = 21;
+    eopts.mc.recordMasks = false;
+    eopts.optimizer.samples = 2;
+    Expected<std::unique_ptr<FastBcnnEngine>> engine =
+        FastBcnnEngine::create(tinyBcnn(), eopts);
+    if (!engine.hasValue())
+        return engine;
+    Status calibrated =
+        engine.value()->tryCalibrate({ones(Shape({1, 6, 6}))});
+    if (!calibrated.isOk())
+        return calibrated;
+    return engine;
+}
+
+ModelSpec
+tinySpec(std::string id = "tiny", std::size_t samples = 4)
+{
+    return ModelSpec{std::move(id),
+                     [samples]() { return makeTinyReplica(samples); }};
+}
+
+PendingRequest
+makePending(std::uint64_t id, std::uint64_t seq,
+            const std::string &model, Priority priority,
+            double deadline_ms = 0.0)
+{
+    PendingRequest p;
+    p.id = id;
+    p.seq = seq;
+    p.request.modelId = model;
+    p.request.priority = priority;
+    p.request.deadlineMs = deadline_ms;
+    p.submitted = ServeClock::now();
+    if (deadline_ms > 0.0) {
+        p.hasDeadline = true;
+        p.deadline =
+            p.submitted +
+            std::chrono::duration_cast<ServeClock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    deadline_ms));
+    }
+    return p;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// BoundedRequestQueue
+
+TEST(ServeQueue, AdmissionControlRejectsWhenFull)
+{
+    BoundedRequestQueue queue(2);
+    EXPECT_TRUE(queue.push(makePending(1, 1, "m", Priority::Standard))
+                    .isOk());
+    EXPECT_TRUE(queue.push(makePending(2, 2, "m", Priority::Standard))
+                    .isOk());
+    Status full = queue.push(makePending(3, 3, "m", Priority::Standard));
+    ASSERT_FALSE(full.isOk());
+    EXPECT_EQ(full.code(), ErrorCode::ResourceExhausted);
+    EXPECT_EQ(queue.size(), 2u);
+
+    queue.close(false);
+    Status closed =
+        queue.push(makePending(4, 4, "m", Priority::Standard));
+    ASSERT_FALSE(closed.isOk());
+    EXPECT_EQ(closed.code(), ErrorCode::Unavailable);
+}
+
+TEST(ServeQueue, PopOrdersByPriorityThenDeadlineThenFifo)
+{
+    BoundedRequestQueue queue(8);
+    // Insertion order deliberately scrambled.
+    ASSERT_TRUE(queue.push(makePending(1, 1, "m", Priority::Background))
+                    .isOk());
+    ASSERT_TRUE(
+        queue.push(makePending(2, 2, "m", Priority::Standard, 1e6))
+            .isOk());
+    ASSERT_TRUE(
+        queue.push(makePending(3, 3, "m", Priority::Standard, 1e3))
+            .isOk());
+    ASSERT_TRUE(queue.push(makePending(4, 4, "m", Priority::Standard))
+                    .isOk());
+    ASSERT_TRUE(
+        queue.push(makePending(5, 5, "m", Priority::Interactive))
+            .isOk());
+    ASSERT_TRUE(
+        queue.push(makePending(6, 6, "m", Priority::Standard))
+            .isOk());
+
+    std::vector<std::uint64_t> order;
+    queue.close(true);  // drain: pop everything then nullopt
+    while (auto p = queue.pop())
+        order.push_back(p->id);
+    // Interactive first; Standard EDF (1e3 before 1e6), then the two
+    // no-deadline Standards in FIFO order; Background last.
+    EXPECT_EQ(order, (std::vector<std::uint64_t>{5, 3, 2, 4, 6, 1}));
+}
+
+TEST(ServeQueue, TryPopModelPicksOnlyMatching)
+{
+    BoundedRequestQueue queue(4);
+    ASSERT_TRUE(queue.push(makePending(1, 1, "a", Priority::Standard))
+                    .isOk());
+    ASSERT_TRUE(queue.push(makePending(2, 2, "b", Priority::Standard))
+                    .isOk());
+    EXPECT_FALSE(queue.tryPopModel("c").has_value());
+    auto b = queue.tryPopModel("b");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->id, 2u);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(ServeQueue, HardCloseLeavesLeftoversForFlush)
+{
+    BoundedRequestQueue queue(4);
+    ASSERT_TRUE(queue.push(makePending(1, 1, "m", Priority::Standard))
+                    .isOk());
+    ASSERT_TRUE(queue.push(makePending(2, 2, "m", Priority::Standard))
+                    .isOk());
+    queue.close(false);
+    EXPECT_FALSE(queue.pop().has_value());  // hard close: no draining
+    std::vector<PendingRequest> leftovers = queue.flush();
+    EXPECT_EQ(leftovers.size(), 2u);
+    EXPECT_EQ(queue.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BatchScheduler
+
+TEST(ServeScheduler, ShedsExpiredAndBatchesSameModel)
+{
+    BoundedRequestQueue queue(8);
+    std::vector<std::uint64_t> shedIds;
+    BatchScheduler scheduler(
+        queue, SchedulerOptions{2},
+        [&shedIds](PendingRequest &&p) { shedIds.push_back(p.id); });
+
+    // One already-expired request and three live ones (two models).
+    ASSERT_TRUE(
+        queue.push(makePending(1, 1, "a", Priority::Standard, 1e-6))
+            .isOk());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(queue.push(makePending(2, 2, "a", Priority::Standard))
+                    .isOk());
+    ASSERT_TRUE(queue.push(makePending(3, 3, "b", Priority::Standard))
+                    .isOk());
+    ASSERT_TRUE(queue.push(makePending(4, 4, "a", Priority::Standard))
+                    .isOk());
+
+    auto first = scheduler.nextBatch();
+    ASSERT_TRUE(first.has_value());
+    // Expired head was shed; batch groups model 'a' past the queued
+    // 'b' request, up to maxBatch = 2.
+    EXPECT_EQ(shedIds, std::vector<std::uint64_t>{1});
+    ASSERT_EQ(first->size(), 2u);
+    EXPECT_EQ((*first)[0].id, 2u);
+    EXPECT_EQ((*first)[1].id, 4u);
+
+    auto second = scheduler.nextBatch();
+    ASSERT_TRUE(second.has_value());
+    ASSERT_EQ(second->size(), 1u);
+    EXPECT_EQ((*second)[0].id, 3u);
+
+    queue.close(true);
+    EXPECT_FALSE(scheduler.nextBatch().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// InferenceServer
+
+TEST(ServeServer, CreateRejectsBadConfigurations)
+{
+    ServerOptions bad;
+    bad.workers = 0;
+    EXPECT_FALSE(validateServerOptions(bad).isOk());
+
+    auto noModels = InferenceServer::create({}, ServerOptions{});
+    ASSERT_FALSE(noModels.hasValue());
+    EXPECT_EQ(noModels.error().code(), ErrorCode::InvalidArgument);
+
+    auto uncalibrated = InferenceServer::create(
+        {ModelSpec{"raw", []() {
+             return FastBcnnEngine::create(tinyBcnn(), EngineOptions{});
+         }}},
+        ServerOptions{});
+    ASSERT_FALSE(uncalibrated.hasValue());
+    EXPECT_EQ(uncalibrated.error().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(ServeServer, EndToEndServesAndReportsLatency)
+{
+    ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.queueCapacity = 32;
+    sopts.maxBatch = 4;
+    auto server = InferenceServer::create({tinySpec()}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    std::vector<RequestHandle> handles;
+    for (int i = 0; i < 8; ++i) {
+        InferRequest req;
+        req.modelId = "tiny";
+        req.input = ones(Shape({1, 6, 6}));
+        auto handle = srv.submit(std::move(req));
+        ASSERT_TRUE(handle.hasValue());
+        handles.push_back(std::move(handle).value());
+    }
+    srv.drain();
+
+    for (RequestHandle &h : handles) {
+        InferResponse resp = h.response.get();
+        EXPECT_EQ(resp.outcome, Outcome::Ok);
+        ASSERT_TRUE(resp.result.has_value());
+        EXPECT_EQ(resp.result->outputs.size(), 4u);
+        EXPECT_GE(resp.batchSize, 1u);
+        EXPECT_GE(resp.totalMs, resp.serviceMs);
+    }
+    EXPECT_EQ(srv.stats().counter("accepted"), 8u);
+    EXPECT_EQ(srv.stats().counter("ok"), 8u);
+    EXPECT_EQ(srv.stats().counter("failed"), 0u);
+    EXPECT_EQ(srv.latencySnapshot(Outcome::Ok).count(), 8u);
+    EXPECT_GT(srv.latencySnapshot(Outcome::Ok).p99Ms(), 0.0);
+
+    // Draining is sticky: nothing is accepted afterwards.
+    EXPECT_FALSE(srv.accepting());
+    InferRequest late;
+    late.modelId = "tiny";
+    late.input = ones(Shape({1, 6, 6}));
+    auto rejected = srv.submit(std::move(late));
+    ASSERT_FALSE(rejected.hasValue());
+    EXPECT_EQ(rejected.error().code(), ErrorCode::Unavailable);
+}
+
+TEST(ServeServer, AdmissionRejectsInvalidRequests)
+{
+    auto server = InferenceServer::create({tinySpec()}, ServerOptions{});
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    InferRequest unknown;
+    unknown.modelId = "nope";
+    unknown.input = ones(Shape({1, 6, 6}));
+    auto r1 = srv.submit(std::move(unknown));
+    ASSERT_FALSE(r1.hasValue());
+    EXPECT_EQ(r1.error().code(), ErrorCode::NotFound);
+
+    InferRequest badShape;
+    badShape.modelId = "tiny";
+    badShape.input = ones(Shape({1, 4, 4}));
+    auto r2 = srv.submit(std::move(badShape));
+    ASSERT_FALSE(r2.hasValue());
+    EXPECT_EQ(r2.error().code(), ErrorCode::InvalidArgument);
+
+    InferRequest badQuorum;
+    badQuorum.modelId = "tiny";
+    badQuorum.input = ones(Shape({1, 6, 6}));
+    badQuorum.mc.quorum = 100;  // exceeds T = 4: can never be met
+    auto r3 = srv.submit(std::move(badQuorum));
+    ASSERT_FALSE(r3.hasValue());
+    EXPECT_EQ(r3.error().code(), ErrorCode::InvalidArgument);
+
+    EXPECT_EQ(srv.stats().counter("rejected_invalid"), 3u);
+    srv.shutdown();
+}
+
+TEST(ServeServer, PerRequestSeedIsDeterministicAcrossReplicas)
+{
+    ServerOptions sopts;
+    sopts.workers = 2;
+    auto server = InferenceServer::create({tinySpec()}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    auto submitSeeded = [&srv]() {
+        InferRequest req;
+        req.modelId = "tiny";
+        req.input = ones(Shape({1, 6, 6}));
+        req.mc.seed = 99;
+        req.mc.samples = 6;
+        auto handle = srv.submit(std::move(req));
+        EXPECT_TRUE(handle.hasValue());
+        return std::move(handle).value();
+    };
+    RequestHandle a = submitSeeded();
+    RequestHandle b = submitSeeded();
+    srv.drain();
+
+    InferResponse ra = a.response.get();
+    InferResponse rb = b.response.get();
+    ASSERT_EQ(ra.outcome, Outcome::Ok);
+    ASSERT_EQ(rb.outcome, Outcome::Ok);
+    ASSERT_EQ(ra.result->outputs.size(), 6u);
+    // Same seed, same calibrated replicas: bit-identical regardless
+    // of which worker served which request.
+    EXPECT_TRUE(ra.result->summary.mean.allClose(
+        rb.result->summary.mean, 0.0f));
+    EXPECT_EQ(ra.result->summary.argmax, rb.result->summary.argmax);
+}
+
+TEST(ServeServer, CancelledBeforeSubmitCompletesAsCancelled)
+{
+    auto server = InferenceServer::create({tinySpec()}, ServerOptions{});
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    InferRequest req;
+    req.modelId = "tiny";
+    req.input = ones(Shape({1, 6, 6}));
+    req.token.cancel();  // cancelled while "in flight" to the server
+    auto handle = srv.submit(std::move(req));
+    ASSERT_TRUE(handle.hasValue());
+    InferResponse resp = handle.value().response.get();
+    EXPECT_EQ(resp.outcome, Outcome::Cancelled);
+    EXPECT_EQ(resp.error.code(), ErrorCode::Cancelled);
+    srv.drain();
+    EXPECT_EQ(srv.stats().counter("cancelled"), 1u);
+}
+
+TEST(ServeServer, ExpiredDeadlineIsShedNotServed)
+{
+    auto server = InferenceServer::create({tinySpec()}, ServerOptions{});
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    InferRequest req;
+    req.modelId = "tiny";
+    req.input = ones(Shape({1, 6, 6}));
+    req.deadlineMs = 1e-6;  // expires before any dispatch can happen
+    auto handle = srv.submit(std::move(req));
+    ASSERT_TRUE(handle.hasValue());
+    InferResponse resp = handle.value().response.get();
+    EXPECT_EQ(resp.outcome, Outcome::Shed);
+    EXPECT_EQ(resp.error.code(), ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(resp.serviceMs, 0.0);
+    srv.drain();
+    EXPECT_EQ(srv.stats().counter("shed"), 1u);
+    EXPECT_EQ(srv.latencySnapshot(Outcome::Shed).count(), 1u);
+}
+
+TEST(ServeServer, PerRequestFaultPlanDegradesOrFails)
+{
+    auto server = InferenceServer::create({tinySpec()}, ServerOptions{});
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    FaultPlan killOne;
+    FaultSpec spec;
+    spec.kind = FaultKind::SampleKill;
+    spec.sample = 0;
+    killOne.add(spec);
+
+    FaultPlan killAll;
+    FaultSpec all;
+    all.kind = FaultKind::SampleKill;
+    all.sample = kEverySample;
+    killAll.add(all);
+
+    InferRequest degradedReq;
+    degradedReq.modelId = "tiny";
+    degradedReq.input = ones(Shape({1, 6, 6}));
+    degradedReq.mc.faults = &killOne;
+    auto h1 = srv.submit(std::move(degradedReq));
+    ASSERT_TRUE(h1.hasValue());
+
+    InferRequest doomedReq;
+    doomedReq.modelId = "tiny";
+    doomedReq.input = ones(Shape({1, 6, 6}));
+    doomedReq.mc.faults = &killAll;
+    auto h2 = srv.submit(std::move(doomedReq));
+    ASSERT_TRUE(h2.hasValue());
+
+    srv.drain();
+
+    InferResponse degraded = h1.value().response.get();
+    EXPECT_EQ(degraded.outcome, Outcome::Ok);
+    EXPECT_TRUE(degraded.degraded());
+    EXPECT_EQ(degraded.result->census.survived, 3u);
+
+    InferResponse doomed = h2.value().response.get();
+    EXPECT_EQ(doomed.outcome, Outcome::Failed);
+    EXPECT_EQ(doomed.error.code(), ErrorCode::QuorumNotMet);
+
+    EXPECT_EQ(srv.stats().counter("degraded"), 1u);
+    EXPECT_EQ(srv.stats().counter("failed"), 1u);
+}
+
+TEST(ServeServer, ShutdownCancelsQueuedRequests)
+{
+    // One worker, and a first request large enough to keep it busy
+    // while more requests stack up behind it.
+    ServerOptions sopts;
+    sopts.workers = 1;
+    sopts.queueCapacity = 16;
+    sopts.maxBatch = 1;
+    auto server =
+        InferenceServer::create({tinySpec("tiny", 64)}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    std::vector<RequestHandle> handles;
+    for (int i = 0; i < 6; ++i) {
+        InferRequest req;
+        req.modelId = "tiny";
+        req.input = ones(Shape({1, 6, 6}));
+        auto handle = srv.submit(std::move(req));
+        ASSERT_TRUE(handle.hasValue());
+        handles.push_back(std::move(handle).value());
+    }
+    srv.shutdown();
+
+    std::size_t okCount = 0, cancelledCount = 0;
+    for (RequestHandle &h : handles) {
+        InferResponse resp = h.response.get();
+        ASSERT_TRUE(resp.outcome == Outcome::Ok ||
+                    resp.outcome == Outcome::Cancelled);
+        (resp.outcome == Outcome::Ok ? okCount : cancelledCount)++;
+    }
+    // Every request resolved exactly once; the hard shutdown cancelled
+    // whatever the single worker had not pulled yet.
+    EXPECT_EQ(okCount + cancelledCount, 6u);
+    EXPECT_EQ(srv.stats().counter("ok"), okCount);
+    EXPECT_EQ(srv.stats().counter("cancelled"), cancelledCount);
+}
+
+// ---------------------------------------------------------------------------
+// ServeConcurrency — the TSan-targeted soak suite (the tsan preset
+// runs every suite matching 'Concurrency').
+
+TEST(ServeConcurrency, SoakManyProducersFaultsAndMidLoadDrain)
+{
+    ServerOptions sopts;
+    sopts.workers = 3;
+    sopts.queueCapacity = 24;
+    sopts.maxBatch = 4;
+    auto server = InferenceServer::create({tinySpec("tiny", 3)}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    // One shared, immutable fault plan: kills sample 0 of any run it
+    // is attached to.  Concurrent reads from worker threads are the
+    // point (FaultPlan is const while runs are in flight).
+    FaultPlan killOne;
+    FaultSpec spec;
+    spec.kind = FaultKind::SampleKill;
+    spec.sample = 0;
+    killOne.add(spec);
+
+    constexpr std::size_t producers = 4;
+    constexpr std::size_t perProducer = 24;
+    std::mutex handlesMutex;
+    std::vector<RequestHandle> handles;
+    std::atomic<std::size_t> rejected{0};
+
+    std::vector<std::thread> pool;
+    pool.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+        pool.emplace_back([&, p]() {
+            for (std::size_t i = 0; i < perProducer; ++i) {
+                InferRequest req;
+                req.modelId = "tiny";
+                req.input = ones(Shape({1, 6, 6}));
+                req.priority = static_cast<Priority>(i % 3);
+                req.mc.seed = p * 1000 + i;
+                if (i % 3 == 0)
+                    req.mc.faults = &killOne;
+                if (i % 5 == 0)
+                    req.deadlineMs = 0.05;  // some will be shed
+                if (i % 7 == 0)
+                    req.token.cancel();
+                auto handle = srv.submit(std::move(req));
+                if (!handle.hasValue()) {
+                    // Backpressure (queue full) or the drain racing
+                    // in: both are expected under overload.
+                    EXPECT_TRUE(
+                        handle.error().code() ==
+                            ErrorCode::ResourceExhausted ||
+                        handle.error().code() == ErrorCode::Unavailable);
+                    rejected.fetch_add(1);
+                    continue;
+                }
+                const std::lock_guard<std::mutex> lock(handlesMutex);
+                handles.push_back(std::move(handle).value());
+            }
+        });
+    }
+    // Drain mid-load: producers are still submitting when admission
+    // closes; whatever was accepted must still complete.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    srv.drain();
+    for (std::thread &t : pool)
+        t.join();
+
+    // No lost requests: every accepted future resolves.  No
+    // double-completions: a second set_value on any promise would
+    // have thrown std::future_error inside the server.
+    std::array<std::size_t, kOutcomeCount> byOutcome{};
+    for (RequestHandle &h : handles) {
+        ASSERT_EQ(h.response.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready);
+        InferResponse resp = h.response.get();
+        ++byOutcome[static_cast<std::size_t>(resp.outcome)];
+        if (resp.outcome == Outcome::Ok && resp.degraded()) {
+            EXPECT_EQ(resp.result->census.survived, 2u);
+        }
+    }
+    const std::size_t accepted = handles.size();
+    EXPECT_EQ(accepted + rejected.load(), producers * perProducer);
+    EXPECT_EQ(byOutcome[0] + byOutcome[1] + byOutcome[2] + byOutcome[3],
+              accepted);
+    EXPECT_EQ(srv.stats().counter("accepted"), accepted);
+    EXPECT_EQ(srv.stats().counter("ok"),
+              byOutcome[static_cast<std::size_t>(Outcome::Ok)]);
+    EXPECT_EQ(srv.stats().counter("shed"),
+              byOutcome[static_cast<std::size_t>(Outcome::Shed)]);
+    EXPECT_EQ(srv.stats().counter("cancelled"),
+              byOutcome[static_cast<std::size_t>(Outcome::Cancelled)]);
+    EXPECT_EQ(srv.stats().counter("failed"),
+              byOutcome[static_cast<std::size_t>(Outcome::Failed)]);
+    const std::uint64_t latencyTotal =
+        srv.latencySnapshot(Outcome::Ok).count() +
+        srv.latencySnapshot(Outcome::Shed).count() +
+        srv.latencySnapshot(Outcome::Cancelled).count() +
+        srv.latencySnapshot(Outcome::Failed).count();
+    EXPECT_EQ(latencyTotal, accepted);
+}
+
+TEST(ServeConcurrency, ConcurrentSubmittersSeeConsistentCounters)
+{
+    ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.queueCapacity = 64;
+    auto server = InferenceServer::create({tinySpec("tiny", 2)}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    constexpr std::size_t producers = 3;
+    constexpr std::size_t perProducer = 10;
+    std::atomic<std::size_t> accepted{0};
+    std::vector<std::thread> pool;
+    std::mutex handlesMutex;
+    std::vector<RequestHandle> handles;
+    pool.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+        pool.emplace_back([&]() {
+            for (std::size_t i = 0; i < perProducer; ++i) {
+                InferRequest req;
+                req.modelId = "tiny";
+                req.input = ones(Shape({1, 6, 6}));
+                auto handle = srv.submit(std::move(req));
+                if (handle.hasValue()) {
+                    accepted.fetch_add(1);
+                    const std::lock_guard<std::mutex> lock(
+                        handlesMutex);
+                    handles.push_back(std::move(handle).value());
+                }
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    srv.drain();
+    for (RequestHandle &h : handles)
+        EXPECT_EQ(h.response.get().outcome, Outcome::Ok);
+    EXPECT_EQ(srv.stats().counter("accepted"), accepted.load());
+    EXPECT_EQ(srv.stats().counter("ok"), accepted.load());
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * LatencyHistogram unit tests: bucketing, quantile estimation and its
+ * clamping guarantees, merge/reset/copy semantics, and a
+ * ThreadSafeHistogram suite (run under the tsan preset) hammering one
+ * histogram from many recorder threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+
+using namespace fastbcnn;
+
+TEST(LatencyHistogram, EmptyIsAllZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.totalMs(), 0.0);
+    EXPECT_EQ(h.meanMs(), 0.0);
+    EXPECT_EQ(h.minMs(), 0.0);
+    EXPECT_EQ(h.maxMs(), 0.0);
+    EXPECT_EQ(h.p50Ms(), 0.0);
+    EXPECT_EQ(h.p99Ms(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleIsExactEverywhere)
+{
+    // The [min, max] clamp collapses every quantile of a one-sample
+    // histogram onto the sample itself, despite log-bucket coarseness.
+    LatencyHistogram h;
+    h.record(3.7);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.totalMs(), 3.7);
+    EXPECT_DOUBLE_EQ(h.meanMs(), 3.7);
+    EXPECT_DOUBLE_EQ(h.minMs(), 3.7);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 3.7);
+    EXPECT_DOUBLE_EQ(h.p50Ms(), 3.7);
+    EXPECT_DOUBLE_EQ(h.p95Ms(), 3.7);
+    EXPECT_DOUBLE_EQ(h.p99Ms(), 3.7);
+    EXPECT_DOUBLE_EQ(h.quantileMs(0.0), 3.7);
+    EXPECT_DOUBLE_EQ(h.quantileMs(1.0), 3.7);
+}
+
+TEST(LatencyHistogram, QuantilesAreOrderedAndBucketAccurate)
+{
+    LatencyHistogram h;
+    // 100 samples spread over three decades: 1, 2, ..., 100 ms.
+    for (int i = 1; i <= 100; ++i)
+        h.record(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.minMs(), 1.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 100.0);
+    EXPECT_DOUBLE_EQ(h.meanMs(), 50.5);
+
+    const double p50 = h.p50Ms();
+    const double p95 = h.p95Ms();
+    const double p99 = h.p99Ms();
+    EXPECT_LE(h.quantileMs(0.0), p50);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, h.maxMs());
+    // Log buckets are exact to within a factor of two: the true p50 is
+    // 50 ms, so the estimate must land in [25, 100].
+    EXPECT_GE(p50, 25.0);
+    EXPECT_LE(p50, 100.0);
+    // True p99 is 99 ms; estimate within its bucket [64, 128) clamped
+    // to max.
+    EXPECT_GE(p99, 49.5);
+    EXPECT_LE(p99, 100.0);
+}
+
+TEST(LatencyHistogram, SubMicrosecondAndZeroSamplesLandInBucketZero)
+{
+    LatencyHistogram h;
+    h.record(0.0);
+    h.record(0.0005);   // 0.5 us
+    h.record(-1.0);     // negative clamps to zero
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.minMs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 0.0005);
+    EXPECT_LE(h.p99Ms(), 0.0005);
+}
+
+TEST(LatencyHistogram, MergeMatchesRecordingIntoOne)
+{
+    LatencyHistogram a, b, combined;
+    for (int i = 0; i < 50; ++i) {
+        const double fast = 0.1 * (i + 1);
+        const double slow = 10.0 * (i + 1);
+        a.record(fast);
+        b.record(slow);
+        combined.record(fast);
+        combined.record(slow);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.totalMs(), combined.totalMs());
+    EXPECT_DOUBLE_EQ(a.minMs(), combined.minMs());
+    EXPECT_DOUBLE_EQ(a.maxMs(), combined.maxMs());
+    EXPECT_DOUBLE_EQ(a.p50Ms(), combined.p50Ms());
+    EXPECT_DOUBLE_EQ(a.p95Ms(), combined.p95Ms());
+    EXPECT_DOUBLE_EQ(a.p99Ms(), combined.p99Ms());
+
+    // Merging an empty histogram is a no-op.
+    LatencyHistogram empty;
+    const double before = a.p95Ms();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.p95Ms(), before);
+}
+
+TEST(LatencyHistogram, CopyTakesASnapshot)
+{
+    LatencyHistogram h;
+    h.record(5.0);
+    LatencyHistogram snap = h;
+    h.record(500.0);
+    EXPECT_EQ(snap.count(), 1u);
+    EXPECT_DOUBLE_EQ(snap.maxMs(), 5.0);
+    EXPECT_EQ(h.count(), 2u);
+
+    snap = h;  // copy-assignment re-snapshots
+    EXPECT_EQ(snap.count(), 2u);
+    EXPECT_DOUBLE_EQ(snap.maxMs(), 500.0);
+}
+
+TEST(LatencyHistogram, ResetForgetsEverything)
+{
+    LatencyHistogram h;
+    h.record(1.0);
+    h.record(2.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.totalMs(), 0.0);
+    EXPECT_EQ(h.p99Ms(), 0.0);
+    h.record(7.0);  // usable after reset
+    EXPECT_DOUBLE_EQ(h.p50Ms(), 7.0);
+}
+
+TEST(LatencyHistogram, DumpEmitsAllFields)
+{
+    LatencyHistogram h;
+    h.record(1.5);
+    h.record(2.5);
+    std::ostringstream os;
+    h.dump(os, "serve.ok");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("serve.ok.count = 2"), std::string::npos);
+    EXPECT_NE(out.find("serve.ok.mean_ms"), std::string::npos);
+    EXPECT_NE(out.find("serve.ok.p50_ms"), std::string::npos);
+    EXPECT_NE(out.find("serve.ok.p95_ms"), std::string::npos);
+    EXPECT_NE(out.find("serve.ok.p99_ms"), std::string::npos);
+    EXPECT_NE(out.find("serve.ok.max_ms"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadSafeHistogram — runs under the tsan preset ('ThreadSafe'
+// matches its test filter).
+
+TEST(ThreadSafeHistogram, ConcurrentRecordersLoseNothing)
+{
+    LatencyHistogram h;
+    constexpr std::size_t recorders = 8;
+    constexpr std::size_t perRecorder = 2000;
+    std::vector<std::thread> pool;
+    pool.reserve(recorders);
+    for (std::size_t r = 0; r < recorders; ++r) {
+        pool.emplace_back([&h, r]() {
+            for (std::size_t i = 0; i < perRecorder; ++i)
+                h.record(static_cast<double>(r + 1));
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    EXPECT_EQ(h.count(), recorders * perRecorder);
+    EXPECT_DOUBLE_EQ(h.minMs(), 1.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), static_cast<double>(recorders));
+}
+
+TEST(ThreadSafeHistogram, ConcurrentMergeAndReadStaysConsistent)
+{
+    // Per-worker local histograms merged into a shared sink while a
+    // reader polls quantiles: the serving layer's aggregation pattern.
+    LatencyHistogram sink;
+    constexpr std::size_t workers = 4;
+    std::vector<std::thread> pool;
+    pool.reserve(workers + 1);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&sink, w]() {
+            for (int round = 0; round < 50; ++round) {
+                LatencyHistogram local;
+                for (int i = 0; i < 20; ++i)
+                    local.record(static_cast<double>(w * 10 + i + 1));
+                sink.merge(local);
+            }
+        });
+    }
+    pool.emplace_back([&sink]() {
+        for (int i = 0; i < 200; ++i) {
+            const LatencyHistogram snap = sink;
+            EXPECT_LE(snap.p50Ms(), snap.maxMs());
+            EXPECT_GE(snap.p50Ms(), snap.minMs());
+        }
+    });
+    for (std::thread &t : pool)
+        t.join();
+    EXPECT_EQ(sink.count(), workers * 50u * 20u);
+}
