@@ -11,6 +11,9 @@
  *   --deadline-ms D   latency budget; late samples are not launched
  *                     and the run degrades to the survivors
  *   --quorum Q        minimum surviving samples for a usable result
+ *   --audit-rate R    shadow-audit fraction of skipped neurons; any
+ *                     R > 0 enables the skip guard and prints a
+ *                     guard summary after the guarded run
  */
 
 #include <cstdlib>
@@ -31,6 +34,7 @@ struct CliOptions {
     std::size_t threads = 1;
     double deadlineMs = 0.0;  // 0 = no deadline
     std::size_t quorum = 0;   // 0 = any survivor suffices
+    double auditRate = 0.0;   // 0 = guard off
 };
 
 CliOptions
@@ -52,9 +56,12 @@ parseArgs(int argc, char **argv)
             cli.deadlineMs = std::stod(value());
         } else if (flag == "--quorum") {
             cli.quorum = std::stoul(value());
+        } else if (flag == "--audit-rate") {
+            cli.auditRate = std::stod(value());
         } else {
             std::cerr << "usage: quickstart [--threads N] "
-                         "[--deadline-ms D] [--quorum Q]\n";
+                         "[--deadline-ms D] [--quorum Q] "
+                         "[--audit-rate R]\n";
             std::exit(flag == "--help" ? 0 : 2);
         }
     }
@@ -88,6 +95,10 @@ main(int argc, char **argv)
     eopts.mc.deadlineMs = cli.deadlineMs;
     eopts.mc.quorum = cli.quorum;
     eopts.optimizer.confidence = 0.68;
+    if (cli.auditRate > 0.0) {
+        eopts.guard.enabled = true;
+        eopts.guard.audit.rate = cli.auditRate;
+    }
     FastBcnnEngine engine(std::move(net), eopts);
     std::cout << format("MC config: T = %zu, threads = %zu",
                         eopts.mc.samples, cli.threads);
@@ -173,5 +184,53 @@ main(int argc, char **argv)
               << (census2.degraded ? " (degraded by the deadline)"
                                    : "")
               << "\n";
+
+    // 6. With --audit-rate, re-run through the guarded predictive
+    //    path: a shadow audit re-computes a sample of the skipped
+    //    neurons and the guard backs a kernel's alpha off when its
+    //    mispredict rate confidently exceeds the calibrated budget.
+    if (cli.auditRate > 0.0) {
+        Expected<GuardedMcResult> guarded = engine.tryGuardedMc(input);
+        if (!guarded.hasValue()) {
+            std::cerr << "guarded run failed ["
+                      << errorCodeName(guarded.error().code())
+                      << "]: " << guarded.error().message() << "\n";
+            return 1;
+        }
+        const GuardSnapshot &snap = guarded.value().finalSnapshot;
+        std::cout << format(
+            "\nSkip guard (audit rate %.3f, tolerance %.3f): "
+            "%llu of %llu audited neurons mispredicted\n",
+            cli.auditRate, snap.tolerance,
+            static_cast<unsigned long long>(snap.mispredictedNeurons),
+            static_cast<unsigned long long>(snap.auditedNeurons));
+        std::cout << format(
+            "Guard events: %llu backoffs, %llu disables, %llu probes, "
+            "%llu recoveries (%zu kernels degraded)\n",
+            static_cast<unsigned long long>(snap.backoffs),
+            static_cast<unsigned long long>(snap.disables),
+            static_cast<unsigned long long>(snap.probes),
+            static_cast<unsigned long long>(snap.recoveries),
+            snap.degradedKernels);
+        if (snap.degradedKernels == 0) {
+            std::cout << "All kernels healthy: every alpha is at its "
+                         "calibrated value.\n";
+        } else {
+            Table guardTable({"conv", "kernel", "alpha", "calibrated",
+                              "audited", "mispred-rate"});
+            for (const KernelGuardStatus &k : snap.kernels) {
+                if (k.healthy)
+                    continue;  // only the backed-off kernels matter
+                guardTable.addRow(
+                    {format("%zu", k.conv), format("%zu", k.kernel),
+                     format("%d", k.currentAlpha),
+                     format("%d", k.calibratedAlpha),
+                     format("%llu",
+                            static_cast<unsigned long long>(k.audited)),
+                     format("%.4f", k.mispredictRate)});
+            }
+            guardTable.print(std::cout);
+        }
+    }
     return 0;
 }

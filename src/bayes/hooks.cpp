@@ -1,8 +1,30 @@
 #include "hooks.hpp"
 
 #include "common/check.hpp"
+#include "nn/network.hpp"
 
 namespace fastbcnn {
+
+MaskSet
+sampleMasks(const Network &net, Brng &brng)
+{
+    MaskSet masks;
+    for (NodeId id = 0; id < net.size(); ++id) {
+        const Layer &layer = net.layer(id);
+        if (layer.kind() != LayerKind::Dropout)
+            continue;
+        // A dropout node's output shape equals the input shape the
+        // forward hook sees, so drawing over shapeOf(id) consumes the
+        // identical bit count in the identical order.
+        const Shape &shape = net.shapeOf(id);
+        FASTBCNN_CHECK_EQ(shape.rank(), 3u);
+        BitVolume mask(shape.dim(0), shape.dim(1), shape.dim(2));
+        for (std::size_t i = 0; i < mask.size(); ++i)
+            mask.setFlat(i, brng.nextBit());
+        masks.emplace(layer.name(), std::move(mask));
+    }
+    return masks;
+}
 
 const BitVolume *
 SamplingHooks::dropoutMask(const std::string &layer_name,

@@ -19,6 +19,20 @@ namespace fastbcnn {
 /** All dropout masks of one sample inference, keyed by layer name. */
 using MaskSet = std::map<std::string, BitVolume>;
 
+class Network;
+
+/**
+ * Draw the full MaskSet of one MC sample directly from @p brng,
+ * without running a forward pass: every Dropout layer of @p net, in
+ * node order, gets shape.numel() bits in flat CHW order — exactly the
+ * stream SamplingHooks would consume during net.forward().  The
+ * predictive-only paths (the guarded skip runner) use this to obtain
+ * the same per-sample masks as the exact MC runner at zero forward
+ * cost, so their sample t is mask-identical to the reference's
+ * sample t for the same seed.
+ */
+MaskSet sampleMasks(const Network &net, Brng &brng);
+
 /**
  * Generates fresh Bernoulli masks from a Brng for every dropout layer
  * it encounters, recording them for later replay / trace capture.

@@ -17,18 +17,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/** Resolve McOptions::threads to a concrete worker count. */
-std::size_t
-resolveThreads(std::size_t requested, std::size_t samples)
-{
-    std::size_t n = requested;
-    if (n == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        n = hw == 0 ? 1 : hw;
-    }
-    return n < samples ? n : samples;
-}
-
 /** @return the flat index of the first non-finite element, or npos. */
 std::size_t
 firstNonFinite(const Tensor &t)
@@ -104,6 +92,17 @@ runGuardedSample(const Network &net, const Tensor &input,
 }
 
 } // namespace
+
+std::size_t
+resolveMcThreads(std::size_t requested, std::size_t samples)
+{
+    std::size_t n = requested;
+    if (n == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = hw == 0 ? 1 : hw;
+    }
+    return n < samples ? n : samples;
+}
 
 Status
 validateMcOptions(const McOptions &opts)
@@ -201,7 +200,7 @@ tryRunMcDropout(const Network &net, const Tensor &input,
     };
 
     const std::size_t workers =
-        resolveThreads(opts.threads, opts.samples);
+        resolveMcThreads(opts.threads, opts.samples);
     if (workers <= 1) {
         for (std::size_t t = 0; t < opts.samples; ++t) {
             // Sample 0 always launches: a partial average needs at

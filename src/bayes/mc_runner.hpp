@@ -121,6 +121,15 @@ struct McResult {
 };
 
 /**
+ * Resolve a requested thread count (0 = one per hardware thread) to a
+ * concrete worker count, capped at @p samples.  Shared by the MC
+ * runner and the guarded predictive runner so both schedule sample
+ * lanes the same way.
+ */
+std::size_t resolveMcThreads(std::size_t requested,
+                             std::size_t samples);
+
+/**
  * Construct the requested Brng implementation.  The 64-bit seed is
  * mixed with a splitmix64 finalizer before any narrowing, so distinct
  * seeds yield distinct generator states (no truncation collisions, no

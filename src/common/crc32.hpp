@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+ * footers on serialized artefacts.  Bit rot in a stored weight file
+ * must surface as ErrorCode::DataLoss at load time, not as silently
+ * perturbed inference.
+ */
+
+#ifndef FASTBCNN_COMMON_CRC32_HPP
+#define FASTBCNN_COMMON_CRC32_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace fastbcnn {
+
+/**
+ * Running CRC-32: feed chunks by passing the previous return value as
+ * @p crc (start from 0).  Matches zlib's crc32() on the same bytes.
+ */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t crc = 0);
+
+/** Convenience overload for a whole string. */
+inline std::uint32_t
+crc32(const std::string &s, std::uint32_t crc = 0)
+{
+    return crc32(s.data(), s.size(), crc);
+}
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_COMMON_CRC32_HPP

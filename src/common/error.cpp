@@ -24,6 +24,7 @@ errorCodeName(ErrorCode code)
       case ErrorCode::Cancelled: return "Cancelled";
       case ErrorCode::Unavailable: return "Unavailable";
       case ErrorCode::IoError: return "IoError";
+      case ErrorCode::DataLoss: return "DataLoss";
       case ErrorCode::Internal: return "Internal";
     }
     panic("unknown ErrorCode %d", static_cast<int>(code));

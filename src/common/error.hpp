@@ -51,6 +51,7 @@ enum class ErrorCode {
     Cancelled,         ///< the caller abandoned the request
     Unavailable,       ///< the component is shut down / not accepting
     IoError,           ///< underlying stream reported failure
+    DataLoss,          ///< stored data failed an integrity check
     Internal           ///< caught exception / unclassified failure
 };
 

@@ -232,6 +232,72 @@ LatencyHistogram::reset()
     maxMs_ = 0.0;
 }
 
+double
+wilsonLowerBound(std::uint64_t hits, std::uint64_t trials, double z)
+{
+    if (trials == 0)
+        return 0.0;
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(hits) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    return std::max(0.0, center - half);
+}
+
+double
+wilsonUpperBound(std::uint64_t hits, std::uint64_t trials, double z)
+{
+    if (trials == 0)
+        return 1.0;
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(hits) / n;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / n;
+    const double center = (p + z2 / (2.0 * n)) / denom;
+    const double half =
+        z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    return std::min(1.0, center + half);
+}
+
+void
+RateEstimator::observe(std::uint64_t hits, std::uint64_t trials)
+{
+    if (trials == 0)
+        return;
+    FASTBCNN_CHECK(hits <= trials,
+                   "RateEstimator: more hits than trials");
+    hits_ += hits;
+    trials_ += trials;
+    const double batch =
+        static_cast<double>(hits) / static_cast<double>(trials);
+    if (!seeded_) {
+        ewma_ = batch;
+        seeded_ = true;
+    } else {
+        ewma_ = ewmaAlpha_ * batch + (1.0 - ewmaAlpha_) * ewma_;
+    }
+}
+
+double
+RateEstimator::rate() const
+{
+    return trials_ == 0 ? 0.0
+                        : static_cast<double>(hits_) /
+                              static_cast<double>(trials_);
+}
+
+void
+RateEstimator::reset()
+{
+    seeded_ = false;
+    ewma_ = 0.0;
+    hits_ = 0;
+    trials_ = 0;
+}
+
 void
 LatencyHistogram::dump(std::ostream &os, const std::string &prefix) const
 {

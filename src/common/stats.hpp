@@ -145,6 +145,80 @@ class LatencyHistogram
     double maxMs_ = 0.0;
 };
 
+/**
+ * Wilson score interval lower bound for a Bernoulli rate observed as
+ * @p hits over @p trials, at normal quantile @p z (1.96 ~ 95 %).  The
+ * Wilson interval stays calibrated at the small trial counts a
+ * per-kernel audit produces (unlike the naive normal interval, which
+ * collapses to [p, p] near 0 and 1).  @return 0 when trials == 0.
+ */
+double wilsonLowerBound(std::uint64_t hits, std::uint64_t trials,
+                        double z);
+
+/** Wilson score interval upper bound; 1 when trials == 0. */
+double wilsonUpperBound(std::uint64_t hits, std::uint64_t trials,
+                        double z);
+
+/**
+ * A Bernoulli-rate estimator combining a lifetime hit/trial count with
+ * an EWMA over observation batches, plus Wilson interval bounds.
+ *
+ * This is the guard layer's mispredict-rate tracker: observe() folds
+ * one batch (e.g. one decision round's audited neurons) at a time, the
+ * EWMA weights recent batches so drift shows up quickly, and the
+ * Wilson bounds say how sure the estimate is given the trials seen.
+ *
+ * NOT thread-safe and fully deterministic: same observe() sequence,
+ * same state, bit for bit.  Callers needing concurrency (SkipGuard)
+ * serialise access themselves, which keeps the estimator usable in
+ * bit-identical replay paths.
+ */
+class RateEstimator
+{
+  public:
+    /** @param ewma_alpha weight of the newest batch in [0, 1]. */
+    explicit RateEstimator(double ewma_alpha = 0.2)
+        : ewmaAlpha_(ewma_alpha)
+    {}
+
+    /** Fold one observation batch (no-op when trials == 0). */
+    void observe(std::uint64_t hits, std::uint64_t trials);
+
+    /** @return total trials observed. */
+    std::uint64_t trials() const { return trials_; }
+
+    /** @return total hits observed. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** @return lifetime hits/trials (0 when empty). */
+    double rate() const;
+
+    /** @return the batch-rate EWMA (0 before the first batch). */
+    double ewma() const { return ewma_; }
+
+    /** @return Wilson lower bound on the lifetime rate. */
+    double lowerBound(double z = 1.96) const
+    {
+        return wilsonLowerBound(hits_, trials_, z);
+    }
+
+    /** @return Wilson upper bound on the lifetime rate. */
+    double upperBound(double z = 1.96) const
+    {
+        return wilsonUpperBound(hits_, trials_, z);
+    }
+
+    /** Forget everything (a threshold change invalidates history). */
+    void reset();
+
+  private:
+    double ewmaAlpha_;
+    bool seeded_ = false;
+    double ewma_ = 0.0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t trials_ = 0;
+};
+
 } // namespace fastbcnn
 
 #endif // FASTBCNN_COMMON_STATS_HPP

@@ -13,6 +13,9 @@ validateEngineOptions(const EngineOptions &opts)
     FASTBCNN_RETURN_IF_ERROR(
         validateAcceleratorConfig(opts.config)
             .withContext("EngineOptions::config"));
+    FASTBCNN_RETURN_IF_ERROR(
+        validateGuardOptions(opts.guard)
+            .withContext("EngineOptions::guard"));
     return Status::ok();
 }
 
@@ -51,6 +54,19 @@ FastBcnnEngine::calibrate(const std::vector<Tensor> &calibration_inputs)
                                             opts_.optimizer);
     thresholds_ = std::move(res.thresholds);
     tuneReports_ = std::move(res.reports);
+    if (opts_.guard.enabled) {
+        // Re-calibration replaces the guard: old backoff history was
+        // measured against the previous thresholds.
+        GuardOptions gopts = opts_.guard;
+        if (gopts.tolerance == 0.0) {
+            const double budget = 1.0 - opts_.optimizer.confidence;
+            // p_cf = 1 leaves no mispredict budget; fall back to a
+            // strict 1 % so the guard stays constructible.
+            gopts.tolerance = budget > 0.0 ? budget : 0.01;
+        }
+        guard_ = std::make_unique<SkipGuard>(topo_, *thresholds_,
+                                             gopts);
+    }
 }
 
 Status
@@ -101,6 +117,10 @@ FastBcnnEngine::trace(const Tensor &input,
         topts.dropRate = opts_.mc.dropRate;
         topts.brng = opts_.mc.brng;
         topts.seed = opts_.mc.seed;
+        // Default traces run under the engine's guard (when enabled)
+        // so drift observed while tracing feeds the backoff policy;
+        // explicit TraceOptions choose their own guard (or none).
+        topts.guard = guard_.get();
     }
     return buildTrace(topo_, indicators_, *thresholds_, input, topts);
 }
@@ -155,6 +175,37 @@ FastBcnnEngine::tryMcReference(const Tensor &input,
                                const McOptions &mc) const
 {
     return tryRunMcDropout(net_, input, mc);
+}
+
+Expected<GuardedMcResult>
+FastBcnnEngine::tryGuardedMc(const Tensor &input) const
+{
+    GuardedMcOptions gopts;
+    gopts.samples = opts_.mc.samples;
+    gopts.dropRate = opts_.mc.dropRate;
+    gopts.brng = opts_.mc.brng;
+    gopts.seed = opts_.mc.seed;
+    gopts.threads = opts_.mc.threads;
+    return tryGuardedMc(input, gopts);
+}
+
+Expected<GuardedMcResult>
+FastBcnnEngine::tryGuardedMc(const Tensor &input,
+                             const GuardedMcOptions &opts) const
+{
+    if (!calibrated()) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "engine is not calibrated; call tryCalibrate() "
+                      "before tryGuardedMc()");
+    }
+    if (guard_ == nullptr) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "EngineOptions::guard is disabled on engine "
+                      "'%s'; enable it before calibrating to use "
+                      "guarded inference", net_.name().c_str());
+    }
+    return tryRunGuardedPredictive(topo_, indicators_, *guard_, input,
+                                   opts);
 }
 
 } // namespace fastbcnn

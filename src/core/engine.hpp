@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "guard/guarded_runner.hpp"
 #include "sim/accelerator.hpp"
 
 namespace fastbcnn {
@@ -30,6 +31,13 @@ struct EngineOptions {
     AcceleratorConfig config = fastBcnnConfig(64);
     /** Timing-model options (skip mode, sync model, shortcut). */
     SimOptions sim;
+    /**
+     * Runtime skip guardrails (off by default).  When enabled,
+     * calibrate() constructs a SkipGuard over the tuned thresholds; a
+     * tolerance of 0 resolves to 1 − p_cf, the mispredict budget the
+     * thresholds were calibrated against.
+     */
+    GuardOptions guard;
 };
 
 /**
@@ -135,6 +143,28 @@ class FastBcnnEngine
                                       const McOptions &mc) const;
 
     /**
+     * Guarded predictive MC inference (EngineOptions::guard must be
+     * enabled and the engine calibrated): samples run in prediction
+     * mode under the guard's effective thresholds with shadow
+     * auditing; backoff levels persist across calls on the engine's
+     * guard.  The default overload derives GuardedMcOptions from the
+     * engine's McOptions (T, p, BRNG, seed, threads).
+     */
+    Expected<GuardedMcResult> tryGuardedMc(const Tensor &input) const;
+
+    /** Per-request overload with caller-supplied sampling options. */
+    Expected<GuardedMcResult> tryGuardedMc(
+        const Tensor &input, const GuardedMcOptions &opts) const;
+
+    /**
+     * @return the engine's skip guard, or nullptr before calibration
+     * or when EngineOptions::guard is disabled.
+     */
+    SkipGuard *guard() { return guard_.get(); }
+    /** Const overload (snapshot access). */
+    const SkipGuard *guard() const { return guard_.get(); }
+
+    /**
      * Build (and return) the raw trace bundle of one input — the
      * benches use this to evaluate many accelerator configurations on
      * one captured workload.
@@ -167,6 +197,8 @@ class FastBcnnEngine
     IndicatorSet indicators_;
     std::optional<ThresholdSet> thresholds_;
     std::vector<BlockTuneReport> tuneReports_;
+    /** Constructed by calibrate() when EngineOptions::guard.enabled. */
+    std::unique_ptr<SkipGuard> guard_;
 };
 
 } // namespace fastbcnn

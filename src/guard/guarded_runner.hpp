@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Guarded predictive MC-dropout: the skip-mode counterpart of the
+ * bayes MC runner, with the SkipGuard closed into the loop.  Samples
+ * run in fixed decision rounds; within a round every sample uses the
+ * same frozen threshold set and its skipped neurons are shadow-audited
+ * (audit.hpp); at the round boundary the audits are folded into the
+ * guard in ascending sample order and the policy may adjust the
+ * thresholds for the next round.  The round structure makes the run —
+ * outputs, audits, guard events and final thresholds — bit-identical
+ * for every thread count.
+ */
+
+#ifndef FASTBCNN_GUARD_GUARDED_RUNNER_HPP
+#define FASTBCNN_GUARD_GUARDED_RUNNER_HPP
+
+#include "bayes/mc_runner.hpp"
+#include "guard.hpp"
+
+namespace fastbcnn {
+
+/** Options for one guarded predictive MC run. */
+struct GuardedMcOptions {
+    std::size_t samples = 50;      ///< T, the paper's default
+    double dropRate = 0.3;         ///< p, the paper's default
+    BrngKind brng = BrngKind::Lfsr;
+    std::uint64_t seed = 1;        ///< RNG seed (deterministic runs)
+    /**
+     * Worker threads per decision round; 1 = serial, 0 = one per
+     * hardware thread.  Masks come from private per-sample BRNGs and
+     * audits fold in ascending sample order, so the result is
+     * bit-identical for every thread count.
+     */
+    std::size_t threads = 1;
+};
+
+/**
+ * Validate @p opts at the API boundary.
+ * @return ok, or an InvalidArgument error naming the bad value.
+ */
+Status validateGuardedMcOptions(const GuardedMcOptions &opts);
+
+/** Outcome of one guarded predictive MC run. */
+struct GuardedMcResult {
+    Tensor preOutput;              ///< non-dropout inference output
+    std::vector<Tensor> outputs;   ///< per-sample predictive outputs
+    UncertaintySummary summary;    ///< Eq. 4 average over samples
+    std::uint64_t predictedNeurons = 0;  ///< total skipped neurons
+    std::uint64_t audited = 0;           ///< shadow-audited neurons
+    std::uint64_t mispredicted = 0;      ///< of those, mispredicted
+    std::vector<GuardEvent> events;      ///< decisions made this run
+    GuardSnapshot finalSnapshot;         ///< guard state after the run
+};
+
+/**
+ * Run a guarded predictive MC-dropout inference over @p guard's
+ * effective thresholds.  The guard is shared, long-lived state: its
+ * backoff levels persist across calls, which is the point — drift
+ * detected on one request protects the next.
+ *
+ * Errors (never aborts): invalid options or input shape mismatch.
+ *
+ * @param topo       analysed BCNN
+ * @param indicators weight-sign indicators
+ * @param guard      the model's skip guard (thresholds + policy)
+ * @param input      input tensor matching the network input shape
+ * @param opts       sampling configuration
+ */
+Expected<GuardedMcResult> tryRunGuardedPredictive(
+    const BcnnTopology &topo, const IndicatorSet &indicators,
+    SkipGuard &guard, const Tensor &input,
+    const GuardedMcOptions &opts = {});
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_GUARD_GUARDED_RUNNER_HPP

@@ -1,13 +1,19 @@
 #include "serialize.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
+#include <iterator>
 #include <ostream>
+#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "common/crc32.hpp"
+#include "common/logging.hpp"
 #include "common/table.hpp"
 #include "conv2d.hpp"
 #include "dense.hpp"
@@ -95,23 +101,83 @@ struct StagedRecord {
     std::vector<float> bias;
 };
 
+/** The integrity footer tag ("crc32 <8 hex digits>" on its own line). */
+constexpr const char *kCrcFooterTag = "\ncrc32 ";
+
+/**
+ * Split the trailing "crc32 XXXXXXXX" footer off @p body (the stream
+ * content after the header line's tokens, starting with the header's
+ * newline).  On success @p payload gets the record region the CRC was
+ * computed over and @p crc its stored value.  A body with no footer
+ * returns ok with @p has_footer false (legacy file).  A mangled footer
+ * is reported as Truncated: the only way to half-write this line is a
+ * cut (or rot) at the very end of the file.
+ */
+Status
+splitCrcFooter(const std::string &body, std::string &payload,
+               std::uint32_t &crc, bool &has_footer)
+{
+    has_footer = false;
+    payload = body.empty() ? body : body.substr(1);
+    const std::size_t pos = body.rfind(kCrcFooterTag);
+    if (pos == std::string::npos)
+        return Status::ok();
+    const std::size_t hex_at = pos + std::strlen(kCrcFooterTag);
+    std::size_t hex_len = 0;
+    while (hex_at + hex_len < body.size() &&
+           std::isxdigit(static_cast<unsigned char>(
+               body[hex_at + hex_len]))) {
+        ++hex_len;
+    }
+    std::size_t tail = hex_at + hex_len;
+    while (tail < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[tail]))) {
+        ++tail;
+    }
+    if (tail != body.size()) {
+        // "crc32" appearing mid-stream is not a footer (the record
+        // grammar cannot produce it, but be conservative).
+        return Status::ok();
+    }
+    if (hex_len != 8) {
+        return errorf(ErrorCode::Truncated,
+                      "weight file ends in a mangled crc32 footer "
+                      "(%zu hex digits, want 8)", hex_len);
+    }
+    crc = static_cast<std::uint32_t>(
+        std::strtoul(body.substr(hex_at, 8).c_str(), nullptr, 16));
+    // The payload is everything between the header newline and the
+    // footer's leading newline, inclusive of the final record newline.
+    payload = body.substr(1, pos);
+    has_footer = true;
+    return Status::ok();
+}
+
 } // namespace
 
 Status
 trySaveWeights(const Network &net, std::ostream &os)
 {
-    os << "fastbcnn-weights v1 " << net.name() << '\n';
+    // Records are built in memory first so the CRC footer can cover
+    // the exact byte region the loader will re-hash.
+    std::ostringstream records;
     for (NodeId id = 0; id < net.size(); ++id) {
         // paramsOf needs mutable access; serialisation only reads.
         ParamRefs p = paramsOf(const_cast<Layer &>(net.layer(id)));
         if (!p.weights)
             continue;
-        os << "layer " << net.layer(id).name() << ' '
-           << layerKindName(net.layer(id).kind()) << ' '
-           << p.weights->numel() << ' ' << p.bias->numel() << '\n';
-        writeValues(os, *p.weights);
-        writeValues(os, *p.bias);
+        records << "layer " << net.layer(id).name() << ' '
+                << layerKindName(net.layer(id).kind()) << ' '
+                << p.weights->numel() << ' ' << p.bias->numel() << '\n';
+        writeValues(records, *p.weights);
+        writeValues(records, *p.bias);
     }
+    const std::string payload = records.str();
+    char footer[16];
+    std::snprintf(footer, sizeof(footer), "crc32 %08x",
+                  crc32(payload));
+    os << "fastbcnn-weights v1 " << net.name() << '\n'
+       << payload << footer << '\n';
     if (!os.good()) {
         return errorf(ErrorCode::IoError,
                       "stream failed while saving weights of '%s'",
@@ -140,11 +206,38 @@ tryLoadWeights(Network &net, std::istream &is)
                       version.c_str());
     }
 
+    // Integrity first: hash the record region and compare with the
+    // footer before spending any time parsing.  A footer-less stream
+    // is a legacy (pre-footer) checkpoint — still accepted, with a
+    // warning, because parse-level validation below catches gross
+    // damage anyway.
+    std::string body{std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>()};
+    std::string payload;
+    std::uint32_t stored_crc = 0;
+    bool has_footer = false;
+    FASTBCNN_RETURN_IF_ERROR(
+        splitCrcFooter(body, payload, stored_crc, has_footer));
+    if (has_footer) {
+        const std::uint32_t actual = crc32(payload);
+        if (actual != stored_crc) {
+            return errorf(ErrorCode::DataLoss,
+                          "weight file of '%.64s' failed its integrity "
+                          "check (stored crc32 %08x, computed %08x)",
+                          model.c_str(), stored_crc, actual);
+        }
+    } else if (!payload.empty()) {
+        warn("weight file of '%s' has no crc32 footer (legacy "
+             "format); loading without an integrity check",
+             model.c_str());
+    }
+    std::istringstream records(payload);
+
     // Stage 1: parse and validate every record without touching the
     // network, so any error leaves the weights exactly as they were.
     std::vector<StagedRecord> staged;
     std::string tag;
-    while (is >> tag) {
+    while (records >> tag) {
         if (tag != "layer") {
             return errorf(ErrorCode::ParseError,
                           "malformed weight file near '%.32s'",
@@ -152,7 +245,7 @@ tryLoadWeights(Network &net, std::istream &is)
         }
         std::string name, kind;
         std::size_t w_count = 0, b_count = 0;
-        if (!(is >> name >> kind >> w_count >> b_count)) {
+        if (!(records >> name >> kind >> w_count >> b_count)) {
             return errorf(ErrorCode::ParseError,
                           "malformed layer record near '%.64s'",
                           name.c_str());
@@ -180,11 +273,11 @@ tryLoadWeights(Network &net, std::istream &is)
         StagedRecord rec;
         rec.node = *id;
         FASTBCNN_RETURN_IF_ERROR(
-            readValues(is, w_count, rec.weights)
+            readValues(records, w_count, rec.weights)
                 .withContext(format("weights of layer '%.64s'",
                                     name.c_str())));
         FASTBCNN_RETURN_IF_ERROR(
-            readValues(is, b_count, rec.bias)
+            readValues(records, b_count, rec.bias)
                 .withContext(format("bias of layer '%.64s'",
                                     name.c_str())));
         staged.push_back(std::move(rec));

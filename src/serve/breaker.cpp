@@ -1,0 +1,146 @@
+#include "breaker.hpp"
+
+#include <cmath>
+
+namespace fastbcnn::serve {
+
+Status
+validateBreakerOptions(const BreakerOptions &opts)
+{
+    if (opts.failureThreshold == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BreakerOptions::failureThreshold must be >= 1");
+    }
+    if (!(opts.cooldownMs >= 0.0) || !std::isfinite(opts.cooldownMs)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BreakerOptions::cooldownMs %g must be finite "
+                      "and >= 0", opts.cooldownMs);
+    }
+    if (opts.halfOpenProbes == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BreakerOptions::halfOpenProbes must be >= 1");
+    }
+    if (opts.closeSuccesses == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BreakerOptions::closeSuccesses must be >= 1");
+    }
+    return Status::ok();
+}
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed:   return "Closed";
+      case BreakerState::Open:     return "Open";
+      case BreakerState::HalfOpen: return "HalfOpen";
+    }
+    return "Unknown";
+}
+
+CircuitBreaker::Admission
+CircuitBreaker::admit(ServeClock::time_point now)
+{
+    Admission admission;
+    if (!opts_.enabled)
+        return admission;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (state_ == BreakerState::Open) {
+        const double elapsed = elapsedMs(openedAt_, now);
+        if (elapsed < opts_.cooldownMs) {
+            ++rejections_;
+            admission.admitted = false;
+            return admission;
+        }
+        // Cooldown over: half-open and let the probe logic decide.
+        state_ = BreakerState::HalfOpen;
+        probesInFlight_ = 0;
+        probeSuccesses_ = 0;
+    }
+    if (state_ == BreakerState::HalfOpen) {
+        if (probesInFlight_ >= opts_.halfOpenProbes) {
+            ++rejections_;
+            admission.admitted = false;
+            return admission;
+        }
+        ++probesInFlight_;
+        admission.probe = true;
+    }
+    return admission;
+}
+
+void
+CircuitBreaker::report(BreakerSignal signal, bool probe,
+                       ServeClock::time_point now)
+{
+    if (!opts_.enabled)
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (probe) {
+        if (probesInFlight_ > 0)
+            --probesInFlight_;
+        // A probe completing after the breaker already moved on (a
+        // reopen by a sibling probe) only releases its slot.
+        if (state_ != BreakerState::HalfOpen)
+            return;
+        switch (signal) {
+          case BreakerSignal::Failure:
+            state_ = BreakerState::Open;
+            openedAt_ = now;
+            ++opens_;
+            probeSuccesses_ = 0;
+            break;
+          case BreakerSignal::Success:
+            if (++probeSuccesses_ >= opts_.closeSuccesses) {
+                state_ = BreakerState::Closed;
+                consecutiveFailures_ = 0;
+            }
+            break;
+          case BreakerSignal::Neutral:
+            break;
+        }
+        return;
+    }
+    // Non-probe outcomes only matter while Closed: requests admitted
+    // before a trip finishing afterwards must not double-punish.
+    if (state_ != BreakerState::Closed)
+        return;
+    switch (signal) {
+      case BreakerSignal::Failure:
+        if (++consecutiveFailures_ >= opts_.failureThreshold) {
+            state_ = BreakerState::Open;
+            openedAt_ = now;
+            ++opens_;
+            consecutiveFailures_ = 0;
+        }
+        break;
+      case BreakerSignal::Success:
+        consecutiveFailures_ = 0;
+        break;
+      case BreakerSignal::Neutral:
+        break;
+    }
+}
+
+BreakerState
+CircuitBreaker::state() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+}
+
+std::uint64_t
+CircuitBreaker::opens() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return opens_;
+}
+
+std::uint64_t
+CircuitBreaker::rejections() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return rejections_;
+}
+
+} // namespace fastbcnn::serve

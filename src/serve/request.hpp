@@ -24,6 +24,7 @@
 #include <string>
 
 #include "bayes/mc_runner.hpp"
+#include "guard/guarded_runner.hpp"
 #include "tensor/tensor.hpp"
 
 namespace fastbcnn::serve {
@@ -121,6 +122,15 @@ struct InferRequest {
     double deadlineMs = 0.0;
     /** MC-dropout overrides (unset = replica defaults). */
     McOverrides mc;
+    /**
+     * Dispatch through the guarded predictive path (engine
+     * tryGuardedMc) instead of the exact MC reference.  Requires the
+     * model's engines to have EngineOptions::guard enabled (admission
+     * rejects otherwise).  The guarded path honours the samples /
+     * threads / seed overrides but not quorum, faults, or the
+     * deadline — prediction-mode samples are not fault-isolated lanes.
+     */
+    bool useGuardedSkip = false;
     /** Cancellation flag (keep a copy to cancel later). */
     CancellationToken token;
 };
@@ -148,8 +158,10 @@ struct InferResponse {
     std::uint64_t id = 0;
     /** How the request left the server. */
     Outcome outcome = Outcome::Failed;
-    /** The run result (engaged iff outcome == Ok). */
+    /** The run result (engaged iff outcome == Ok, exact MC path). */
     std::optional<McResult> result;
+    /** The guarded-path result (engaged iff Ok via useGuardedSkip). */
+    std::optional<GuardedMcResult> guarded;
     /** Why the request was not served (ok iff outcome == Ok). */
     Error error;
     /** Submit-to-dispatch wait in ms. */
@@ -170,6 +182,24 @@ struct InferResponse {
     bool degraded() const
     {
         return result.has_value() && result->degraded();
+    }
+
+    /**
+     * @return true when the guarded path backed off or disabled a
+     * kernel during this request — the degradation signal the
+     * circuit breaker counts as a failure.
+     */
+    bool guardTripped() const
+    {
+        if (!guarded.has_value())
+            return false;
+        for (const GuardEvent &ev : guarded->events) {
+            if (ev.kind == GuardEventKind::Backoff ||
+                ev.kind == GuardEventKind::Disable) {
+                return true;
+            }
+        }
+        return false;
     }
 };
 
@@ -195,6 +225,9 @@ struct PendingRequest {
     /** Absolute deadline (time_point::max() when none). */
     ServeClock::time_point deadline = ServeClock::time_point::max();
     bool hasDeadline = false;
+    /** True when admission granted this request a breaker probe slot
+     *  (completion must report it back, whatever the outcome). */
+    bool breakerProbe = false;
 
     /** @return true when the deadline has passed at @p now. */
     bool expired(ServeClock::time_point now) const

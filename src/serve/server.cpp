@@ -22,6 +22,9 @@ validateServerOptions(const ServerOptions &opts)
         return errorf(ErrorCode::InvalidArgument,
                       "ServerOptions::maxBatch must be >= 1");
     }
+    FASTBCNN_RETURN_IF_ERROR(
+        validateBreakerOptions(opts.breaker)
+            .withContext("ServerOptions::breaker"));
     return Status::ok();
 }
 
@@ -86,7 +89,11 @@ InferenceServer::create(std::vector<ModelSpec> models,
                 ModelInfo info;
                 info.inputShape = replica->network().inputShape();
                 info.mcDefaults = replica->options().mc;
+                info.guardEnabled = replica->guard() != nullptr;
                 server->models_.emplace(spec.id, std::move(info));
+                server->breakers_.emplace(
+                    spec.id,
+                    std::make_unique<CircuitBreaker>(opts.breaker));
             } else if (!(replica->network().inputShape() ==
                          server->models_.at(spec.id).inputShape)) {
                 return errorf(ErrorCode::Mismatch,
@@ -177,8 +184,30 @@ InferenceServer::submit(InferRequest request)
                 "per-request MC overrides");
         }
     }
+    if (request.useGuardedSkip && !info.guardEnabled) {
+        stats_.add("rejected_invalid");
+        return errorf(ErrorCode::InvalidArgument,
+                      "model '%s' is served without a skip guard; "
+                      "useGuardedSkip needs engines with "
+                      "EngineOptions::guard enabled",
+                      request.modelId.c_str());
+    }
+
+    // Breaker admission runs last: only requests that would otherwise
+    // be accepted consume half-open probe slots.
+    CircuitBreaker &breaker = *breakers_.at(request.modelId);
+    const CircuitBreaker::Admission admission =
+        breaker.admit(ServeClock::now());
+    if (!admission.admitted) {
+        stats_.add("rejected_breaker");
+        return errorf(ErrorCode::Unavailable,
+                      "model '%s' circuit breaker is %s; rejecting "
+                      "fast", request.modelId.c_str(),
+                      breakerStateName(breaker.state()));
+    }
 
     PendingRequest pending;
+    pending.breakerProbe = admission.probe;
     pending.id = nextId_.fetch_add(1, std::memory_order_relaxed);
     pending.seq = nextSeq_.fetch_add(1, std::memory_order_relaxed);
     pending.submitted = ServeClock::now();
@@ -196,8 +225,15 @@ InferenceServer::submit(InferRequest request)
     handle.response = pending.promise.get_future();
     pending.request = std::move(request);
 
+    const bool heldProbe = pending.breakerProbe;
     Status admitted = queue_.push(std::move(pending));
     if (!admitted.isOk()) {
+        // A probe that never reaches the engine says nothing about
+        // model health; release its slot.
+        if (heldProbe) {
+            breaker.report(BreakerSignal::Neutral, true,
+                           ServeClock::now());
+        }
         stats_.add(admitted.code() == ErrorCode::ResourceExhausted
                        ? "rejected_full"
                        : "rejected_closed");
@@ -237,6 +273,24 @@ InferenceServer::complete(PendingRequest &&pending,
         stats_.add("degraded");
     latency_[static_cast<std::size_t>(response.outcome)].record(
         response.totalMs);
+
+    // Feed the model's breaker.  A served response still counts as a
+    // failure when the guard tripped mid-request (the output stands,
+    // but the model is visibly misbehaving); shed / cancelled requests
+    // say nothing about model health, so they only release a held
+    // probe slot.
+    auto breaker = breakers_.find(pending.request.modelId);
+    if (breaker != breakers_.end()) {
+        BreakerSignal signal = BreakerSignal::Neutral;
+        if (response.outcome == Outcome::Ok) {
+            signal = response.guardTripped() ? BreakerSignal::Failure
+                                             : BreakerSignal::Success;
+        } else if (response.outcome == Outcome::Failed) {
+            signal = BreakerSignal::Failure;
+        }
+        breaker->second->report(signal, pending.breakerProbe,
+                                ServeClock::now());
+    }
     pending.promise.set_value(std::move(response));
 }
 
@@ -309,6 +363,62 @@ LatencyHistogram
 InferenceServer::latencySnapshot(Outcome outcome) const
 {
     return latency_[static_cast<std::size_t>(outcome)];
+}
+
+HealthReport
+InferenceServer::health() const
+{
+    HealthReport report;
+    report.accepting = accepting();
+    report.queueDepth = queue_.size();
+    report.submitted = stats_.counter("submitted");
+    report.accepted = stats_.counter("accepted");
+    report.ok = stats_.counter("ok");
+    report.failed = stats_.counter("failed");
+    report.shed = stats_.counter("shed");
+    report.cancelled = stats_.counter("cancelled");
+    report.rejectedBreaker = stats_.counter("rejected_breaker");
+
+    const LatencyHistogram &served =
+        latency_[static_cast<std::size_t>(Outcome::Ok)];
+    report.p50Ms = served.p50Ms();
+    report.p95Ms = served.p95Ms();
+    report.p99Ms = served.p99Ms();
+
+    report.models.reserve(models_.size());
+    for (const auto &[id, info] : models_) {
+        ModelHealth model;
+        model.id = id;
+        model.guardEnabled = info.guardEnabled;
+        auto breaker = breakers_.find(id);
+        if (breaker != breakers_.end()) {
+            model.breakerState = breaker->second->state();
+            model.breakerOpens = breaker->second->opens();
+            model.breakerRejections = breaker->second->rejections();
+        }
+        if (info.guardEnabled) {
+            std::vector<GuardSnapshot> snapshots;
+            snapshots.reserve(workers_.size());
+            for (const auto &worker : workers_) {
+                const FastBcnnEngine *replica = worker->replica(id);
+                if (replica != nullptr &&
+                    replica->guard() != nullptr) {
+                    snapshots.push_back(
+                        replica->guard()->snapshot());
+                }
+            }
+            model.guard = mergeGuardSnapshots(snapshots);
+        }
+        report.models.push_back(std::move(model));
+    }
+    return report;
+}
+
+const CircuitBreaker *
+InferenceServer::breaker(const std::string &model_id) const
+{
+    auto it = breakers_.find(model_id);
+    return it == breakers_.end() ? nullptr : it->second.get();
 }
 
 } // namespace fastbcnn::serve

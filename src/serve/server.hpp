@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "serve/breaker.hpp"
 #include "serve/queue.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/worker.hpp"
@@ -55,6 +56,8 @@ struct ServerOptions {
     std::size_t queueCapacity = 64;
     /** Micro-batch size cap (1 disables batching). */
     std::size_t maxBatch = 8;
+    /** Per-model circuit breaker (disabled by default). */
+    BreakerOptions breaker;
 };
 
 /**
@@ -62,6 +65,36 @@ struct ServerOptions {
  * @return ok, or an InvalidArgument error naming the bad value.
  */
 Status validateServerOptions(const ServerOptions &opts);
+
+/** Point-in-time health of one served model. */
+struct ModelHealth {
+    std::string id;
+    /** True when the model's engines run with a skip guard. */
+    bool guardEnabled = false;
+    BreakerState breakerState = BreakerState::Closed;
+    std::uint64_t breakerOpens = 0;
+    std::uint64_t breakerRejections = 0;
+    /** Guard state merged across the worker replicas' guards. */
+    GuardSnapshot guard;
+};
+
+/** Point-in-time health of the whole server (health()). */
+struct HealthReport {
+    bool accepting = false;
+    std::size_t queueDepth = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejectedBreaker = 0;
+    /** Served-request (Outcome::Ok) latency percentiles in ms. */
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    std::vector<ModelHealth> models;
+};
 
 class InferenceServer
 {
@@ -129,11 +162,24 @@ class InferenceServer
     /** @return a snapshot of the latency histogram of @p outcome. */
     LatencyHistogram latencySnapshot(Outcome outcome) const;
 
+    /**
+     * Assemble a health report: queue depth, admission/outcome
+     * counters, served-latency percentiles, and per-model breaker
+     * state plus the guard snapshots merged across worker replicas.
+     * Safe to call at any time from any thread.
+     */
+    HealthReport health() const;
+
+    /** @return the breaker of @p model_id (nullptr: not served). */
+    const CircuitBreaker *breaker(const std::string &model_id) const;
+
   private:
     /** Admission-time knowledge about one served model. */
     struct ModelInfo {
         Shape inputShape;
         McOptions mcDefaults;
+        /** True when the model's engines carry a skip guard. */
+        bool guardEnabled = false;
     };
 
     explicit InferenceServer(ServerOptions opts);
@@ -147,6 +193,8 @@ class InferenceServer
 
     ServerOptions opts_;
     std::map<std::string, ModelInfo> models_;
+    /** Per-model breakers (stable addresses; created at create()). */
+    std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
     BoundedRequestQueue queue_;
     std::unique_ptr<BatchScheduler> scheduler_;
     std::vector<std::unique_ptr<EngineWorker>> workers_;

@@ -106,6 +106,32 @@ EngineWorker::runBatch(std::vector<PendingRequest> &&batch,
 
         const McOptions mc = effectiveOptions(*engine, pending, now);
         const ServeClock::time_point begin = ServeClock::now();
+        if (pending.request.useGuardedSkip) {
+            // Guarded predictive path: same sampling knobs, but no
+            // quorum / faults / deadline — prediction-mode samples
+            // are not fault-isolated lanes (see InferRequest).
+            GuardedMcOptions gopts;
+            gopts.samples = mc.samples;
+            gopts.dropRate = mc.dropRate;
+            gopts.brng = mc.brng;
+            gopts.seed = mc.seed;
+            gopts.threads = mc.threads;
+            Expected<GuardedMcResult> run =
+                engine->tryGuardedMc(pending.request.input, gopts);
+            response.serviceMs = elapsedMs(begin, ServeClock::now());
+            if (run.hasValue()) {
+                response.outcome = Outcome::Ok;
+                response.guarded = std::move(run).value();
+            } else {
+                response.outcome = Outcome::Failed;
+                response.error =
+                    std::move(run).takeError().withContext(
+                        format("serving model '%s' (guarded)",
+                               model.c_str()));
+            }
+            complete(std::move(pending), std::move(response));
+            continue;
+        }
         Expected<McResult> run =
             engine->tryMcReference(pending.request.input, mc);
         response.serviceMs = elapsedMs(begin, ServeClock::now());

@@ -38,7 +38,7 @@ predictiveForward(const BcnnTopology &topo,
         const BitVolume in_mask = effectiveInputMask(topo, id, masks);
         const CountVolume counts =
             countDroppedNwInputs(conv, in_mask, indicators.of(id));
-        const BitVolume predicted = predictUnaffected(
+        BitVolume predicted = predictUnaffected(
             zero_maps.at(id), counts, thresholds, id);
 
         Tensor &out = outputs[id];
@@ -49,7 +49,7 @@ predictiveForward(const BcnnTopology &topo,
         result.predictedNeurons += predicted.popcount();
         if (opts.captureConvOutputs)
             result.convOutputs.emplace(id, out);
-        result.predicted.emplace(id, predicted);
+        result.predicted.emplace(id, std::move(predicted));
     }
 
     result.output = outputs.back();

@@ -71,4 +71,22 @@ actualUnaffected(const BitVolume &zero_map, const Tensor &true_output)
     return unaffected;
 }
 
+BitVolume
+mispredicted(const BitVolume &predicted, const Tensor &true_output)
+{
+    FASTBCNN_CHECK(true_output.shape().rank() == 3,
+                   "conv output must be CHW");
+    FASTBCNN_CHECK(predicted.size() == true_output.numel(),
+                   "prediction map / output shape mismatch");
+    BitVolume missed(predicted.channels(), predicted.height(),
+                     predicted.width());
+    for (std::size_t i = 0; i < true_output.numel(); ++i) {
+        // Predicted unaffected (forced to zero) yet actually positive
+        // pre-ReLU: the skip engine corrupted this neuron.
+        if (predicted.getFlat(i) && true_output.at(i) > 0.0f)
+            missed.setFlat(i, true);
+    }
+    return missed;
+}
+
 } // namespace fastbcnn

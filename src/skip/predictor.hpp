@@ -53,6 +53,20 @@ BitVolume predictUnaffected(const BitVolume &zero_map,
 BitVolume actualUnaffected(const BitVolume &zero_map,
                            const Tensor &true_output);
 
+/**
+ * Ground truth for the audit layer: the bitmap of mispredicted
+ * neurons, i.e. predicted unaffected (forced to zero by the skip
+ * engine) but actually positive (post-ReLU) in the sample's true conv
+ * output.  The shadow audit estimates exactly this set's density by
+ * re-computing a sampled fraction of @p predicted; tests compare the
+ * estimate against this full enumeration.
+ *
+ * @param predicted   the block's prediction bitmap (predictUnaffected)
+ * @param true_output the sample's exact conv output (pre-ReLU)
+ */
+BitVolume mispredicted(const BitVolume &predicted,
+                       const Tensor &true_output);
+
 } // namespace fastbcnn
 
 #endif // FASTBCNN_SKIP_PREDICTOR_HPP

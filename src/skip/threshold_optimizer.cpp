@@ -72,16 +72,19 @@ validateOptimizerOptions(const OptimizerOptions &opts)
     return Status::ok();
 }
 
-OptimizeResult
-optimizeThresholds(const BcnnTopology &topo,
-                   const IndicatorSet &indicators,
-                   const std::vector<Tensor> &dataset,
-                   const OptimizerOptions &opts)
+Expected<OptimizeResult>
+tryOptimizeThresholds(const BcnnTopology &topo,
+                      const IndicatorSet &indicators,
+                      const std::vector<Tensor> &dataset,
+                      const OptimizerOptions &opts)
 {
-    if (dataset.empty())
-        fatal("threshold optimization needs at least one input");
-    if (Status status = validateOptimizerOptions(opts); !status.isOk())
-        fatal("%s", status.toString().c_str());
+    if (dataset.empty()) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "threshold optimization needs at least one "
+                      "input: an empty tuning set would leave every "
+                      "alpha at Th (degenerate prediction)");
+    }
+    FASTBCNN_RETURN_IF_ERROR(validateOptimizerOptions(opts));
 
     const Network &net = topo.network();
     const int th0 = static_cast<int>(
@@ -255,6 +258,20 @@ optimizeThresholds(const BcnnTopology &topo,
                       below, result.reports.size(), opts.confidence);
     }
     return result;
+}
+
+OptimizeResult
+optimizeThresholds(const BcnnTopology &topo,
+                   const IndicatorSet &indicators,
+                   const std::vector<Tensor> &dataset,
+                   const OptimizerOptions &opts)
+{
+    Expected<OptimizeResult> result =
+        tryOptimizeThresholds(topo, indicators, dataset, opts);
+    if (!result)
+        fatal("threshold optimization failed: %s",
+              result.error().toString().c_str());
+    return std::move(result).value();
 }
 
 std::map<NodeId, double>

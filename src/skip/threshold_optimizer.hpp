@@ -80,10 +80,23 @@ Status validateOptimizerOptions(const OptimizerOptions &opts);
 /**
  * Run Algorithm 1 over an optimization dataset.
  *
+ * Errors (never aborts): invalid options, or an empty tuning dataset —
+ * tuning against nothing would silently "succeed" with every α left at
+ * Th, a degenerate set that predicts nearly everything.
+ *
  * @param topo       analysed BCNN
  * @param indicators weight-sign indicators ("Preparation", lines 4-5)
  * @param dataset    optimization inputs D (at least one)
  * @param opts       Th, Δs, p_cf, T, ...
+ */
+Expected<OptimizeResult> tryOptimizeThresholds(
+    const BcnnTopology &topo, const IndicatorSet &indicators,
+    const std::vector<Tensor> &dataset,
+    const OptimizerOptions &opts = {});
+
+/**
+ * Legacy convenience wrapper around tryOptimizeThresholds():
+ * identical behaviour, but any error is fatal().
  */
 OptimizeResult optimizeThresholds(const BcnnTopology &topo,
                                   const IndicatorSet &indicators,

@@ -41,6 +41,12 @@ class ThresholdSet
     /** @return true when the set holds thresholds for node @p conv. */
     bool has(NodeId conv) const;
 
+    /** @return every conv's kernel thresholds (guard iteration). */
+    const std::map<NodeId, std::vector<int>> &all() const
+    {
+        return byConv_;
+    }
+
     /** @return the mean threshold across every kernel (diagnostics). */
     double mean() const;
 

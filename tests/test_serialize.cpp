@@ -133,6 +133,20 @@ loadCorrupt(const std::string &text)
     return tryLoadWeights(net, ss);
 }
 
+/**
+ * Strip the "crc32 XXXXXXXX" footer so a fixture exercises the parser
+ * instead of being caught up front by the integrity check (the
+ * parse-level tests target the grammar, not the checksum).
+ */
+std::string
+stripFooter(std::string text)
+{
+    const std::size_t pos = text.rfind("\ncrc32 ");
+    if (pos != std::string::npos)
+        text.resize(pos + 1);
+    return text;
+}
+
 } // namespace
 
 TEST(SerializeCorpus, WrongMagicVariants)
@@ -171,7 +185,7 @@ TEST(SerializeCorpus, TruncationAtEveryRegion)
 
 TEST(SerializeCorpus, BitRotInsideAValueIsParseError)
 {
-    std::string text = goodCheckpoint(21);
+    std::string text = stripFooter(goodCheckpoint(21));
     // Corrupt a hex-float digit in the middle of the payload with a
     // byte no float literal can contain.
     const std::size_t payload = text.find("0x", text.find("layer"));
@@ -188,7 +202,7 @@ TEST(SerializeCorpus, BitRotInsideAValueIsParseError)
 
 TEST(SerializeCorpus, CorruptRecordTagIsParseError)
 {
-    std::string text = goodCheckpoint(22);
+    std::string text = stripFooter(goodCheckpoint(22));
     const std::size_t tag = text.find("layer");
     ASSERT_NE(tag, std::string::npos);
     text.replace(tag, 5, "lay3r");
@@ -196,6 +210,60 @@ TEST(SerializeCorpus, CorruptRecordTagIsParseError)
     ASSERT_FALSE(s.isOk());
     EXPECT_EQ(s.code(), ErrorCode::ParseError);
     EXPECT_NE(s.message().find("malformed"), std::string::npos);
+}
+
+TEST(SerializeCorpus, SavedCheckpointCarriesCrcFooter)
+{
+    const std::string text = goodCheckpoint(40);
+    // Footer: "crc32 " + 8 hex digits + newline, at the very end.
+    const std::size_t pos = text.rfind("\ncrc32 ");
+    ASSERT_NE(pos, std::string::npos);
+    EXPECT_EQ(text.size() - pos, 1 + 6 + 8 + 1u);
+    EXPECT_EQ(text.back(), '\n');
+    // And the checkpoint round-trips through the integrity check.
+    EXPECT_TRUE(loadCorrupt(text).isOk());
+}
+
+TEST(SerializeCorpus, CorruptPayloadIsDataLoss)
+{
+    // Bit rot inside the record region with the footer intact: the
+    // integrity check must catch it before the parser runs, even when
+    // the damage would still parse (digit swapped for a digit).
+    std::string text = goodCheckpoint(41);
+    const std::size_t payload = text.find("0x", text.find("layer"));
+    ASSERT_NE(payload, std::string::npos);
+    text[payload + 2] = text[payload + 2] == '1' ? '2' : '1';
+    Status s = loadCorrupt(text);
+    ASSERT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::DataLoss);
+    EXPECT_NE(s.message().find("integrity"), std::string::npos);
+}
+
+TEST(SerializeCorpus, CorruptFooterIsDataLossOrTruncated)
+{
+    // A rotted stored CRC reads as DataLoss (mismatch), a half-written
+    // footer as Truncated; neither may load.
+    std::string rotted = goodCheckpoint(42);
+    const std::size_t hex = rotted.rfind("crc32 ") + 6;
+    rotted[hex] = rotted[hex] == 'f' ? '0' : 'f';
+    Status s1 = loadCorrupt(rotted);
+    ASSERT_FALSE(s1.isOk());
+    EXPECT_EQ(s1.code(), ErrorCode::DataLoss);
+
+    std::string cut = goodCheckpoint(42);
+    cut.resize(cut.size() - 4);  // cut mid-hex
+    Status s2 = loadCorrupt(cut);
+    ASSERT_FALSE(s2.isOk());
+    EXPECT_EQ(s2.code(), ErrorCode::Truncated);
+}
+
+TEST(SerializeCorpus, LegacyFooterlessCheckpointStillLoads)
+{
+    // Pre-footer checkpoints load (with a warning) — the fleet's
+    // existing artefacts must not brick on upgrade.
+    const std::string legacy = stripFooter(goodCheckpoint(43));
+    ASSERT_EQ(legacy.rfind("crc32"), std::string::npos);
+    EXPECT_TRUE(loadCorrupt(legacy).isOk());
 }
 
 TEST(SerializeCorpus, FailedLoadLeavesWeightsUntouched)

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -626,4 +627,388 @@ TEST(ServeConcurrency, ConcurrentSubmittersSeeConsistentCounters)
         EXPECT_EQ(h.response.get().outcome, Outcome::Ok);
     EXPECT_EQ(srv.stats().counter("accepted"), accepted.load());
     EXPECT_EQ(srv.stats().counter("ok"), accepted.load());
+}
+
+// ---------------------------------------------------------------------------
+// ServeBreaker — per-model circuit breaking
+
+namespace {
+
+/** Breaker options that trip and recover at unit-test speed. */
+BreakerOptions
+fastBreaker(std::size_t threshold = 2, double cooldown_ms = 40.0)
+{
+    BreakerOptions opts;
+    opts.enabled = true;
+    opts.failureThreshold = threshold;
+    opts.cooldownMs = cooldown_ms;
+    opts.halfOpenProbes = 1;
+    opts.closeSuccesses = 1;
+    return opts;
+}
+
+/** A guard-enabled tiny-model replica factory. */
+Expected<std::unique_ptr<FastBcnnEngine>>
+makeGuardedReplica(double tolerance)
+{
+    EngineOptions eopts;
+    eopts.mc.samples = 4;
+    eopts.mc.seed = 21;
+    eopts.mc.recordMasks = false;
+    eopts.optimizer.samples = 2;
+    eopts.guard.enabled = true;
+    eopts.guard.audit.rate = 1.0;
+    eopts.guard.tolerance = tolerance;
+    eopts.guard.decisionInterval = 1;
+    eopts.guard.minAudited = 1;
+    eopts.guard.cooldownRounds = 1000;  // stay backed off once tripped
+    Expected<std::unique_ptr<FastBcnnEngine>> engine =
+        FastBcnnEngine::create(tinyBcnn(), eopts);
+    if (!engine.hasValue())
+        return engine;
+    Status calibrated =
+        engine.value()->tryCalibrate({ones(Shape({1, 6, 6}))});
+    if (!calibrated.isOk())
+        return calibrated;
+    return engine;
+}
+
+/** The kill-every-sample fault plan (forces Outcome::Failed). */
+const FaultPlan &
+killAllPlan()
+{
+    static const FaultPlan plan = []() {
+        FaultPlan p;
+        FaultSpec all;
+        all.kind = FaultKind::SampleKill;
+        all.sample = kEverySample;
+        p.add(all);
+        return p;
+    }();
+    return plan;
+}
+
+} // namespace
+
+TEST(ServeBreaker, DisabledBreakerAdmitsEverything)
+{
+    CircuitBreaker breaker;  // default: disabled
+    const auto now = ServeClock::now();
+    for (int i = 0; i < 10; ++i) {
+        breaker.report(BreakerSignal::Failure, false, now);
+        const CircuitBreaker::Admission a = breaker.admit(now);
+        EXPECT_TRUE(a.admitted);
+        EXPECT_FALSE(a.probe);
+    }
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_EQ(breaker.opens(), 0u);
+    EXPECT_EQ(breaker.rejections(), 0u);
+}
+
+TEST(ServeBreaker, OpensAfterConsecutiveFailuresThenRecovers)
+{
+    BreakerOptions opts = fastBreaker(3, 100.0);
+    opts.closeSuccesses = 2;
+    CircuitBreaker breaker(opts);
+    const auto t0 = ServeClock::now();
+
+    // A success resets the consecutive-failure run.
+    breaker.report(BreakerSignal::Failure, false, t0);
+    breaker.report(BreakerSignal::Failure, false, t0);
+    breaker.report(BreakerSignal::Success, false, t0);
+    breaker.report(BreakerSignal::Failure, false, t0);
+    breaker.report(BreakerSignal::Failure, false, t0);
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    breaker.report(BreakerSignal::Failure, false, t0);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.opens(), 1u);
+
+    // Inside the cooldown everything is rejected, fast.
+    const auto early = t0 + std::chrono::milliseconds(10);
+    EXPECT_FALSE(breaker.admit(early).admitted);
+    EXPECT_FALSE(breaker.admit(early).admitted);
+    EXPECT_EQ(breaker.rejections(), 2u);
+
+    // Cooldown expiry: the next admit is the (single) probe; the
+    // next one is rejected because the slot is taken.
+    const auto late = t0 + std::chrono::milliseconds(150);
+    const CircuitBreaker::Admission probe = breaker.admit(late);
+    EXPECT_TRUE(probe.admitted);
+    EXPECT_TRUE(probe.probe);
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+    EXPECT_FALSE(breaker.admit(late).admitted);
+
+    // Two probe successes close it.
+    breaker.report(BreakerSignal::Success, true, late);
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+    const CircuitBreaker::Admission probe2 = breaker.admit(late);
+    ASSERT_TRUE(probe2.probe);
+    breaker.report(BreakerSignal::Success, true, late);
+    EXPECT_EQ(breaker.state(), BreakerState::Closed);
+    EXPECT_TRUE(breaker.admit(late).admitted);
+}
+
+TEST(ServeBreaker, ProbeFailureReopens)
+{
+    CircuitBreaker breaker(fastBreaker(1, 50.0));
+    const auto t0 = ServeClock::now();
+    breaker.report(BreakerSignal::Failure, false, t0);
+    ASSERT_EQ(breaker.state(), BreakerState::Open);
+
+    const auto late = t0 + std::chrono::milliseconds(80);
+    const CircuitBreaker::Admission probe = breaker.admit(late);
+    ASSERT_TRUE(probe.probe);
+    breaker.report(BreakerSignal::Failure, true, late);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.opens(), 2u);
+
+    // The new cooldown starts at the reopen, not the first trip.
+    EXPECT_FALSE(breaker.admit(late).admitted);
+    const auto later = late + std::chrono::milliseconds(80);
+    EXPECT_TRUE(breaker.admit(later).admitted);
+}
+
+TEST(ServeBreaker, NeutralProbeReleasesSlotWithoutClosing)
+{
+    CircuitBreaker breaker(fastBreaker(1, 50.0));
+    const auto t0 = ServeClock::now();
+    breaker.report(BreakerSignal::Failure, false, t0);
+    const auto late = t0 + std::chrono::milliseconds(80);
+    ASSERT_TRUE(breaker.admit(late).probe);
+    ASSERT_FALSE(breaker.admit(late).admitted);
+
+    // A shed / cancelled probe neither closes nor reopens — it only
+    // frees the slot for the next probe.
+    breaker.report(BreakerSignal::Neutral, true, late);
+    EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+    EXPECT_TRUE(breaker.admit(late).probe);
+}
+
+TEST(ServeBreaker, ServerOpensRejectsFastAndRecovers)
+{
+    ServerOptions sopts;
+    sopts.workers = 1;
+    sopts.breaker = fastBreaker(2, 40.0);
+    auto server = InferenceServer::create({tinySpec()}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    // Two forced failures trip the breaker.
+    for (int i = 0; i < 2; ++i) {
+        InferRequest doomed;
+        doomed.modelId = "tiny";
+        doomed.input = ones(Shape({1, 6, 6}));
+        doomed.mc.faults = &killAllPlan();
+        auto handle = srv.submit(std::move(doomed));
+        ASSERT_TRUE(handle.hasValue());
+        EXPECT_EQ(handle.value().response.get().outcome,
+                  Outcome::Failed);
+    }
+    ASSERT_NE(srv.breaker("tiny"), nullptr);
+    EXPECT_EQ(srv.breaker("tiny")->state(), BreakerState::Open);
+
+    // While open, requests are rejected with Unavailable without
+    // touching the queue.
+    InferRequest rejected;
+    rejected.modelId = "tiny";
+    rejected.input = ones(Shape({1, 6, 6}));
+    auto nope = srv.submit(std::move(rejected));
+    ASSERT_FALSE(nope.hasValue());
+    EXPECT_EQ(nope.error().code(), ErrorCode::Unavailable);
+    EXPECT_GE(srv.stats().counter("rejected_breaker"), 1u);
+
+    HealthReport mid = srv.health();
+    ASSERT_EQ(mid.models.size(), 1u);
+    EXPECT_EQ(mid.models[0].breakerState, BreakerState::Open);
+    EXPECT_GE(mid.models[0].breakerOpens, 1u);
+    EXPECT_GE(mid.rejectedBreaker, 1u);
+
+    // After the cooldown a healthy request probes it closed again.
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    InferRequest probe;
+    probe.modelId = "tiny";
+    probe.input = ones(Shape({1, 6, 6}));
+    auto probed = srv.submit(std::move(probe));
+    ASSERT_TRUE(probed.hasValue());
+    EXPECT_EQ(probed.value().response.get().outcome, Outcome::Ok);
+    EXPECT_EQ(srv.breaker("tiny")->state(), BreakerState::Closed);
+
+    InferRequest after;
+    after.modelId = "tiny";
+    after.input = ones(Shape({1, 6, 6}));
+    auto served = srv.submit(std::move(after));
+    ASSERT_TRUE(served.hasValue());
+    EXPECT_EQ(served.value().response.get().outcome, Outcome::Ok);
+    srv.drain();
+}
+
+TEST(ServeBreaker, GuardedPathServesAndReportsHealth)
+{
+    ServerOptions sopts;
+    sopts.workers = 2;
+    auto server = InferenceServer::create(
+        {ModelSpec{"guarded",
+                   []() { return makeGuardedReplica(0.9); }},
+         tinySpec("plain")},
+        sopts);
+    ASSERT_TRUE(server.hasValue()) << server.error().toString();
+    InferenceServer &srv = *server.value();
+
+    // useGuardedSkip against a guard-less model is an admission error.
+    InferRequest wrong;
+    wrong.modelId = "plain";
+    wrong.input = ones(Shape({1, 6, 6}));
+    wrong.useGuardedSkip = true;
+    auto bad = srv.submit(std::move(wrong));
+    ASSERT_FALSE(bad.hasValue());
+    EXPECT_EQ(bad.error().code(), ErrorCode::InvalidArgument);
+
+    std::vector<RequestHandle> handles;
+    for (int i = 0; i < 4; ++i) {
+        InferRequest req;
+        req.modelId = "guarded";
+        req.input = ones(Shape({1, 6, 6}));
+        req.useGuardedSkip = true;
+        auto handle = srv.submit(std::move(req));
+        ASSERT_TRUE(handle.hasValue());
+        handles.push_back(std::move(handle).value());
+    }
+    srv.drain();
+    for (RequestHandle &h : handles) {
+        InferResponse response = h.response.get();
+        ASSERT_EQ(response.outcome, Outcome::Ok);
+        ASSERT_TRUE(response.guarded.has_value());
+        EXPECT_EQ(response.guarded->outputs.size(), 4u);
+        EXPECT_FALSE(response.result.has_value());
+    }
+
+    const HealthReport report = srv.health();
+    ASSERT_EQ(report.models.size(), 2u);  // map order: guarded, plain
+    const ModelHealth &guarded = report.models[0];
+    EXPECT_EQ(guarded.id, "guarded");
+    EXPECT_TRUE(guarded.guardEnabled);
+    EXPECT_GT(guarded.guard.samplesSeen, 0u);
+    EXPECT_GT(guarded.guard.auditedNeurons, 0u);
+    EXPECT_FALSE(report.models[1].guardEnabled);
+    EXPECT_EQ(report.ok, 4u);
+}
+
+TEST(ServeBreaker, GuardTripCountsAsBreakerFailure)
+{
+    // A guard with a near-zero tolerance trips on the first audited
+    // mispredict; the breaker must read the served-but-degraded
+    // response as a failure and open.  (The guard's backoff persists
+    // across requests, so the trip happens exactly once per replica —
+    // the threshold must be 1 for a single trip to open the breaker.)
+    ServerOptions sopts;
+    sopts.workers = 1;
+    sopts.breaker = fastBreaker(1, 10000.0);
+    auto server = InferenceServer::create(
+        {ModelSpec{"touchy",
+                   []() { return makeGuardedReplica(1e-6); }}},
+        sopts);
+    ASSERT_TRUE(server.hasValue()) << server.error().toString();
+    InferenceServer &srv = *server.value();
+
+    std::size_t tripped = 0;
+    for (int i = 0; i < 6 &&
+                    srv.breaker("touchy")->state() ==
+                        BreakerState::Closed;
+         ++i) {
+        InferRequest req;
+        req.modelId = "touchy";
+        req.input = ones(Shape({1, 6, 6}));
+        req.useGuardedSkip = true;
+        auto handle = srv.submit(std::move(req));
+        ASSERT_TRUE(handle.hasValue());
+        InferResponse response = handle.value().response.get();
+        ASSERT_EQ(response.outcome, Outcome::Ok);
+        tripped += response.guardTripped() ? 1 : 0;
+    }
+    EXPECT_GE(tripped, 1u) << "guard never tripped on mispredicts";
+    EXPECT_EQ(srv.breaker("touchy")->state(), BreakerState::Open);
+    srv.drain();
+}
+
+TEST(ServeConcurrency, BreakerSoakLosesNoRequestAndDoublesNone)
+{
+    // TSan target: many producers race a flapping breaker (forced
+    // failures trip it, cooldowns re-close it).  Every accepted
+    // request's future must resolve exactly once; every rejection must
+    // be Unavailable (breaker) or ResourceExhausted (queue).
+    ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.queueCapacity = 32;
+    sopts.breaker = fastBreaker(3, 5.0);
+    auto server = InferenceServer::create({tinySpec("tiny", 2)}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    // FASTBCNN_CHAOS=1 (the nightly chaos-soak job) scales the load
+    // up and dooms more of the traffic, flapping the breaker harder.
+    const bool chaos = std::getenv("FASTBCNN_CHAOS") != nullptr;
+    const std::size_t producers = chaos ? 8 : 4;
+    const std::size_t perProducer = chaos ? 100 : 25;
+    const std::size_t doomEvery = chaos ? 2 : 3;
+    std::atomic<std::size_t> accepted{0};
+    std::atomic<std::size_t> rejectedBreaker{0};
+    std::atomic<std::size_t> rejectedOther{0};
+    std::mutex handlesMutex;
+    std::vector<RequestHandle> handles;
+    std::vector<std::thread> pool;
+    pool.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+        pool.emplace_back([&, p]() {
+            for (std::size_t i = 0; i < perProducer; ++i) {
+                InferRequest req;
+                req.modelId = "tiny";
+                req.input = ones(Shape({1, 6, 6}));
+                // Every doomEvery-th request of producer 0 keeps
+                // tripping the breaker under load.
+                if (p == 0 && i % doomEvery == 0)
+                    req.mc.faults = &killAllPlan();
+                auto handle = srv.submit(std::move(req));
+                if (handle.hasValue()) {
+                    accepted.fetch_add(1);
+                    const std::lock_guard<std::mutex> lock(
+                        handlesMutex);
+                    handles.push_back(std::move(handle).value());
+                } else if (handle.error().code() ==
+                           ErrorCode::Unavailable) {
+                    rejectedBreaker.fetch_add(1);
+                } else {
+                    ASSERT_EQ(handle.error().code(),
+                              ErrorCode::ResourceExhausted);
+                    rejectedOther.fetch_add(1);
+                }
+                if (i % 8 == 7) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(6));
+                }
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    srv.drain();
+
+    std::size_t resolved = 0;
+    for (RequestHandle &h : handles) {
+        const InferResponse response = h.response.get();
+        ++resolved;
+        EXPECT_TRUE(response.outcome == Outcome::Ok ||
+                    response.outcome == Outcome::Failed ||
+                    response.outcome == Outcome::Cancelled);
+    }
+    EXPECT_EQ(resolved, accepted.load());
+    EXPECT_EQ(srv.stats().counter("accepted"), accepted.load());
+    EXPECT_EQ(srv.stats().counter("rejected_breaker"),
+              rejectedBreaker.load());
+    EXPECT_EQ(srv.stats().counter("submitted"),
+              producers * perProducer);
+    EXPECT_EQ(srv.stats().counter("ok") +
+                  srv.stats().counter("failed") +
+                  srv.stats().counter("cancelled") +
+                  srv.stats().counter("shed"),
+              accepted.load());
 }

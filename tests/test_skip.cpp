@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 #include <sstream>
 
@@ -508,4 +509,71 @@ TEST(Optimizer, EvaluatePredictionReflectsThresholds)
         EXPECT_LE(frac, 1.0);
         EXPECT_LE(frac, perfect.at(id) + 1e-12);
     }
+}
+
+TEST(Optimizer, EmptyTuningSetIsRecoverableError)
+{
+    Network net = tinyBcnn();
+    BcnnTopology topo(net);
+    IndicatorSet ind(topo);
+    // The try-path reports the degenerate tuning set as a validation
+    // error instead of dying (the serving path hits this when a
+    // calibration shard comes back empty).
+    Expected<OptimizeResult> res =
+        tryOptimizeThresholds(topo, ind, {}, {});
+    ASSERT_FALSE(res.hasValue());
+    EXPECT_EQ(res.error().code(), ErrorCode::InvalidArgument);
+    EXPECT_NE(res.error().message().find("empty tuning set"),
+              std::string::npos);
+}
+
+TEST(Optimizer, FullConfidenceIsAcceptedAndConservative)
+{
+    Network net = tinyBcnn();
+    BcnnTopology topo(net);
+    IndicatorSet ind(topo);
+    OptimizerOptions opts;
+    opts.samples = 4;
+    opts.confidence = 1.0;  // p_cf = 1.0 is the inclusive upper edge
+    Expected<OptimizeResult> res =
+        tryOptimizeThresholds(topo, ind, {randomInput(30)}, opts);
+    ASSERT_TRUE(res.hasValue()) << res.error().toString();
+    // Every kernel must now be perfectly predicted on the tuning set,
+    // so each achieved confidence is exactly 1.
+    for (const BlockTuneReport &r : res.value().reports)
+        EXPECT_DOUBLE_EQ(r.achievedConfidence, 1.0);
+    // And a stricter target can never loosen a first-block alpha
+    // relative to the default 0.68 run.
+    OptimizerOptions dflt;
+    dflt.samples = 4;
+    ThresholdSet loose = optimizeThresholds(topo, ind,
+                                            {randomInput(30)}, dflt)
+                             .thresholds;
+    const ConvBlock &blk = topo.blocks()[0];
+    for (std::size_t m = 0; m < loose.layer(blk.conv).size(); ++m)
+        EXPECT_LE(res.value().thresholds.of(blk.conv, m),
+                  loose.of(blk.conv, m));
+}
+
+TEST(Optimizer, AllPositiveKernelKeepsFullThreshold)
+{
+    // A kernel with no negative weights has N_d = 0 everywhere:
+    // dropping positive-weight inputs can only lower the
+    // pre-activation, so a zero output can never flip positive and
+    // Algorithm 1 never needs to back its alpha off from Th.
+    Network net = tinyBcnn(8);
+    auto &c1 = static_cast<Conv2d &>(net.layer(net.findNode("c1")));
+    for (float &w : c1.weights().data())
+        w = std::abs(w) + 0.01f;
+    BcnnTopology topo(net);
+    IndicatorSet ind(topo);
+    OptimizerOptions opts;
+    opts.samples = 4;
+    opts.confidence = 0.99;
+    OptimizeResult res = optimizeThresholds(
+        topo, ind, {randomInput(31), randomInput(32)}, opts);
+    const NodeId conv = topo.blocks()[0].conv;
+    for (std::size_t m = 0; m < res.thresholds.layer(conv).size(); ++m)
+        EXPECT_EQ(res.thresholds.of(conv, m), opts.initialThreshold)
+            << "kernel " << m;
 }

@@ -210,3 +210,96 @@ TEST(ThreadSafeHistogram, ConcurrentMergeAndReadStaysConsistent)
         t.join();
     EXPECT_EQ(sink.count(), workers * 50u * 20u);
 }
+
+// ---------------------------------------------------------------------
+// Wilson bounds and the guard layer's RateEstimator.
+// ---------------------------------------------------------------------
+
+TEST(WilsonBounds, BracketTheEmpiricalRate)
+{
+    for (std::uint64_t trials : {1u, 7u, 50u, 1000u}) {
+        for (std::uint64_t hits = 0; hits <= trials;
+             hits += trials / 4 + 1) {
+            const double p =
+                static_cast<double>(hits) / static_cast<double>(trials);
+            const double lo = wilsonLowerBound(hits, trials, 1.96);
+            const double hi = wilsonUpperBound(hits, trials, 1.96);
+            EXPECT_GE(lo, 0.0);
+            EXPECT_LE(hi, 1.0);
+            EXPECT_LE(lo, p + 1e-12)
+                << hits << '/' << trials;
+            EXPECT_GE(hi, p - 1e-12)
+                << hits << '/' << trials;
+        }
+    }
+}
+
+TEST(WilsonBounds, NoTrialsIsMaximallyUncertain)
+{
+    // Zero evidence: the interval must span [0, 1] so the guard never
+    // trips (or recovers) off an unaudited kernel.
+    EXPECT_DOUBLE_EQ(wilsonLowerBound(0, 0, 1.96), 0.0);
+    EXPECT_DOUBLE_EQ(wilsonUpperBound(0, 0, 1.96), 1.0);
+}
+
+TEST(WilsonBounds, TightenWithMoreEvidence)
+{
+    // Same empirical rate, 10x the trials: the interval shrinks.
+    const double lo1 = wilsonLowerBound(5, 50, 1.96);
+    const double hi1 = wilsonUpperBound(5, 50, 1.96);
+    const double lo2 = wilsonLowerBound(50, 500, 1.96);
+    const double hi2 = wilsonUpperBound(50, 500, 1.96);
+    EXPECT_GT(lo2, lo1);
+    EXPECT_LT(hi2, hi1);
+}
+
+TEST(RateEstimator, FoldsBatchesAndSeedsEwma)
+{
+    RateEstimator est(0.5);
+    EXPECT_EQ(est.trials(), 0u);
+    EXPECT_DOUBLE_EQ(est.rate(), 0.0);
+    EXPECT_DOUBLE_EQ(est.ewma(), 0.0);
+
+    // First batch seeds the EWMA at the batch rate, not alpha-blended
+    // with the zero prior.
+    est.observe(2, 10);
+    EXPECT_DOUBLE_EQ(est.ewma(), 0.2);
+    EXPECT_DOUBLE_EQ(est.rate(), 0.2);
+
+    // Second batch blends: 0.5 * 0.8 + 0.5 * 0.2 = 0.5.
+    est.observe(8, 10);
+    EXPECT_DOUBLE_EQ(est.ewma(), 0.5);
+    EXPECT_EQ(est.hits(), 10u);
+    EXPECT_EQ(est.trials(), 20u);
+    EXPECT_DOUBLE_EQ(est.rate(), 0.5);
+
+    // Empty batches change nothing.
+    est.observe(0, 0);
+    EXPECT_DOUBLE_EQ(est.ewma(), 0.5);
+    EXPECT_EQ(est.trials(), 20u);
+}
+
+TEST(RateEstimator, BoundsOrderAroundLifetimeRate)
+{
+    RateEstimator est;
+    est.observe(3, 40);
+    EXPECT_LE(est.lowerBound(), est.rate());
+    EXPECT_GE(est.upperBound(), est.rate());
+    EXPECT_LT(est.lowerBound(), est.upperBound());
+}
+
+TEST(RateEstimator, ResetForgetsEverything)
+{
+    RateEstimator est;
+    est.observe(9, 10);
+    est.reset();
+    EXPECT_EQ(est.trials(), 0u);
+    EXPECT_EQ(est.hits(), 0u);
+    EXPECT_DOUBLE_EQ(est.rate(), 0.0);
+    EXPECT_DOUBLE_EQ(est.ewma(), 0.0);
+    EXPECT_DOUBLE_EQ(est.lowerBound(), 0.0);
+    EXPECT_DOUBLE_EQ(est.upperBound(), 1.0);
+    // And re-seeds cleanly after the reset.
+    est.observe(1, 4);
+    EXPECT_DOUBLE_EQ(est.ewma(), 0.25);
+}
