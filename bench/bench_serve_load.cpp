@@ -174,6 +174,7 @@ runClosedLoop(const ServerOptions &sopts, const LoadScale &scale)
     if (!server.hasValue()) {
         std::cerr << "server creation failed: "
                   << server.error().message() << "\n";
+        // NOLINTNEXTLINE-FASTBCNN(error-discipline): bench setup exit
         std::exit(1);
     }
     InferenceServer &srv = *server.value();
@@ -228,6 +229,7 @@ runOpenLoop(const ServerOptions &sopts, const LoadScale &scale,
     if (!server.hasValue()) {
         std::cerr << "server creation failed: "
                   << server.error().message() << "\n";
+        // NOLINTNEXTLINE-FASTBCNN(error-discipline): bench setup exit
         std::exit(1);
     }
     InferenceServer &srv = *server.value();

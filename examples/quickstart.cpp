@@ -46,6 +46,7 @@ parseArgs(int argc, char **argv)
         const auto value = [&]() -> std::string {
             if (i + 1 >= argc) {
                 std::cerr << flag << " needs a value\n";
+                // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI arg-parse exit
                 std::exit(2);
             }
             return argv[++i];
@@ -62,6 +63,7 @@ parseArgs(int argc, char **argv)
             std::cerr << "usage: quickstart [--threads N] "
                          "[--deadline-ms D] [--quorum Q] "
                          "[--audit-rate R]\n";
+            // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI usage exit
             std::exit(flag == "--help" ? 0 : 2);
         }
     }

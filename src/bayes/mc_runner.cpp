@@ -17,8 +17,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/** @return the flat index of the first non-finite element, or npos. */
-std::size_t
+/**
+ * @return the flat index of the first non-finite element, or npos.
+ * Runs over every sample output inside the MC sample loop when the
+ * sample guard is on (FASTBCNN_HOT — lint rule R3 keeps allocation,
+ * locks, I/O and logging out of it).
+ */
+FASTBCNN_HOT std::size_t
 firstNonFinite(const Tensor &t)
 {
     const auto data = t.data();
@@ -161,6 +166,10 @@ tryRunMcDropout(const Network &net, const Tensor &input,
                       net.inputShape().toString().c_str());
     }
 
+    // Deadline support is the one sanctioned wall-clock read in the
+    // MC path: it gates *whether* later samples launch, never what any
+    // launched sample computes, so results stay bit-identical.
+    // NOLINTNEXTLINE-FASTBCNN(determinism): deadline anchor
     const Clock::time_point start = Clock::now();
     const bool haveDeadline = opts.deadlineMs > 0.0;
     const auto deadline =
@@ -191,6 +200,7 @@ tryRunMcDropout(const Network &net, const Tensor &input,
     // in ascending sample order.
     std::vector<SampleSlot> slots(opts.samples);
     const auto expired = [&]() {
+        // NOLINTNEXTLINE-FASTBCNN(determinism): deadline check
         return haveDeadline && Clock::now() >= deadline;
     };
     const auto markSkipped = [&](SampleSlot &slot) {

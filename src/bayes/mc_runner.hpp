@@ -99,7 +99,7 @@ struct McOptions {
  * Validate @p opts at the API boundary.
  * @return ok, or an InvalidArgument error naming the bad value.
  */
-Status validateMcOptions(const McOptions &opts);
+[[nodiscard]] Status validateMcOptions(const McOptions &opts);
 
 /** The outcome of one MC-dropout run. */
 struct McResult {
@@ -152,9 +152,8 @@ std::unique_ptr<Brng> makeBrng(BrngKind kind, double drop_rate,
  * @param input input tensor matching the network input shape
  * @param opts  sampling configuration
  */
-Expected<McResult> tryRunMcDropout(const Network &net,
-                                   const Tensor &input,
-                                   const McOptions &opts);
+[[nodiscard]] Expected<McResult> tryRunMcDropout(
+    const Network &net, const Tensor &input, const McOptions &opts);
 
 /**
  * Legacy convenience wrapper around tryRunMcDropout(): identical

@@ -36,6 +36,23 @@
 #endif
 #endif
 
+/**
+ * Hot-path marker for the inner compute kernels (conv / dense /
+ * pooling loops, the skip predictor's counting kernels, the MC
+ * runner's per-sample scans).  Carrying this attribute is a contract
+ * enforced by fastbcnn-lint rule `hot-path` (R3): the function body
+ * may not allocate (new / make_unique / container growth), take
+ * locks, perform I/O, or log — FASTBCNN_DCHECK* stays allowed because
+ * it compiles out of release-speed builds.  The macro also expands to
+ * the compiler's `hot` attribute so annotated kernels get optimizer
+ * priority; keep it on the *definition* so the linter sees the body.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define FASTBCNN_HOT __attribute__((hot))
+#else
+#define FASTBCNN_HOT
+#endif
+
 namespace fastbcnn::detail {
 
 /** Report a failed comparison check, printing both operand values. */

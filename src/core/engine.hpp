@@ -45,7 +45,7 @@ struct EngineOptions {
  * @return ok, or the first InvalidArgument error, with context naming
  * the offending block (mc / optimizer / config).
  */
-Status validateEngineOptions(const EngineOptions &opts);
+[[nodiscard]] Status validateEngineOptions(const EngineOptions &opts);
 
 /** The outcome of one engine inference. */
 struct EngineResult {
@@ -92,7 +92,7 @@ class FastBcnnEngine
      * can reject a bad configuration instead of dying in the
      * constructor.
      */
-    static Expected<std::unique_ptr<FastBcnnEngine>> create(
+    [[nodiscard]] static Expected<std::unique_ptr<FastBcnnEngine>> create(
         Network net, EngineOptions opts = {});
 
     /**
@@ -106,7 +106,8 @@ class FastBcnnEngine
      * Error-returning calibrate(): rejects an empty set or inputs of
      * the wrong shape instead of terminating.
      */
-    Status tryCalibrate(const std::vector<Tensor> &calibration_inputs);
+    [[nodiscard]] Status tryCalibrate(
+        const std::vector<Tensor> &calibration_inputs);
 
     /** @return true once thresholds have been calibrated. */
     bool calibrated() const { return thresholds_.has_value(); }
@@ -119,7 +120,7 @@ class FastBcnnEngine
      * uncalibrated engine (no silent self-calibration) instead of
      * warning / terminating.
      */
-    Expected<EngineResult> tryInfer(const Tensor &input);
+    [[nodiscard]] Expected<EngineResult> tryInfer(const Tensor &input);
 
     /**
      * Fault-isolating exact MC-dropout reference on the owned
@@ -128,7 +129,8 @@ class FastBcnnEngine
      * degradation census flows from; copy McResult::census into a
      * SimReport::degradation to report it beside timing results.
      */
-    Expected<McResult> tryMcReference(const Tensor &input) const;
+    [[nodiscard]] Expected<McResult> tryMcReference(
+        const Tensor &input) const;
 
     /**
      * Per-request overload: run the MC reference with caller-supplied
@@ -139,8 +141,8 @@ class FastBcnnEngine
      * calibrated engine replica can serve requests with heterogeneous
      * sampling policies.
      */
-    Expected<McResult> tryMcReference(const Tensor &input,
-                                      const McOptions &mc) const;
+    [[nodiscard]] Expected<McResult> tryMcReference(
+        const Tensor &input, const McOptions &mc) const;
 
     /**
      * Guarded predictive MC inference (EngineOptions::guard must be
@@ -150,10 +152,11 @@ class FastBcnnEngine
      * guard.  The default overload derives GuardedMcOptions from the
      * engine's McOptions (T, p, BRNG, seed, threads).
      */
-    Expected<GuardedMcResult> tryGuardedMc(const Tensor &input) const;
+    [[nodiscard]] Expected<GuardedMcResult> tryGuardedMc(
+        const Tensor &input) const;
 
     /** Per-request overload with caller-supplied sampling options. */
-    Expected<GuardedMcResult> tryGuardedMc(
+    [[nodiscard]] Expected<GuardedMcResult> tryGuardedMc(
         const Tensor &input, const GuardedMcOptions &opts) const;
 
     /**

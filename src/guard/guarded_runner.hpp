@@ -38,7 +38,8 @@ struct GuardedMcOptions {
  * Validate @p opts at the API boundary.
  * @return ok, or an InvalidArgument error naming the bad value.
  */
-Status validateGuardedMcOptions(const GuardedMcOptions &opts);
+[[nodiscard]] Status validateGuardedMcOptions(
+    const GuardedMcOptions &opts);
 
 /** Outcome of one guarded predictive MC run. */
 struct GuardedMcResult {
@@ -66,7 +67,7 @@ struct GuardedMcResult {
  * @param input      input tensor matching the network input shape
  * @param opts       sampling configuration
  */
-Expected<GuardedMcResult> tryRunGuardedPredictive(
+[[nodiscard]] Expected<GuardedMcResult> tryRunGuardedPredictive(
     const BcnnTopology &topo, const IndicatorSet &indicators,
     SkipGuard &guard, const Tensor &input,
     const GuardedMcOptions &opts = {});

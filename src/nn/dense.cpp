@@ -4,6 +4,29 @@
 
 namespace fastbcnn {
 
+namespace {
+
+/**
+ * Row-major matrix-vector product with double accumulation.  Buffers
+ * are preallocated by the caller (FASTBCNN_HOT — lint rule R3 keeps
+ * allocation, locks, I/O and logging out).
+ */
+FASTBCNN_HOT void
+denseForwardKernel(const float *w, const float *bias, const float *x,
+                   float *out, std::size_t out_features,
+                   std::size_t in_features)
+{
+    for (std::size_t o = 0; o < out_features; ++o) {
+        double acc = bias[o];
+        const float *row = w + o * in_features;
+        for (std::size_t i = 0; i < in_features; ++i)
+            acc += static_cast<double>(row[i]) * x[i];
+        out[o] = static_cast<float>(acc);
+    }
+}
+
+} // namespace
+
 Shape
 Flatten::outputShape(const std::vector<Shape> &input_shapes) const
 {
@@ -59,15 +82,9 @@ Linear::forward(const std::vector<const Tensor *> &inputs,
     const Tensor &in = *inputs[0];
     FASTBCNN_CHECK_EQ(in.numel(), inFeatures_);
     Tensor out(Shape({outFeatures_}));
-    const float *w = weights_.data().data();
-    const float *x = in.data().data();
-    for (std::size_t o = 0; o < outFeatures_; ++o) {
-        double acc = bias_(o);
-        const float *row = w + o * inFeatures_;
-        for (std::size_t i = 0; i < inFeatures_; ++i)
-            acc += static_cast<double>(row[i]) * x[i];
-        out(o) = static_cast<float>(acc);
-    }
+    denseForwardKernel(weights_.data().data(), bias_.data().data(),
+                       in.data().data(), out.data().data(),
+                       outFeatures_, inFeatures_);
     if (hooks)
         hooks->onActivation(name(), kind(), out);
     return out;

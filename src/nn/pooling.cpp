@@ -40,25 +40,24 @@ Pool2dBase::outputShape(const std::vector<Shape> &input_shapes) const
 namespace {
 
 /**
- * Shared windowed-pool implementation.  @p reduce folds in-window
- * values; out-of-range (padding) positions contribute @p pad_value for
- * max pooling and are counted as zeros for average pooling.
+ * Windowed-pool inner loops over preallocated raw buffers
+ * (FASTBCNN_HOT — lint rule R3 keeps allocation, locks, I/O and
+ * logging out).  @p reduce folds in-window values; out-of-range
+ * (padding) positions contribute the init value for max pooling and
+ * are counted as zeros for average pooling.
  */
 template <typename Reduce>
-Tensor
-poolForward(const Pool2dBase &layer, const Tensor &input, Reduce reduce,
-            float init, bool average)
+FASTBCNN_HOT void
+poolKernel(const float *in, float *out, std::size_t channels,
+           std::size_t in_h, std::size_t in_w, std::size_t out_h,
+           std::size_t out_w, std::size_t k, std::size_t s,
+           std::size_t p, Reduce reduce, float init, bool average)
 {
-    const Shape out_shape = layer.outputShape({input.shape()});
-    Tensor out(out_shape);
-    const std::size_t in_h = input.shape().dim(1);
-    const std::size_t in_w = input.shape().dim(2);
-    const std::size_t k = layer.kernelSize();
-    const std::size_t s = layer.stride();
-    const std::size_t p = layer.padding();
-    for (std::size_t ch = 0; ch < out_shape.dim(0); ++ch) {
-        for (std::size_t r = 0; r < out_shape.dim(1); ++r) {
-            for (std::size_t c = 0; c < out_shape.dim(2); ++c) {
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+        const float *in_plane = in + ch * in_h * in_w;
+        float *out_plane = out + ch * out_h * out_w;
+        for (std::size_t r = 0; r < out_h; ++r) {
+            for (std::size_t c = 0; c < out_w; ++c) {
                 float acc = init;
                 for (std::size_t i = 0; i < k; ++i) {
                     const std::ptrdiff_t in_r =
@@ -76,18 +75,34 @@ poolForward(const Pool2dBase &layer, const Tensor &input, Reduce reduce,
                             in_c >= static_cast<std::ptrdiff_t>(in_w)) {
                             continue;
                         }
-                        acc = reduce(acc,
-                                     input(ch,
-                                           static_cast<std::size_t>(in_r),
-                                           static_cast<std::size_t>(
-                                               in_c)));
+                        acc = reduce(
+                            acc, in_plane[static_cast<std::size_t>(in_r)
+                                              * in_w +
+                                          static_cast<std::size_t>(
+                                              in_c)]);
                     }
                 }
-                out(ch, r, c) =
+                out_plane[r * out_w + c] =
                     average ? acc / static_cast<float>(k * k) : acc;
             }
         }
     }
+}
+
+/** Shared windowed-pool implementation: shape checks and the output
+ *  allocation, with the arithmetic delegated to poolKernel(). */
+template <typename Reduce>
+Tensor
+poolForward(const Pool2dBase &layer, const Tensor &input, Reduce reduce,
+            float init, bool average)
+{
+    const Shape out_shape = layer.outputShape({input.shape()});
+    Tensor out(out_shape);
+    poolKernel(input.data().data(), out.data().data(),
+               out_shape.dim(0), input.shape().dim(1),
+               input.shape().dim(2), out_shape.dim(1),
+               out_shape.dim(2), layer.kernelSize(), layer.stride(),
+               layer.padding(), reduce, init, average);
     return out;
 }
 

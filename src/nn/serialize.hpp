@@ -31,7 +31,8 @@ namespace fastbcnn {
  *
  * @return ok, or IoError when the stream reports failure.
  */
-Status trySaveWeights(const Network &net, std::ostream &os);
+[[nodiscard]] Status trySaveWeights(const Network &net,
+                                    std::ostream &os);
 
 /** Legacy wrapper around trySaveWeights(); fatal() on error. */
 void saveWeights(const Network &net, std::ostream &os);
@@ -45,7 +46,7 @@ void saveWeights(const Network &net, std::ostream &os);
  * (ParseError / Truncated / NotFound / Mismatch).  On any error the
  * network's weights are left exactly as they were (staged commit).
  */
-Status tryLoadWeights(Network &net, std::istream &is);
+[[nodiscard]] Status tryLoadWeights(Network &net, std::istream &is);
 
 /** Legacy wrapper around tryLoadWeights(); fatal() on error. */
 void loadWeights(Network &net, std::istream &is);

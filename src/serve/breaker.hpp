@@ -41,7 +41,7 @@ struct BreakerOptions {
  * Validate @p opts at the API boundary.
  * @return ok, or an InvalidArgument error naming the bad value.
  */
-Status validateBreakerOptions(const BreakerOptions &opts);
+[[nodiscard]] Status validateBreakerOptions(const BreakerOptions &opts);
 
 /** Breaker state machine positions. */
 enum class BreakerState {

@@ -46,7 +46,7 @@ class BoundedRequestQueue
      * @return ok, ResourceExhausted when full, Unavailable when
      *         closed.  On error the caller still owns the request.
      */
-    Status push(PendingRequest &&pending);
+    [[nodiscard]] Status push(PendingRequest &&pending);
 
     /**
      * Block until a request is available, then extract the best one
@@ -54,14 +54,14 @@ class BoundedRequestQueue
      * @return nullopt once the queue is closed — immediately for a
      *         hard close, after running dry for a draining close.
      */
-    std::optional<PendingRequest> pop();
+    [[nodiscard]] std::optional<PendingRequest> pop();
 
     /**
      * Extract the best queued request of @p model_id without
      * blocking (micro-batch fill).  Respects the same ordering as
      * pop() within the model's requests.
      */
-    std::optional<PendingRequest> tryPopModel(
+    [[nodiscard]] std::optional<PendingRequest> tryPopModel(
         const std::string &model_id);
 
     /**
@@ -72,7 +72,7 @@ class BoundedRequestQueue
     void close(bool drain);
 
     /** Remove and return every queued request (after a hard close). */
-    std::vector<PendingRequest> flush();
+    [[nodiscard]] std::vector<PendingRequest> flush();
 
     /** @return the number of queued requests. */
     std::size_t size() const;

@@ -64,7 +64,7 @@ struct ServerOptions {
  * Validate @p opts at the API boundary.
  * @return ok, or an InvalidArgument error naming the bad value.
  */
-Status validateServerOptions(const ServerOptions &opts);
+[[nodiscard]] Status validateServerOptions(const ServerOptions &opts);
 
 /** Point-in-time health of one served model. */
 struct ModelHealth {
@@ -105,7 +105,8 @@ class InferenceServer
      * factories that fail or return uncalibrated engines), and starts
      * the worker threads.
      */
-    static Expected<std::unique_ptr<InferenceServer>> create(
+    [[nodiscard]] static Expected<std::unique_ptr<InferenceServer>>
+    create(
         std::vector<ModelSpec> models, ServerOptions opts = {});
 
     /** Hard shutdown if the caller never stopped the server. */
@@ -124,7 +125,7 @@ class InferenceServer
      * accepted request's future resolves exactly once with its
      * InferResponse.
      */
-    Expected<RequestHandle> submit(InferRequest request);
+    [[nodiscard]] Expected<RequestHandle> submit(InferRequest request);
 
     /**
      * Graceful drain: stop admitting, serve everything queued

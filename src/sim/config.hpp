@@ -49,7 +49,8 @@ struct AcceleratorConfig {
  * bandwidth while modelDram is set.  countingLanes may be 0 (the
  * baseline has no prediction hardware).
  */
-Status validateAcceleratorConfig(const AcceleratorConfig &cfg);
+[[nodiscard]] Status validateAcceleratorConfig(
+    const AcceleratorConfig &cfg);
 
 /**
  * @return the Fast-BCNN design point with @p tm PEs (Table I):

@@ -5,6 +5,37 @@
 
 namespace fastbcnn {
 
+namespace {
+
+/**
+ * Threshold-compare loops of the central predictor: a neuron is
+ * predicted unaffected when it is zero in the pre-inference AND its
+ * dropped nw-input count stays below the kernel's α (FASTBCNN_HOT —
+ * lint rule R3 keeps allocation, locks, I/O and logging out).
+ */
+FASTBCNN_HOT void
+predictUnaffectedKernel(const BitVolume &zero_map,
+                        const CountVolume &counts,
+                        const ThresholdSet &thresholds, NodeId conv,
+                        BitVolume &predicted)
+{
+    for (std::size_t m = 0; m < counts.channels(); ++m) {
+        const int alpha = thresholds.of(conv, m);
+        for (std::size_t r = 0; r < counts.height(); ++r) {
+            for (std::size_t c = 0; c < counts.width(); ++c) {
+                // Only zero neurons can be predicted unaffected
+                // (the AND with the zero indexer in Section V-C).
+                if (zero_map.get(m, r, c) &&
+                    static_cast<int>(counts.at(m, r, c)) < alpha) {
+                    predicted.set(m, r, c, true);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
 ZeroMaps
 computeZeroMaps(const BcnnTopology &topo, const Tensor &input)
 {
@@ -38,19 +69,8 @@ predictUnaffected(const BitVolume &zero_map, const CountVolume &counts,
                    "zero map / count volume shape mismatch");
     BitVolume predicted(counts.channels(), counts.height(),
                         counts.width());
-    for (std::size_t m = 0; m < counts.channels(); ++m) {
-        const int alpha = thresholds.of(conv, m);
-        for (std::size_t r = 0; r < counts.height(); ++r) {
-            for (std::size_t c = 0; c < counts.width(); ++c) {
-                // Only zero neurons can be predicted unaffected
-                // (the AND with the zero indexer in Section V-C).
-                if (zero_map.get(m, r, c) &&
-                    static_cast<int>(counts.at(m, r, c)) < alpha) {
-                    predicted.set(m, r, c, true);
-                }
-            }
-        }
-    }
+    predictUnaffectedKernel(zero_map, counts, thresholds, conv,
+                            predicted);
     return predicted;
 }
 

@@ -75,7 +75,8 @@ struct OptimizeResult {
  * value: non-positive Th or Δs, p_cf outside (0, 1], zero tuning
  * samples, dropRate outside [0, 1), negative tolerance.
  */
-Status validateOptimizerOptions(const OptimizerOptions &opts);
+[[nodiscard]] Status validateOptimizerOptions(
+    const OptimizerOptions &opts);
 
 /**
  * Run Algorithm 1 over an optimization dataset.
@@ -89,7 +90,7 @@ Status validateOptimizerOptions(const OptimizerOptions &opts);
  * @param dataset    optimization inputs D (at least one)
  * @param opts       Th, Δs, p_cf, T, ...
  */
-Expected<OptimizeResult> tryOptimizeThresholds(
+[[nodiscard]] Expected<OptimizeResult> tryOptimizeThresholds(
     const BcnnTopology &topo, const IndicatorSet &indicators,
     const std::vector<Tensor> &dataset,
     const OptimizerOptions &opts = {});

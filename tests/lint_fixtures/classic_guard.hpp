@@ -1,0 +1,12 @@
+// Classic #ifndef/#define guard: must satisfy the include-guard rule
+// exactly like `#pragma once` does (the library tree uses this form).
+#ifndef FASTBCNN_TESTS_LINT_FIXTURES_CLASSIC_GUARD_HPP
+#define FASTBCNN_TESTS_LINT_FIXTURES_CLASSIC_GUARD_HPP
+
+inline int
+guardedHelper(int n)
+{
+    return n - 1;
+}
+
+#endif // FASTBCNN_TESTS_LINT_FIXTURES_CLASSIC_GUARD_HPP

@@ -1,0 +1,66 @@
+// Exercises every lexer edge the rules must NOT fire on: banned
+// tokens inside comments, string / char / raw-string literals, and
+// preprocessor lines.  fastbcnn-lint must report zero findings here
+// even when the file is linted under a src/ relpath.
+
+// Comment bait: assert( abort( exit( throw strcpy( rand( time(
+/* block comment bait: sprintf( random_device ::now(
+   spanning lines: atoi( tryDrop(); */
+
+#include <ctime>  // preproc bait: the include itself names time
+
+#define CLEAN_BAIT_MACRO(x) growable(x)  // macro text is preproc too
+
+namespace fixture {
+
+struct Expected {
+    int value = 0;
+};
+
+Expected tryFetch(int key);
+int consume(const Expected &e);
+
+const char *kStrBait =
+    "assert(x); throw 1; strcpy(a, b); rand(); clock::now()";
+const char *kRawBait = R"lint(
+    sprintf(buf, "%d", 1); std::random_device rd; tryFetch(0);
+)lint";
+const char kChrBait = 't';
+
+// A u8/wide/raw zoo -- all literal text, none of it code.
+const char *kU8 = u8"abort() atoi(\"7\") time(nullptr)";
+const wchar_t *kWide = L"exit(1)";
+const char *kRawParens = R"(a ) mid " quote srand(7) still string)";
+
+int
+useTryResults(int key)
+{
+    // Every consumption form the discard rule must accept.
+    Expected kept = tryFetch(key);
+    const int direct = consume(tryFetch(key + 1));
+    (void)tryFetch(key + 2);  // explicit discard is deliberate
+    if (tryFetch(key + 3).value > 0)
+        return direct + kept.value;
+    return direct - kept.value;
+}
+
+Expected
+forward(int key)
+{
+    return tryFetch(key);  // returned, not discarded
+}
+
+// Declarations spell `Expected tryX(...)` -- two adjacent idents, so
+// the discard rule must treat them as declarations, not calls.
+Expected tryDeclaredOnly(int key);
+
+int
+numbers()
+{
+    // Digit separators and hex floats stress the number lexer.
+    const int big = 1'000'000;
+    const double hexf = 0x1.8p3;
+    return big + static_cast<int>(hexf);
+}
+
+} // namespace fixture

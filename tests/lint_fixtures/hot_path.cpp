@@ -1,0 +1,46 @@
+// Hot-path rule fixture: one clean FASTBCNN_HOT kernel (zero
+// findings expected), one dirty one, and a non-annotated function
+// whose allocations are the compiler's business, not the linter's.
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fixture {
+
+// Declaration only: nothing to scan even though it is annotated.
+FASTBCNN_HOT void hotDeclared(const float *in, float *out,
+                              std::size_t n);
+
+FASTBCNN_HOT void
+hotClean(const float *in, float *out, std::size_t n)
+{
+    FASTBCNN_DCHECK(n > 0, "empty kernel");  // compiles out: allowed
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += in[i];
+        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+    }
+    out[0] = static_cast<float>(acc);
+}
+
+FASTBCNN_HOT void
+hotDirty(std::vector<float> &v, std::mutex &m)
+{
+    std::lock_guard<std::mutex> g(m);  // hot-path x2 (lock_guard, mutex)
+    v.push_back(1.0f);                 // hot-path (member growth)
+    std::string s;                     // hot-path (allocating type)
+    (void)s;
+    FASTBCNN_CHECK(v.size() > 0, "grew");  // hot-path (always-on check)
+}
+
+void
+coldIsFine(std::vector<float> &v)
+{
+    v.push_back(2.0f);  // not annotated: no finding
+    float *p = new float(1.0f);
+    delete p;
+}
+
+} // namespace fixture

@@ -1,0 +1,9 @@
+// Header with neither `#pragma once` nor a classic include guard:
+// the include-guard rule must flag it.
+#include <cstddef>
+
+inline std::size_t
+unguardedHelper(std::size_t n)
+{
+    return n + 1;
+}

@@ -1,0 +1,39 @@
+// Deliberately violates several fastbcnn-lint rules.  CI lints this
+// file explicitly and REQUIRES a non-zero exit -- if the linter ever
+// stops seeing these, the gate itself is broken.  The directory is
+// excluded from normal tree walks (see skippedDirName in driver.cpp),
+// so these findings never pollute a real run.
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hpp"
+
+struct Status {
+    static Status ok() { return {}; }
+};
+
+Status tryPoke();
+
+int
+seededViolations(int v)
+{
+    assert(v >= 0);                       // error-discipline
+    char buf[8];
+    strcpy(buf, "x");                     // banned-function
+    (void)buf;
+    tryPoke();                            // discarded-status
+    if (v < 0)
+        throw v;                          // error-discipline
+    return v;
+}
+
+FASTBCNN_HOT int
+seededHotViolation(std::vector<int> &v)
+{
+    v.push_back(1);                       // hot-path
+    int *p = new int(3);                  // hot-path
+    const int r = *p;
+    delete p;                             // hot-path
+    return r;
+}

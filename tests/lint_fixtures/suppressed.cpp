@@ -1,0 +1,31 @@
+// Inline-suppression fixture: every violation here is covered by a
+// NOLINT-FASTBCNN marker except the last one, which is covered by the
+// WRONG rule name and must still be reported.
+#include <cstring>
+
+struct Status {
+    static Status ok() { return {}; }
+};
+
+Status tryNudge();
+
+int
+suppressedViolations(int v)
+{
+    char buf[16];
+    // NOLINTNEXTLINE-FASTBCNN(banned-function): fixture exemption
+    strcpy(buf, "x");
+    (void)buf;
+
+    strcpy(buf, "y");  // NOLINT-FASTBCNN(banned-function): same line
+
+    // NOLINTNEXTLINE-FASTBCNN(*): wildcard covers every rule
+    strcpy(buf, "z");
+
+    // NOLINTNEXTLINE-FASTBCNN(discarded-status, banned-function): list
+    tryNudge();
+
+    // NOLINTNEXTLINE-FASTBCNN(determinism): wrong rule -- reported
+    strcpy(buf, "w");
+    return v;
+}

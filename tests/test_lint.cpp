@@ -1,0 +1,367 @@
+/**
+ * @file
+ * fastbcnn-lint self-tests: lexer edge cases, every rule, inline
+ * suppressions, and the baseline round-trip — driven in-process
+ * against the checked-in fixtures under tests/lint_fixtures/
+ * (FASTBCNN_LINT_FIXTURE_DIR, injected by the build).
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver.hpp"
+
+namespace {
+
+using fbl::Finding;
+using fbl::LexedFile;
+using fbl::TokKind;
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(FASTBCNN_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string
+readFixture(const std::string &name)
+{
+    std::ifstream in(fixturePath(name), std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << name;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::string>
+rulesOf(const std::vector<Finding> &findings)
+{
+    std::vector<std::string> rules;
+    rules.reserve(findings.size());
+    for (const Finding &f : findings)
+        rules.push_back(f.rule);
+    return rules;
+}
+
+int
+countRule(const std::vector<Finding> &findings, const std::string &rule)
+{
+    const std::vector<std::string> rules = rulesOf(findings);
+    return static_cast<int>(
+        std::count(rules.begin(), rules.end(), rule));
+}
+
+// ------------------------------------------------------------- lexer
+
+TEST(LintLexer, ClassifiesBasicTokens)
+{
+    const LexedFile lf = fbl::lexCpp("int x = 42; // tail");
+    ASSERT_EQ(lf.tokens.size(), 5u);
+    EXPECT_EQ(lf.tokens[0].kind, TokKind::Ident);
+    EXPECT_EQ(lf.tokens[0].text, "int");
+    EXPECT_EQ(lf.tokens[2].kind, TokKind::Punct);
+    EXPECT_EQ(lf.tokens[3].kind, TokKind::Number);
+    EXPECT_EQ(lf.tokens[3].text, "42");
+    EXPECT_EQ(lf.lineCount, 1);
+}
+
+TEST(LintLexer, RawStringSwallowsBait)
+{
+    const LexedFile lf =
+        fbl::lexCpp("auto s = R\"x(assert(1); throw 2;)x\";\n");
+    int strs = 0;
+    for (const auto &t : lf.tokens) {
+        EXPECT_NE(t.text, "assert");
+        EXPECT_NE(t.text, "throw");
+        strs += t.kind == TokKind::Str ? 1 : 0;
+    }
+    EXPECT_EQ(strs, 1);
+}
+
+TEST(LintLexer, PreprocLogicalLineIsOneToken)
+{
+    const LexedFile lf = fbl::lexCpp(
+        "#define M(a) \\\n    growable(a)\nint y;\n");
+    ASSERT_GE(lf.tokens.size(), 1u);
+    EXPECT_EQ(lf.tokens[0].kind, TokKind::Preproc);
+    EXPECT_NE(lf.tokens[0].text.find("growable"), std::string::npos);
+    // The tokens after the directive belong to line 3.
+    ASSERT_EQ(lf.tokens.size(), 4u);
+    EXPECT_EQ(lf.tokens[1].line, 3);
+}
+
+TEST(LintLexer, DigitSeparatorsAndHexFloats)
+{
+    const LexedFile lf = fbl::lexCpp("auto a = 1'000; auto b = 0x1.8p3;");
+    int numbers = 0;
+    for (const auto &t : lf.tokens) {
+        if (t.kind == TokKind::Number) {
+            ++numbers;
+            EXPECT_TRUE(t.text == "1'000" || t.text == "0x1.8p3")
+                << t.text;
+        }
+    }
+    EXPECT_EQ(numbers, 2);
+}
+
+TEST(LintLexer, CollectsSuppressions)
+{
+    const LexedFile lf = fbl::lexCpp(
+        "// NOLINTNEXTLINE-FASTBCNN(determinism): reason\n"
+        "int a;\n"
+        "int b; // NOLINT-FASTBCNN(hot-path, banned-function): why\n");
+    ASSERT_EQ(lf.suppressions.size(), 2u);
+    EXPECT_EQ(lf.suppressions[0].line, 2);
+    ASSERT_EQ(lf.suppressions[0].rules.size(), 1u);
+    EXPECT_EQ(lf.suppressions[0].rules[0], "determinism");
+    EXPECT_EQ(lf.suppressions[1].line, 3);
+    EXPECT_EQ(lf.suppressions[1].rules.size(), 2u);
+    EXPECT_TRUE(
+        fbl::suppressionCovers(lf.suppressions[1], "hot-path"));
+    EXPECT_FALSE(
+        fbl::suppressionCovers(lf.suppressions[1], "determinism"));
+}
+
+TEST(LintLexer, WildcardSuppressionCoversEverything)
+{
+    const LexedFile lf =
+        fbl::lexCpp("int a; // NOLINT-FASTBCNN(*): all\n");
+    ASSERT_EQ(lf.suppressions.size(), 1u);
+    for (const std::string &rule : fbl::ruleNames())
+        EXPECT_TRUE(fbl::suppressionCovers(lf.suppressions[0], rule));
+}
+
+// ------------------------------------------------------------- rules
+
+TEST(LintRules, RegistryIsSortedAndComplete)
+{
+    const std::vector<std::string> names = fbl::ruleNames();
+    EXPECT_EQ(names.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(LintRules, CleanEdgeCasesHaveZeroFindings)
+{
+    // Linted under a src/ path so every rule is armed.
+    const auto findings = fbl::lintSource(
+        "src/nn/clean_edge_cases.cpp",
+        readFixture("clean_edge_cases.cpp"));
+    EXPECT_TRUE(findings.empty())
+        << findings.size() << " unexpected finding(s), first: "
+        << (findings.empty() ? "" : findings[0].message);
+}
+
+TEST(LintRules, SeededViolationFixtureFires)
+{
+    const auto findings = fbl::lintSource(
+        "tests/lint_fixtures/seeded_violation.cpp",
+        readFixture("seeded_violation.cpp"));
+    EXPECT_EQ(countRule(findings, "error-discipline"), 2);
+    EXPECT_EQ(countRule(findings, "banned-function"), 1);
+    EXPECT_EQ(countRule(findings, "discarded-status"), 1);
+    EXPECT_EQ(countRule(findings, "hot-path"), 3);
+    EXPECT_EQ(findings.size(), 7u);
+    // Deterministic ordering: (line, col, rule).
+    for (std::size_t i = 1; i < findings.size(); ++i)
+        EXPECT_LE(findings[i - 1].line, findings[i].line);
+}
+
+TEST(LintRules, ErrorDisciplineExemptsCommon)
+{
+    const std::string src = "void f() { throw 1; }\n";
+    EXPECT_EQ(fbl::lintSource("src/common/error.cpp", src).size(), 0u);
+    EXPECT_EQ(fbl::lintSource("src/nn/conv2d.cpp", src).size(), 1u);
+}
+
+TEST(LintRules, DiscardHeuristics)
+{
+    const char *decl = "Status tryPing(int x);\n";
+    EXPECT_TRUE(fbl::lintSource("src/a.cpp", decl).empty());
+
+    const char *bare = "void f() { tryPing(1); }\n";
+    ASSERT_EQ(fbl::lintSource("src/a.cpp", bare).size(), 1u);
+    EXPECT_EQ(fbl::lintSource("src/a.cpp", bare)[0].rule,
+              "discarded-status");
+
+    const char *chained = "void f() { engine->tryPing(1); }\n";
+    EXPECT_EQ(fbl::lintSource("src/a.cpp", chained).size(), 1u);
+
+    const char *scoped = "void f() { fastbcnn::tryPing(1); }\n";
+    EXPECT_EQ(fbl::lintSource("src/a.cpp", scoped).size(), 1u);
+
+    const char *voided = "void f() { (void)tryPing(1); }\n";
+    EXPECT_TRUE(fbl::lintSource("src/a.cpp", voided).empty());
+
+    const char *assigned = "void f() { auto s = tryPing(1); }\n";
+    EXPECT_TRUE(fbl::lintSource("src/a.cpp", assigned).empty());
+
+    const char *returned = "Status g() { return tryPing(1); }\n";
+    EXPECT_TRUE(fbl::lintSource("src/a.cpp", returned).empty());
+
+    const char *tested = "void f() { if (tryPing(1).ok()) {} }\n";
+    EXPECT_TRUE(fbl::lintSource("src/a.cpp", tested).empty());
+}
+
+TEST(LintRules, HotPathFixture)
+{
+    const auto findings = fbl::lintSource(
+        "src/nn/hot_path.cpp", readFixture("hot_path.cpp"));
+    // All findings are hot-path, and all live in hotDirty: lock_guard,
+    // mutex, push_back, std::string, FASTBCNN_CHECK.
+    EXPECT_EQ(findings.size(), 5u);
+    std::set<std::string> tokens;
+    for (const Finding &f : findings) {
+        EXPECT_EQ(f.rule, "hot-path");
+        tokens.insert(f.token);
+    }
+    const std::set<std::string> expected = {
+        "lock_guard", "mutex", "push_back", "string",
+        "FASTBCNN_CHECK"};
+    EXPECT_EQ(tokens, expected);
+}
+
+TEST(LintRules, DeterminismArmedOnlyOutsideAllowlist)
+{
+    const std::string src =
+        "void f() {\n"
+        "  std::random_device rd;\n"
+        "  int a = rand();\n"
+        "  auto t = std::time(nullptr);\n"
+        "  auto n = Clock::now();\n"
+        "}\n";
+    const auto armed = fbl::lintSource("src/bayes/x.cpp", src);
+    EXPECT_EQ(countRule(armed, "determinism"), 4);
+    EXPECT_TRUE(fbl::lintSource("src/serve/x.cpp", src).empty());
+    EXPECT_TRUE(fbl::lintSource("bench/x.cpp", src).empty());
+    EXPECT_TRUE(fbl::lintSource("tests/x.cpp", src).empty());
+}
+
+TEST(LintRules, IncludeGuardAcceptsBothForms)
+{
+    const auto missing = fbl::lintSource(
+        "src/x/missing_guard.hpp", readFixture("missing_guard.hpp"));
+    ASSERT_EQ(missing.size(), 1u);
+    EXPECT_EQ(missing[0].rule, "include-guard");
+
+    EXPECT_TRUE(fbl::lintSource("src/x/classic_guard.hpp",
+                                readFixture("classic_guard.hpp"))
+                    .empty());
+    EXPECT_TRUE(
+        fbl::lintSource("src/x/p.hpp", "#pragma once\nint v;\n")
+            .empty());
+    // Mismatched guard macro does not count as a guard.
+    const auto bad = fbl::lintSource(
+        "src/x/bad.hpp", "#ifndef A_HPP\n#define B_HPP\nint v;\n#endif\n");
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_EQ(bad[0].rule, "include-guard");
+    // Sources are never checked for guards.
+    EXPECT_TRUE(fbl::lintSource("src/x/p.cpp", "int v;\n").empty());
+}
+
+// ------------------------------------------------------ suppressions
+
+TEST(LintSuppressions, FixtureOnlyWrongRuleSurvives)
+{
+    const auto findings = fbl::lintSource(
+        "tests/lint_fixtures/suppressed.cpp",
+        readFixture("suppressed.cpp"));
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "banned-function");
+    EXPECT_EQ(findings[0].token, "strcpy");
+}
+
+// ---------------------------------------------------------- baseline
+
+TEST(LintBaseline, KeyIsLineIndependent)
+{
+    Finding a;
+    a.rule = "hot-path";
+    a.path = "src/nn/conv2d.cpp";
+    a.line = 10;
+    a.token = "push_back";
+    Finding b = a;
+    b.line = 999;
+    EXPECT_EQ(fbl::baselineKey(a), fbl::baselineKey(b));
+}
+
+TEST(LintBaseline, RoundTripNeutralizesSeededFixture)
+{
+    const std::string baseline =
+        testing::TempDir() + "fastbcnn_lint_baseline_test.txt";
+
+    fbl::LintOptions writeOpts;
+    writeOpts.root = FASTBCNN_LINT_FIXTURE_DIR;
+    writeOpts.paths = {"seeded_violation.cpp"};
+    writeOpts.writeBaselinePath = baseline;
+    writeOpts.quiet = true;
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(fbl::runLint(writeOpts, out, err), 0) << err.str();
+
+    fbl::Baseline loaded;
+    std::string error;
+    ASSERT_TRUE(fbl::loadBaseline(baseline, loaded, error)) << error;
+    EXPECT_FALSE(loaded.empty());
+
+    // Without the baseline the fixture fails the gate...
+    fbl::LintOptions plain;
+    plain.root = FASTBCNN_LINT_FIXTURE_DIR;
+    plain.paths = {"seeded_violation.cpp"};
+    plain.quiet = true;
+    EXPECT_EQ(fbl::runLint(plain, out, err), 1);
+
+    // ...and with it, every finding is grandfathered.
+    fbl::LintOptions budgeted = plain;
+    budgeted.baselinePath = baseline;
+    EXPECT_EQ(fbl::runLint(budgeted, out, err), 0) << err.str();
+}
+
+TEST(LintBaseline, CheckedInBaselineParses)
+{
+    // tools/lint_baseline.txt must stay loadable (it is header-only
+    // while the tree is clean).
+    fbl::Baseline loaded;
+    std::string error;
+    ASSERT_TRUE(fbl::loadBaseline(
+        std::string(FASTBCNN_LINT_FIXTURE_DIR) +
+            "/../../tools/lint_baseline.txt",
+        loaded, error))
+        << error;
+    EXPECT_TRUE(loaded.empty());
+}
+
+// ------------------------------------------------------------ driver
+
+TEST(LintDriver, JsonOutputIsWellFormedEnough)
+{
+    fbl::LintOptions opts;
+    opts.root = FASTBCNN_LINT_FIXTURE_DIR;
+    opts.paths = {"seeded_violation.cpp"};
+    opts.json = true;
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(fbl::runLint(opts, out, err), 1);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"findings\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"hot-path\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\": "), std::string::npos);
+}
+
+TEST(LintDriver, MissingExplicitPathIsUsageError)
+{
+    fbl::LintOptions opts;
+    opts.root = FASTBCNN_LINT_FIXTURE_DIR;
+    opts.paths = {"no_such_file.cpp"};
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(fbl::runLint(opts, out, err), 2);
+    EXPECT_NE(err.str().find("no such path"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,323 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace fbl {
+
+namespace {
+
+/** File extensions the tree walk considers C++ sources. */
+bool
+lintableExtension(const std::string &p)
+{
+    static const char *const kExts[] = {".cpp", ".cc",  ".cxx",
+                                        ".hpp", ".hh",  ".hxx",
+                                        ".h",   ".ipp"};
+    for (const char *e : kExts) {
+        const std::size_t n = std::char_traits<char>::length(e);
+        if (p.size() >= n && p.compare(p.size() - n, n, e) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Directories the tree walk never descends into. */
+bool
+skippedDirName(const std::string &name)
+{
+    return name == "lint_fixtures" || name == "corpus" ||
+           name.rfind("build", 0) == 0 || name == ".git";
+}
+
+std::string
+normalizeSlashes(std::string p)
+{
+    std::replace(p.begin(), p.end(), '\\', '/');
+    // Strip a leading "./" so relpaths are stable baseline keys.
+    while (p.rfind("./", 0) == 0)
+        p = p.substr(2);
+    return p;
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Collect lintable files under @p base (file or directory), sorted. */
+void
+collectFiles(const fs::path &base, std::vector<fs::path> &out)
+{
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+        // Explicit file arguments are always linted, whatever the
+        // extension — that is how fixtures get checked.
+        out.push_back(base);
+        return;
+    }
+    if (!fs::is_directory(base, ec))
+        return;
+    for (fs::recursive_directory_iterator
+             it(base, fs::directory_options::skip_permission_denied,
+                ec),
+         end;
+         it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        const fs::path &p = it->path();
+        if (it->is_directory(ec)) {
+            if (skippedDirName(p.filename().string()))
+                it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file(ec) &&
+            lintableExtension(p.filename().string()))
+            out.push_back(p);
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<std::string>
+defaultLintPaths()
+{
+    // tools/analysis is included so the linter lints itself.
+    return {"src", "bench", "examples", "tests", "tools/analysis"};
+}
+
+std::string
+baselineKey(const Finding &f)
+{
+    return f.rule + "|" + f.path + "|" + f.token;
+}
+
+bool
+loadBaseline(const std::string &path, Baseline &out,
+             std::string &error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open baseline '" + path + "'";
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        // rule|path|token|count
+        const std::size_t last = line.rfind('|');
+        if (last == std::string::npos) {
+            error = "malformed baseline line: " + line;
+            return false;
+        }
+        const std::string key = line.substr(0, last);
+        const int count =
+            static_cast<int>(std::strtol(line.c_str() + last + 1,
+                                         nullptr, 10));
+        if (count <= 0) {
+            error = "malformed baseline count in: " + line;
+            return false;
+        }
+        out[key] += count;
+    }
+    return true;
+}
+
+bool
+writeBaseline(const std::string &path,
+              const std::vector<Finding> &findings, std::string &error)
+{
+    Baseline counts;
+    for (const Finding &f : findings)
+        ++counts[baselineKey(f)];
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        error = "cannot write baseline '" + path + "'";
+        return false;
+    }
+    out << "# fastbcnn-lint baseline v1\n"
+        << "# rule|path|token|count — grandfathered findings; new\n"
+        << "# violations beyond these budgets fail the lint gate.\n";
+    for (const auto &[key, count] : counts)
+        out << key << '|' << count << '\n';
+    return static_cast<bool>(out);
+}
+
+std::vector<Finding>
+lintSource(const std::string &relpath, const std::string &content)
+{
+    const LexedFile lf = lexCpp(content);
+    return applySuppressions(runRules(relpath, lf), lf);
+}
+
+int
+runLint(const LintOptions &opts, std::ostream &out, std::ostream &err)
+{
+    Baseline baseline;
+    if (!opts.baselinePath.empty()) {
+        std::string error;
+        if (!loadBaseline(opts.baselinePath, baseline, error)) {
+            err << "fastbcnn-lint: " << error << "\n";
+            return 2;
+        }
+    }
+
+    std::vector<std::string> roots =
+        opts.paths.empty() ? defaultLintPaths() : opts.paths;
+    std::vector<fs::path> files;
+    for (const std::string &r : roots) {
+        const fs::path base = fs::path(opts.root) / r;
+        std::error_code ec;
+        if (!fs::exists(base, ec)) {
+            // Missing default roots are fine (a repo may have no
+            // examples/); missing explicit arguments are an error.
+            if (!opts.paths.empty()) {
+                err << "fastbcnn-lint: no such path: " << base.string()
+                    << "\n";
+                return 2;
+            }
+            continue;
+        }
+        collectFiles(base, files);
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Finding> all;
+    std::size_t fileCount = 0;
+    for (const fs::path &p : files) {
+        std::string content;
+        if (!readFile(p, content)) {
+            err << "fastbcnn-lint: cannot read " << p.string() << "\n";
+            return 2;
+        }
+        ++fileCount;
+        std::error_code ec;
+        fs::path rel = fs::relative(p, opts.root, ec);
+        const std::string relpath =
+            normalizeSlashes((ec || rel.empty() ? p : rel).string());
+        std::vector<Finding> found = lintSource(relpath, content);
+        all.insert(all.end(),
+                   std::make_move_iterator(found.begin()),
+                   std::make_move_iterator(found.end()));
+    }
+
+    std::sort(all.begin(), all.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.path != b.path)
+                      return a.path < b.path;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+
+    if (!opts.writeBaselinePath.empty()) {
+        std::string error;
+        if (!writeBaseline(opts.writeBaselinePath, all, error)) {
+            err << "fastbcnn-lint: " << error << "\n";
+            return 2;
+        }
+        if (!opts.quiet) {
+            out << "fastbcnn-lint: wrote baseline with " << all.size()
+                << " finding(s) to " << opts.writeBaselinePath << "\n";
+        }
+        return 0;
+    }
+
+    // Baseline filtering: each grandfathered (rule, path, token) key
+    // carries a budget; findings beyond the budget are new.
+    Baseline budget = baseline;
+    std::vector<const Finding *> fresh;
+    std::size_t grandfathered = 0;
+    for (const Finding &f : all) {
+        auto it = budget.find(baselineKey(f));
+        if (it != budget.end() && it->second > 0) {
+            --it->second;
+            ++grandfathered;
+        } else {
+            fresh.push_back(&f);
+        }
+    }
+
+    if (opts.json) {
+        out << "{\n  \"files\": " << fileCount
+            << ",\n  \"grandfathered\": " << grandfathered
+            << ",\n  \"findings\": [";
+        for (std::size_t i = 0; i < fresh.size(); ++i) {
+            const Finding &f = *fresh[i];
+            out << (i == 0 ? "\n" : ",\n")
+                << "    {\"rule\": \"" << jsonEscape(f.rule)
+                << "\", \"path\": \"" << jsonEscape(f.path)
+                << "\", \"line\": " << f.line
+                << ", \"col\": " << f.col << ", \"token\": \""
+                << jsonEscape(f.token) << "\", \"message\": \""
+                << jsonEscape(f.message) << "\"}";
+        }
+        out << (fresh.empty() ? "]" : "\n  ]") << "\n}\n";
+    } else {
+        for (const Finding *f : fresh) {
+            out << f->path << ':' << f->line << ':' << f->col << ": ["
+                << f->rule << "] " << f->message << "\n";
+        }
+        if (!opts.quiet) {
+            out << "fastbcnn-lint: " << fileCount << " file(s), "
+                << fresh.size() << " new finding(s)";
+            if (grandfathered > 0)
+                out << ", " << grandfathered << " baselined";
+            out << "\n";
+        }
+    }
+    return fresh.empty() ? 0 : 1;
+}
+
+} // namespace fbl

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * fastbcnn-lint driver: file collection, baseline handling, and
+ * reporting.  Split from main() so tests can run the whole pipeline
+ * in-process against fixture files.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fbl {
+
+/** Driver configuration (mirrors the CLI). */
+struct LintOptions {
+    std::string root = ".";          ///< repo root; relpaths hang off it
+    std::vector<std::string> paths;  ///< files/dirs; empty = default set
+    std::string baselinePath;        ///< read grandfathered findings
+    std::string writeBaselinePath;   ///< write findings as new baseline
+    bool json = false;               ///< machine output instead of human
+    bool quiet = false;              ///< suppress the summary line
+};
+
+/** Baseline: grandfathered finding budget keyed by rule|path|token. */
+using Baseline = std::map<std::string, int>;
+
+/** @return the default tree roots linted when no paths are given. */
+std::vector<std::string> defaultLintPaths();
+
+/** @return the baseline key of @p f (line-number independent, so the
+ *  baseline survives unrelated edits to the same file). */
+std::string baselineKey(const Finding &f);
+
+/** Parse a baseline file. @return false on I/O failure. */
+bool loadBaseline(const std::string &path, Baseline &out,
+                  std::string &error);
+
+/** Serialize @p findings as a baseline to @p path. */
+bool writeBaseline(const std::string &path,
+                   const std::vector<Finding> &findings,
+                   std::string &error);
+
+/**
+ * Lint one file's content.  Runs the lexer, all rules, and inline
+ * suppressions; baseline filtering happens in runLint() across files.
+ */
+std::vector<Finding> lintSource(const std::string &relpath,
+                                const std::string &content);
+
+/**
+ * Run the full pipeline per @p opts, reporting to @p out / @p err.
+ *
+ * @return 0 clean, 1 non-baselined findings, 2 usage / I/O error.
+ */
+int runLint(const LintOptions &opts, std::ostream &out,
+            std::ostream &err);
+
+} // namespace fbl

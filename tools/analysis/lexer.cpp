@@ -1,0 +1,436 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace fbl {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first within each length. */
+const char *const kPunct3[] = {"<<=", ">>=", "...", "->*", "<=>"};
+const char *const kPunct2[] = {"::", "->", "++", "--", "<<", ">>",
+                               "<=", ">=", "==", "!=", "&&", "||",
+                               "+=", "-=", "*=", "/=", "%=", "&=",
+                               "|=", "^=", ".*", "##"};
+
+/**
+ * Scan one comment body for NOLINT-FASTBCNN / NOLINTNEXTLINE-FASTBCNN
+ * markers and append the resulting line suppressions.
+ *
+ * @param text       the comment text (marker + optional ": reason")
+ * @param startLine  line the comment starts on
+ * @param endLine    line the comment ends on (== startLine for `//`)
+ */
+void
+collectSuppressions(const std::string &text, int startLine, int endLine,
+                    std::vector<Suppression> &out)
+{
+    const std::string kNext = "NOLINTNEXTLINE-FASTBCNN(";
+    const std::string kHere = "NOLINT-FASTBCNN(";
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t nextAt = text.find(kNext, pos);
+        const std::size_t hereAt = text.find(kHere, pos);
+        bool isNext = false;
+        if (nextAt != std::string::npos &&
+            (hereAt == std::string::npos || nextAt < hereAt)) {
+            isNext = true;
+            pos = nextAt + kNext.size();
+        } else if (hereAt != std::string::npos) {
+            pos = hereAt + kHere.size();
+        } else {
+            return;
+        }
+        const std::size_t close = text.find(')', pos);
+        if (close == std::string::npos)
+            return;
+        Suppression sup;
+        sup.line = isNext ? endLine + 1 : startLine;
+        std::string name;
+        for (std::size_t i = pos; i <= close; ++i) {
+            const char c = i < close ? text[i] : ',';
+            if (c == ',') {
+                // Trim surrounding whitespace from the rule name.
+                std::size_t b = 0, e = name.size();
+                while (b < e && std::isspace(
+                                    static_cast<unsigned char>(name[b])))
+                    ++b;
+                while (e > b && std::isspace(static_cast<unsigned char>(
+                                    name[e - 1])))
+                    --e;
+                if (e > b)
+                    sup.rules.push_back(name.substr(b, e - b));
+                name.clear();
+            } else {
+                name.push_back(c);
+            }
+        }
+        if (!sup.rules.empty())
+            out.push_back(sup);
+        pos = close + 1;
+    }
+}
+
+/** @return true when the identifier is a raw-string prefix (ends in R
+ *  with an optional encoding prefix). */
+bool
+isRawPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "uR" || ident == "u8R" ||
+           ident == "UR" || ident == "LR";
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) {}
+
+    LexedFile run();
+
+  private:
+    char peek(std::size_t ahead = 0) const
+    {
+        return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+    }
+    bool done() const { return i_ >= src_.size(); }
+    char advance()
+    {
+        const char c = src_[i_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    void push(TokKind kind, std::string text, int line, int col)
+    {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = line;
+        t.col = col;
+        out_.tokens.push_back(std::move(t));
+    }
+
+    void lexLineComment();
+    void lexBlockComment();
+    void lexPreproc();
+    void lexString(int line, int col, std::string prefix);
+    void lexRawString(int line, int col, std::string prefix);
+    void lexChar(int line, int col);
+    void lexNumber(int line, int col);
+    void lexIdent(int line, int col);
+    void lexPunct(int line, int col);
+
+    const std::string &src_;
+    std::size_t i_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+    bool atLineStart_ = true;  ///< only whitespace seen on this line
+    LexedFile out_;
+};
+
+void
+Lexer::lexLineComment()
+{
+    const int startLine = line_;
+    std::string text;
+    while (!done() && peek() != '\n')
+        text.push_back(advance());
+    collectSuppressions(text, startLine, startLine, out_.suppressions);
+}
+
+void
+Lexer::lexBlockComment()
+{
+    const int startLine = line_;
+    std::string text;
+    advance();  // '*'
+    while (!done()) {
+        if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            break;
+        }
+        text.push_back(advance());
+    }
+    collectSuppressions(text, startLine, line_, out_.suppressions);
+}
+
+void
+Lexer::lexPreproc()
+{
+    const int line = line_;
+    const int col = col_;
+    std::string text;
+    text.push_back(advance());  // '#'
+    while (!done()) {
+        if (peek() == '\\' && (peek(1) == '\n' ||
+                               (peek(1) == '\r' && peek(2) == '\n'))) {
+            // Logical-line continuation.
+            advance();
+            if (peek() == '\r')
+                advance();
+            advance();
+            text.push_back(' ');
+            continue;
+        }
+        if (peek() == '\n')
+            break;
+        // Comments end a directive's interesting text but a block
+        // comment may hide the newline; handle `//` simply.
+        if (peek() == '/' && peek(1) == '/') {
+            advance();
+            advance();
+            lexLineComment();
+            break;
+        }
+        if (peek() == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            lexBlockComment();
+            text.push_back(' ');
+            continue;
+        }
+        text.push_back(advance());
+    }
+    push(TokKind::Preproc, std::move(text), line, col);
+}
+
+void
+Lexer::lexString(int line, int col, std::string prefix)
+{
+    std::string text = std::move(prefix);
+    text.push_back(advance());  // opening quote
+    while (!done()) {
+        const char c = peek();
+        if (c == '\\') {
+            text.push_back(advance());
+            if (!done())
+                text.push_back(advance());
+            continue;
+        }
+        if (c == '\n')  // unterminated: recover at end of line
+            break;
+        text.push_back(advance());
+        if (c == '"')
+            break;
+    }
+    push(TokKind::Str, std::move(text), line, col);
+}
+
+void
+Lexer::lexRawString(int line, int col, std::string prefix)
+{
+    std::string text = std::move(prefix);
+    text.push_back(advance());  // '"'
+    std::string delim;
+    while (!done() && peek() != '(' && peek() != '\n' &&
+           delim.size() < 16)
+        delim.push_back(advance());
+    if (done() || peek() != '(') {
+        // Malformed raw string; emit what we have and move on.
+        push(TokKind::Str, text + delim, line, col);
+        return;
+    }
+    text += delim;
+    text.push_back(advance());  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string body;
+    while (!done()) {
+        body.push_back(advance());
+        if (body.size() >= closer.size() &&
+            body.compare(body.size() - closer.size(), closer.size(),
+                         closer) == 0)
+            break;
+    }
+    push(TokKind::Str, text + body, line, col);
+}
+
+void
+Lexer::lexChar(int line, int col)
+{
+    std::string text;
+    text.push_back(advance());  // opening '
+    while (!done()) {
+        const char c = peek();
+        if (c == '\\') {
+            text.push_back(advance());
+            if (!done())
+                text.push_back(advance());
+            continue;
+        }
+        if (c == '\n')
+            break;
+        text.push_back(advance());
+        if (c == '\'')
+            break;
+    }
+    push(TokKind::Chr, std::move(text), line, col);
+}
+
+void
+Lexer::lexNumber(int line, int col)
+{
+    std::string text;
+    text.push_back(advance());
+    while (!done()) {
+        const char c = peek();
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+            c == '\'') {
+            text.push_back(advance());
+            continue;
+        }
+        // Exponent signs: 1e+3, 0x1.8p-3
+        if ((c == '+' || c == '-') && !text.empty()) {
+            const char prev = text.back();
+            if (prev == 'e' || prev == 'E' || prev == 'p' ||
+                prev == 'P') {
+                text.push_back(advance());
+                continue;
+            }
+        }
+        break;
+    }
+    push(TokKind::Number, std::move(text), line, col);
+}
+
+void
+Lexer::lexIdent(int line, int col)
+{
+    std::string text;
+    while (!done() && isIdentChar(peek()))
+        text.push_back(advance());
+    if (peek() == '"') {
+        if (isRawPrefix(text)) {
+            lexRawString(line, col, std::move(text));
+            return;
+        }
+        if (text == "u8" || text == "u" || text == "U" || text == "L") {
+            lexString(line, col, std::move(text));
+            return;
+        }
+    }
+    if (peek() == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+        // Prefixed char literal: emit the prefix, then the literal.
+        push(TokKind::Ident, std::move(text), line, col);
+        lexChar(line_, col_);
+        return;
+    }
+    push(TokKind::Ident, std::move(text), line, col);
+}
+
+void
+Lexer::lexPunct(int line, int col)
+{
+    for (const char *op : kPunct3) {
+        if (peek() == op[0] && peek(1) == op[1] && peek(2) == op[2]) {
+            advance();
+            advance();
+            advance();
+            push(TokKind::Punct, op, line, col);
+            return;
+        }
+    }
+    for (const char *op : kPunct2) {
+        if (peek() == op[0] && peek(1) == op[1]) {
+            advance();
+            advance();
+            push(TokKind::Punct, op, line, col);
+            return;
+        }
+    }
+    push(TokKind::Punct, std::string(1, advance()), line, col);
+}
+
+LexedFile
+Lexer::run()
+{
+    while (!done()) {
+        const char c = peek();
+        const int line = line_;
+        const int col = col_;
+        if (c == '\n' || c == '\r' || c == '\t' || c == ' ' ||
+            c == '\f' || c == '\v') {
+            if (c == '\n')
+                atLineStart_ = true;
+            advance();
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            advance();
+            advance();
+            lexLineComment();
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            advance();
+            advance();
+            lexBlockComment();
+            continue;
+        }
+        if (c == '#' && atLineStart_) {
+            lexPreproc();
+            atLineStart_ = false;
+            continue;
+        }
+        atLineStart_ = false;
+        if (c == '"') {
+            lexString(line, col, "");
+            continue;
+        }
+        if (c == '\'') {
+            lexChar(line, col);
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            lexNumber(line, col);
+            continue;
+        }
+        if (isIdentStart(c)) {
+            lexIdent(line, col);
+            continue;
+        }
+        lexPunct(line, col);
+    }
+    out_.lineCount = line_;
+    return std::move(out_);
+}
+
+} // namespace
+
+LexedFile
+lexCpp(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+bool
+suppressionCovers(const Suppression &sup, const std::string &rule)
+{
+    for (const std::string &r : sup.rules) {
+        if (r == "*" || r == rule)
+            return true;
+    }
+    return false;
+}
+
+} // namespace fbl

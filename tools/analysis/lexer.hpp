@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A small, dependency-free C++ lexer for fastbcnn-lint.
+ *
+ * This is a real tokenizer, not regex-over-lines: it understands line
+ * and block comments, string / char literals (with escapes and
+ * encoding prefixes), raw string literals (R"delim(...)delim"),
+ * numeric literals with digit separators, multi-character operators,
+ * and preprocessor directives (captured as one logical-line token,
+ * including backslash continuations).  Rules therefore never fire on
+ * text inside comments or literals, which is what makes token-level
+ * bans like "no `throw` outside src/common/" trustworthy.
+ *
+ * Comments are not discarded silently: the lexer scans them for
+ * `NOLINT-FASTBCNN(rule, ...)` / `NOLINTNEXTLINE-FASTBCNN(rule, ...)`
+ * suppression markers and records which rules are suppressed on which
+ * lines.
+ *
+ * Deliberate non-goals (documented limitations): backslash line
+ * splices outside preprocessor directives, trigraphs, and macro
+ * expansion.  The linter sees the token a macro *invocation* spells,
+ * not what it expands to.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fbl {
+
+/** Token classification, as coarse as the rules need. */
+enum class TokKind {
+    Ident,   ///< identifier or keyword
+    Number,  ///< integer / floating literal (incl. hex floats)
+    Str,     ///< string literal (any prefix, incl. raw strings)
+    Chr,     ///< character literal
+    Punct,   ///< operator / punctuator (multi-char ops are one token)
+    Preproc  ///< one whole preprocessor logical line, text included
+};
+
+/** One lexed token with its source position (1-based line / column). */
+struct Token {
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0;
+    int col = 0;
+};
+
+/** Rules suppressed on one source line via a NOLINT-FASTBCNN marker. */
+struct Suppression {
+    int line = 0;                     ///< line the suppression covers
+    std::vector<std::string> rules;   ///< rule names, or "*" for all
+};
+
+/** The result of lexing one translation unit. */
+struct LexedFile {
+    std::vector<Token> tokens;
+    std::vector<Suppression> suppressions;
+    int lineCount = 0;
+};
+
+/** Lex @p source (the full text of one file). Never fails: malformed
+ *  input degrades to best-effort tokens rather than stopping. */
+LexedFile lexCpp(const std::string &source);
+
+/** @return true when @p sup covers rule @p rule (exact or "*"). */
+bool suppressionCovers(const Suppression &sup, const std::string &rule);
+
+} // namespace fbl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * fastbcnn-lint entry point.  See driver.hpp for the pipeline and
+ * rules.hpp for the invariants; DESIGN.md §12 documents the workflow
+ * (suppressions, baselines, adding rules).
+ */
+
+#include <iostream>
+#include <string>
+
+#include "driver.hpp"
+
+namespace {
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: fastbcnn-lint [options] [path ...]\n"
+          "\n"
+          "Tokenizer-based project-invariant analyzer for the "
+          "fastbcnn tree.\n"
+          "With no paths, lints src/ bench/ examples/ tests/ "
+          "tools/analysis/.\n"
+          "\n"
+          "options:\n"
+          "  --root DIR             repo root (default: .)\n"
+          "  --baseline FILE        grandfathered findings to ignore\n"
+          "  --write-baseline FILE  record current findings and exit\n"
+          "  --json                 machine-readable output\n"
+          "  --quiet                no summary line\n"
+          "  --list-rules           print rule names and exit\n"
+          "  --help                 this text\n"
+          "\n"
+          "exit status: 0 clean, 1 new findings, 2 usage/IO error\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fbl::LintOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--help" || arg == "-h") {
+            printUsage(std::cout);
+            return 0;
+        }
+        if (arg == "--list-rules") {
+            for (const std::string &r : fbl::ruleNames())
+                std::cout << r << "\n";
+            return 0;
+        }
+        if (arg == "--json") {
+            opts.json = true;
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--root" && hasValue) {
+            opts.root = argv[++i];
+        } else if (arg == "--baseline" && hasValue) {
+            opts.baselinePath = argv[++i];
+        } else if (arg == "--write-baseline" && hasValue) {
+            opts.writeBaselinePath = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "fastbcnn-lint: unknown option '" << arg
+                      << "'\n";
+            printUsage(std::cerr);
+            return 2;
+        } else {
+            opts.paths.push_back(arg);
+        }
+    }
+    return fbl::runLint(opts, std::cout, std::cerr);
+}

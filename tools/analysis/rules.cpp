@@ -1,0 +1,491 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace fbl {
+
+namespace {
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    return s.size() >= n &&
+           s.compare(s.size() - n, n, suffix) == 0;
+}
+
+bool
+isHeaderPath(const std::string &p)
+{
+    return endsWith(p, ".h") || endsWith(p, ".hpp") ||
+           endsWith(p, ".hh") || endsWith(p, ".hxx") ||
+           endsWith(p, ".ipp");
+}
+
+/** R1 exemption: the error layer itself lives in src/common/. */
+bool
+errorDisciplineExempt(const std::string &p)
+{
+    return startsWith(p, "src/common/");
+}
+
+/**
+ * R4 allowlist: wall-clock and entropy are legitimate in the serving
+ * layer (deadlines, health), logging (timestamps), benches and tests
+ * (measurement), and the lint tooling itself.  Everything else in the
+ * compute tree must be a pure function of (input, seed, options).
+ */
+bool
+determinismAllowed(const std::string &p)
+{
+    return startsWith(p, "src/serve/") ||
+           startsWith(p, "src/common/logging") ||
+           startsWith(p, "bench/") || startsWith(p, "tests/") ||
+           startsWith(p, "tools/") || startsWith(p, "examples/");
+}
+
+void
+add(std::vector<Finding> &out, const std::string &rule,
+    const std::string &path, const Token &tok, std::string message)
+{
+    Finding f;
+    f.rule = rule;
+    f.path = path;
+    f.line = tok.line;
+    f.col = tok.col;
+    f.token = tok.text;
+    f.message = std::move(message);
+    out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------- R1
+
+const std::set<std::string> kErrorBans = {
+    "assert", "abort", "exit", "quick_exit", "_Exit", "terminate",
+    "throw"};
+
+void
+ruleErrorDiscipline(const std::string &path,
+                    const std::vector<const Token *> &code,
+                    std::vector<Finding> &out)
+{
+    if (errorDisciplineExempt(path))
+        return;
+    for (const Token *t : code) {
+        if (t->kind != TokKind::Ident)
+            continue;
+        if (kErrorBans.count(t->text) == 0)
+            continue;
+        add(out, "error-discipline", path, *t,
+            "'" + t->text + "' outside src/common/: boundaries return "
+            "Status/Expected, internal bugs use panic()/fatal()");
+    }
+}
+
+// ---------------------------------------------------------------- R2
+
+bool
+isTryCall(const std::string &ident)
+{
+    return ident.size() > 3 && startsWith(ident, "try") &&
+           std::isupper(static_cast<unsigned char>(ident[3]));
+}
+
+/**
+ * Flag expression statements of the form
+ *   [(void)] [obj(.|->|::)]* tryFoo( ... ) ;
+ * whose result is never consumed.  A `(void)` cast counts as explicit
+ * consumption (the standard [[nodiscard]] escape hatch); a chained
+ * member call after the `)` counts as consumption too.  This is a
+ * token-level heuristic: calls buried in control-flow headers are left
+ * to the compiler's [[nodiscard]] enforcement.
+ */
+void
+ruleDiscardedStatus(const std::string &path,
+                    const std::vector<const Token *> &code,
+                    std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = *code[i];
+        if (t.kind != TokKind::Ident || !isTryCall(t.text))
+            continue;
+        if (i + 1 >= code.size() || code[i + 1]->text != "(")
+            continue;
+
+        // Find the start of the enclosing statement.
+        std::size_t start = i;
+        while (start > 0) {
+            const std::string &p = code[start - 1]->text;
+            if (p == ";" || p == "{" || p == "}")
+                break;
+            --start;
+        }
+
+        // Optional explicit-discard prefix: ( void )
+        std::size_t j = start;
+        if (j + 2 < i && code[j]->text == "(" &&
+            code[j + 1]->text == "void" && code[j + 2]->text == ")")
+            continue;  // explicitly discarded on purpose
+
+        // Everything between the statement start and the call must be
+        // a bare object/namespace chain; anything else (return, =,
+        // if (...), a declaration) consumes the result.
+        bool bareChain = true;
+        for (; j < i; ++j) {
+            const Token &p = *code[j];
+            const bool chainTok =
+                p.kind == TokKind::Ident || p.text == "::" ||
+                p.text == "." || p.text == "->";
+            if (!chainTok) {
+                bareChain = false;
+                break;
+            }
+            // `return tryFoo(...)` has Ident "return" in the chain.
+            if (p.kind == TokKind::Ident &&
+                (p.text == "return" || p.text == "co_return")) {
+                bareChain = false;
+                break;
+            }
+        }
+        // A declaration like `Status s = ...` never matches bareChain
+        // because of the `=`; but `Type obj tryFoo` cannot occur, and
+        // two leading idents (`Status tryFoo(...)`) is a *declaration*
+        // of a function, not a call — require the chain to alternate
+        // sensibly by rejecting two adjacent idents.
+        if (bareChain) {
+            for (std::size_t k = start; k + 1 <= i; ++k) {
+                if (code[k]->kind == TokKind::Ident &&
+                    code[k + 1]->kind == TokKind::Ident) {
+                    bareChain = false;
+                    break;
+                }
+            }
+        }
+        if (!bareChain)
+            continue;
+
+        // Find the matching ')' of the call.
+        std::size_t depth = 0;
+        std::size_t close = i + 1;
+        for (; close < code.size(); ++close) {
+            if (code[close]->text == "(")
+                ++depth;
+            else if (code[close]->text == ")" && --depth == 0)
+                break;
+        }
+        if (close + 1 >= code.size())
+            continue;
+        const std::string &after = code[close + 1]->text;
+        if (after == ";") {
+            add(out, "discarded-status", path, t,
+                "result of '" + t.text + "(...)' is discarded: assign "
+                "it, return it, or consume the Status/Expected");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- R3
+
+/** Banned in any position inside a FASTBCNN_HOT body. */
+const std::set<std::string> kHotBansAnywhere = {
+    // heap allocation
+    "new", "delete", "malloc", "calloc", "realloc", "free",
+    "make_unique", "make_shared",
+    // locks / synchronization
+    "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+    "condition_variable", "promise", "thread", "atomic_thread_fence",
+    // I/O
+    "printf", "fprintf", "sprintf", "puts", "fputs", "fwrite",
+    "fread", "fopen", "fclose", "getline", "cout", "cerr", "clog",
+    "ofstream", "ifstream", "fstream", "stringstream",
+    "ostringstream", "istringstream",
+    // logging / always-on checks (FASTBCNN_DCHECK* stay allowed: they
+    // compile out of release-speed builds)
+    "panic", "fatal", "warn", "inform", "informVerbose", "format",
+    "FASTBCNN_CHECK", "FASTBCNN_CHECK_OP", "FASTBCNN_CHECK_EQ",
+    "FASTBCNN_CHECK_NE", "FASTBCNN_CHECK_LT", "FASTBCNN_CHECK_LE",
+    "FASTBCNN_CHECK_GT", "FASTBCNN_CHECK_GE",
+    // exceptions
+    "throw"};
+
+/** Banned only as member calls (after '.' or '->'): container growth
+ *  and lock methods. */
+const std::set<std::string> kHotBansMember = {
+    "push_back", "emplace_back", "emplace", "insert", "erase",
+    "resize", "reserve", "lock", "unlock", "try_lock", "wait",
+    "notify_one", "notify_all"};
+
+/** Allocating std:: container types banned as declarations. */
+const std::set<std::string> kHotBansStdType = {
+    "string", "vector", "map", "set", "unordered_map",
+    "unordered_set", "deque", "list", "function"};
+
+void
+ruleHotPath(const std::string &path,
+            const std::vector<const Token *> &code,
+            std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (code[i]->kind != TokKind::Ident ||
+            code[i]->text != "FASTBCNN_HOT")
+            continue;
+
+        // Locate the function body: the first '{' at paren depth 0.
+        // A ';' first means this was a declaration — nothing to scan.
+        std::size_t bodyStart = 0;
+        int parens = 0;
+        for (std::size_t j = i + 1; j < code.size(); ++j) {
+            const std::string &p = code[j]->text;
+            if (p == "(")
+                ++parens;
+            else if (p == ")")
+                --parens;
+            else if (parens == 0 && p == ";")
+                break;
+            else if (parens == 0 && p == "{") {
+                bodyStart = j;
+                break;
+            }
+        }
+        if (bodyStart == 0)
+            continue;
+        std::size_t bodyEnd = bodyStart;
+        int braces = 0;
+        for (std::size_t j = bodyStart; j < code.size(); ++j) {
+            if (code[j]->text == "{")
+                ++braces;
+            else if (code[j]->text == "}" && --braces == 0) {
+                bodyEnd = j;
+                break;
+            }
+        }
+
+        for (std::size_t j = bodyStart + 1; j < bodyEnd; ++j) {
+            const Token &t = *code[j];
+            if (t.kind != TokKind::Ident)
+                continue;
+            const bool afterMember =
+                j > 0 && (code[j - 1]->text == "." ||
+                          code[j - 1]->text == "->");
+            const bool afterStd =
+                j >= 2 && code[j - 1]->text == "::" &&
+                code[j - 2]->text == "std";
+            std::string why;
+            if (kHotBansAnywhere.count(t.text) != 0) {
+                why = "heap allocation, locking, I/O and logging are "
+                      "banned in FASTBCNN_HOT functions";
+            } else if (afterMember &&
+                       kHotBansMember.count(t.text) != 0) {
+                why = "container growth / lock member calls are "
+                      "banned in FASTBCNN_HOT functions";
+            } else if (afterStd && kHotBansStdType.count(t.text) != 0) {
+                why = "allocating std:: types are banned in "
+                      "FASTBCNN_HOT functions";
+            } else {
+                continue;
+            }
+            add(out, "hot-path", path, t,
+                "'" + t.text + "' in FASTBCNN_HOT function: " + why);
+        }
+        i = bodyEnd;
+    }
+}
+
+// ---------------------------------------------------------------- R4
+
+const std::set<std::string> kEntropyCalls = {"rand", "srand", "time",
+                                             "clock"};
+
+void
+ruleDeterminism(const std::string &path,
+                const std::vector<const Token *> &code,
+                std::vector<Finding> &out)
+{
+    if (determinismAllowed(path))
+        return;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = *code[i];
+        if (t.kind != TokKind::Ident)
+            continue;
+        const bool callNext =
+            i + 1 < code.size() && code[i + 1]->text == "(";
+        const bool afterScope = i > 0 && code[i - 1]->text == "::";
+        if (t.text == "random_device") {
+            add(out, "determinism", path, t,
+                "std::random_device is nondeterministic entropy: "
+                "compute paths must derive randomness from the run "
+                "seed (splitmix64 / sampleSeed)");
+        } else if (callNext && kEntropyCalls.count(t.text) != 0 &&
+                   !afterScope) {
+            add(out, "determinism", path, t,
+                "'" + t.text + "()' injects wall-clock/global state "
+                "into a compute path; results must be bit-identical "
+                "for any thread count");
+        } else if (callNext && afterScope && t.text == "now") {
+            add(out, "determinism", path, t,
+                "'::now()' reads the wall clock in a compute path; "
+                "deadline logic belongs in src/serve/ or behind an "
+                "explicit suppression");
+        } else if (callNext && afterScope &&
+                   kEntropyCalls.count(t.text) != 0) {
+            // std::rand / std::time qualified forms.
+            add(out, "determinism", path, t,
+                "'" + t.text + "()' injects wall-clock/global state "
+                "into a compute path; results must be bit-identical "
+                "for any thread count");
+        }
+    }
+}
+
+// --------------------------------------------------------------- R5a
+
+const std::set<std::string> kBannedFns = {
+    "strcpy", "strcat",  "sprintf", "vsprintf", "gets",
+    "strtok", "atoi",    "atol",    "atoll",    "atof"};
+
+void
+ruleBannedFunction(const std::string &path,
+                   const std::vector<const Token *> &code,
+                   std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const Token &t = *code[i];
+        if (t.kind != TokKind::Ident || kBannedFns.count(t.text) == 0)
+            continue;
+        if (i + 1 >= code.size() || code[i + 1]->text != "(")
+            continue;
+        add(out, "banned-function", path, t,
+            "'" + t.text + "' is banned: use the bounded / "
+            "error-reporting alternative (snprintf, strtol, strtof)");
+    }
+}
+
+// --------------------------------------------------------------- R5b
+
+std::string
+collapseWs(const std::string &s)
+{
+    std::string out;
+    bool space = false;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            space = !out.empty();
+            continue;
+        }
+        if (space) {
+            out.push_back(' ');
+            space = false;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+ruleIncludeGuard(const std::string &path, const LexedFile &lf,
+                 std::vector<Finding> &out)
+{
+    if (!isHeaderPath(path))
+        return;
+    std::vector<const Token *> preproc;
+    for (const Token &t : lf.tokens) {
+        if (t.kind == TokKind::Preproc)
+            preproc.push_back(&t);
+    }
+    for (const Token *t : preproc) {
+        const std::string d = collapseWs(t->text);
+        if (startsWith(d, "#pragma once"))
+            return;
+    }
+    // Classic guard: the first directive is #ifndef X and the next is
+    // #define X.
+    if (preproc.size() >= 2) {
+        const std::string first = collapseWs(preproc[0]->text);
+        const std::string second = collapseWs(preproc[1]->text);
+        if (startsWith(first, "#ifndef ") &&
+            startsWith(second, "#define ")) {
+            const std::string guard = first.substr(8);
+            const std::string defined =
+                second.substr(8, guard.size());
+            if (!guard.empty() && guard == defined)
+                return;
+        }
+    }
+    Token anchor;
+    anchor.line = 1;
+    anchor.col = 1;
+    anchor.text = path;
+    add(out, "include-guard", path, anchor,
+        "header lacks both '#pragma once' and a leading "
+        "#ifndef/#define include guard");
+}
+
+} // namespace
+
+std::vector<std::string>
+ruleNames()
+{
+    return {"banned-function", "determinism",   "discarded-status",
+            "error-discipline", "hot-path",     "include-guard"};
+}
+
+std::vector<Finding>
+runRules(const std::string &relpath, const LexedFile &lf)
+{
+    // Code view: every token except preprocessor lines, so `#include
+    // <ctime>` or a macro definition never trips a code rule.
+    std::vector<const Token *> code;
+    code.reserve(lf.tokens.size());
+    for (const Token &t : lf.tokens) {
+        if (t.kind != TokKind::Preproc)
+            code.push_back(&t);
+    }
+
+    std::vector<Finding> out;
+    ruleErrorDiscipline(relpath, code, out);
+    ruleDiscardedStatus(relpath, code, out);
+    ruleHotPath(relpath, code, out);
+    ruleDeterminism(relpath, code, out);
+    ruleBannedFunction(relpath, code, out);
+    ruleIncludeGuard(relpath, lf, out);
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.col != b.col)
+                      return a.col < b.col;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+std::vector<Finding>
+applySuppressions(std::vector<Finding> findings, const LexedFile &lf)
+{
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding &f : findings) {
+        bool suppressed = false;
+        for (const Suppression &sup : lf.suppressions) {
+            if (sup.line == f.line && suppressionCovers(sup, f.rule)) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(f));
+    }
+    return kept;
+}
+
+} // namespace fbl

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * fastbcnn-lint rule registry: the project invariants, encoded.
+ *
+ * Rules operate on the token stream produced by lexer.hpp, so they
+ * never fire inside comments, strings, or preprocessor text (except
+ * the include-guard rule, which inspects preprocessor lines by
+ * design).  Each rule has a stable kebab-case name used in findings,
+ * suppression comments (`// NOLINT-FASTBCNN(<rule>): reason`), and
+ * baseline entries:
+ *
+ *  - error-discipline   (R1) no assert/abort/exit/throw/terminate
+ *                       outside src/common/ — boundaries return
+ *                       Status/Expected, internal bugs panic().
+ *  - discarded-status   (R2) a bare `tryFoo(...)` expression statement
+ *                       silently drops its Status/Expected result.
+ *  - hot-path           (R3) FASTBCNN_HOT function bodies may not
+ *                       allocate, take locks, do I/O, or log.
+ *  - determinism        (R4) no std::random_device / rand / time( /
+ *                       ...::now() outside the serving layer, logging,
+ *                       benches and tests — MC runs must be
+ *                       bit-identical for any thread count.
+ *  - banned-function    (R5a) strcpy/sprintf/atoi-style unbounded or
+ *                       error-swallowing C APIs.
+ *  - include-guard      (R5b) every header needs `#pragma once` or a
+ *                       classic #ifndef/#define guard.
+ *
+ * Adding a rule: implement a scan in rules.cpp, give it a name here,
+ * list it in ruleNames(), and add a fixture under tests/lint_fixtures/
+ * (DESIGN.md §12 walks through the process).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace fbl {
+
+/** One rule violation at a source location. */
+struct Finding {
+    std::string rule;     ///< stable rule name (see file comment)
+    std::string path;     ///< repo-relative path, '/'-separated
+    int line = 0;
+    int col = 0;
+    std::string token;    ///< the offending token (baseline key part)
+    std::string message;  ///< human-readable explanation
+};
+
+/** @return every registered rule name, sorted. */
+std::vector<std::string> ruleNames();
+
+/**
+ * Run every rule over one lexed file.
+ *
+ * @param relpath  repo-relative path with '/' separators; drives the
+ *                 per-rule path policies (src/common/ exemption for
+ *                 error-discipline, determinism allowlist, header
+ *                 detection for include-guard)
+ * @return findings before suppression / baseline filtering, ordered
+ *         by (line, col, rule)
+ */
+std::vector<Finding> runRules(const std::string &relpath,
+                              const LexedFile &lf);
+
+/**
+ * Drop findings covered by an inline suppression in @p lf.  Returns
+ * the surviving findings; order is preserved.
+ */
+std::vector<Finding> applySuppressions(std::vector<Finding> findings,
+                                       const LexedFile &lf);
+
+} // namespace fbl

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run cppcheck over the library sources with the checked-in
+# suppression list.
+#
+# Usage: tools/run_cppcheck.sh [path ...]
+#   With no arguments, analyses src/ (the library proper).
+#
+# Environment:
+#   CPPCHECK    cppcheck binary to use (default: cppcheck on PATH)
+#   JOBS        parallel analysis jobs (default: nproc)
+#
+# Exits non-zero on any diagnostic (--error-exitcode=1).  When no
+# cppcheck binary exists on this machine the script reports that and
+# exits 0, so environments without the tool (this repo's build
+# container ships only a compiler) degrade to a no-op instead of a
+# false failure; CI installs cppcheck and gets the real check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CPPCHECK=${CPPCHECK:-cppcheck}
+if ! command -v "$CPPCHECK" >/dev/null 2>&1; then
+    echo "run_cppcheck.sh: no cppcheck binary found on PATH; skipping" \
+         "(install cppcheck to run the static-analysis gate)" >&2
+    exit 0
+fi
+
+if [[ $# -gt 0 ]]; then
+    paths=("$@")
+else
+    paths=(src)
+fi
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
+
+echo "run_cppcheck.sh: $("$CPPCHECK" --version) over ${paths[*]}" >&2
+"$CPPCHECK" \
+    --enable=warning,performance,portability \
+    --std=c++20 \
+    --language=c++ \
+    --inline-suppr \
+    --suppressions-list=tools/cppcheck_suppressions.txt \
+    --error-exitcode=1 \
+    --quiet \
+    -j "$JOBS" \
+    -I src \
+    "${paths[@]}"

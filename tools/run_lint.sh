@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Build and run fastbcnn-lint (tools/analysis/) over the whole tree
+# with the checked-in baseline.
+#
+# Usage: tools/run_lint.sh [fastbcnn-lint args ...]
+#   With no arguments, lints the default path set (src/ bench/
+#   examples/ tests/ tools/analysis/) against tools/lint_baseline.txt.
+#   Extra arguments are passed through, so
+#       tools/run_lint.sh --json src/nn
+#   works as expected.
+#
+# Environment:
+#   LINT_BIN    prebuilt fastbcnn-lint to use (skips compilation)
+#   BUILD_DIR   CMake build dir to look for the binary in
+#               (default: build)
+#   CXX         compiler for the standalone fallback build
+#               (default: c++)
+#
+# The linter is self-contained C++17 with no dependencies on the
+# library, so when no CMake build exists we compile it directly into
+# a temp dir -- this keeps the gate alive on machines (and CI jobs)
+# that have only a compiler.
+#
+# Exit status mirrors fastbcnn-lint: 0 clean, 1 new findings,
+# 2 usage/IO error.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+LINT=""
+if [[ -n "${LINT_BIN:-}" && -x "${LINT_BIN}" ]]; then
+    LINT=$LINT_BIN
+elif [[ -x "$BUILD_DIR/tools/analysis/fastbcnn-lint" ]]; then
+    LINT=$BUILD_DIR/tools/analysis/fastbcnn-lint
+else
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    echo "run_lint.sh: no prebuilt binary; compiling standalone" >&2
+    "${CXX:-c++}" -std=c++17 -O1 -Wall -Wextra \
+        tools/analysis/lexer.cpp tools/analysis/rules.cpp \
+        tools/analysis/driver.cpp tools/analysis/main.cpp \
+        -o "$tmp/fastbcnn-lint"
+    LINT=$tmp/fastbcnn-lint
+fi
+
+"$LINT" --root . --baseline tools/lint_baseline.txt "$@"
