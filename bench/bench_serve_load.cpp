@@ -98,7 +98,9 @@ input()
 ModelSpec
 servedSpec()
 {
-    return ModelSpec{"served", []() {
+    ModelSpec spec;
+    spec.id = "served";
+    spec.factory = []() {
         EngineOptions eopts;
         eopts.mc.samples = 4;
         eopts.mc.seed = 17;
@@ -113,7 +115,8 @@ servedSpec()
             return Expected<std::unique_ptr<FastBcnnEngine>>(
                 std::move(calibrated));
         return engine;
-    }};
+    };
+    return spec;
 }
 
 /** One sweep point's measurements, serialisable to JSON. */

@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Sustained-overload soak for the serving stack (DESIGN.md §13): the
+ * registry, the binary checkpoint pipeline and the scheduler under
+ * minutes of open-loop overload with hot-swaps and an injected
+ * checkpoint corruption mid-run.
+ *
+ * Phases:
+ *  1. Write a model zoo to disk as binary checkpoints: two models
+ *     ("zoo-a", "zoo-b"), two weight versions each, plus a
+ *     deliberately corrupted v3 of zoo-a (one flipped payload byte —
+ *     the file-level CRC must catch it at swap time).
+ *  2. Measure the closed-loop throughput ceiling.
+ *  3. Open-loop at 2x the ceiling for FASTBCNN_SOAK_SECONDS (default
+ *     60; CI runs 20) while a chaos thread hot-swaps zoo-a to v2 at
+ *     0.3D, attempts the corrupt v3 at 0.5D (must fail and roll back
+ *     with the circuit breaker still closed), and swaps zoo-b to v2
+ *     at 0.7D.
+ *  4. Emit per-second trajectories (throughput, p50/p95/p99, shed,
+ *     per-version service counts) and the swap log as JSON to stdout
+ *     and BENCH_serve_soak.json (FASTBCNN_SOAK_JSON overrides the
+ *     path).
+ *
+ * Exit is nonzero when any request is lost or double-completed, when
+ * a good swap fails, when the corrupt swap is NOT rejected, or when
+ * the rollback leaves the model unserved — the CI wiring treats this
+ * binary as a pass/fail robustness gate, not just a meter.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/table.hpp"
+#include "models/init.hpp"
+#include "nn/activations.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "serve/server.hpp"
+
+using namespace fastbcnn;
+using namespace fastbcnn::serve;
+
+namespace {
+
+/** The two zoo topologies (weights come from the checkpoint files). */
+Network
+zooModel(const std::string &id)
+{
+    const std::size_t channels = id == "zoo-a" ? 4 : 3;
+    Network net(id, Shape({1, 8, 8}));
+    net.add(std::make_unique<Conv2d>("c1", 1, channels, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("r1"));
+    net.add(std::make_unique<Dropout>("d1", 0.3));
+    net.add(std::make_unique<Conv2d>("c2", channels, channels, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("r2"));
+    net.add(std::make_unique<Dropout>("d2", 0.3));
+    return net;
+}
+
+Tensor
+input()
+{
+    Tensor t(Shape({1, 8, 8}));
+    t.fill(0.5f);
+    return t;
+}
+
+std::string
+checkpointPath(const std::string &id, std::uint64_t version)
+{
+    return format("soak_ckpt_%s_v%llu.bin", id.c_str(),
+                  static_cast<unsigned long long>(version));
+}
+
+/** Write the zoo to disk: v1/v2 per model + a corrupt zoo-a v3. */
+bool
+writeZoo()
+{
+    for (const std::string id : {"zoo-a", "zoo-b"}) {
+        for (std::uint64_t version : {1u, 2u}) {
+            Network net = zooModel(id);
+            InitOptions init;
+            init.seed = 11 * version + (id == "zoo-a" ? 0 : 100);
+            init.biasShift = 0.0;
+            initializeWeights(net, init);
+            const Status saved = trySaveCheckpointFile(
+                net, checkpointPath(id, version),
+                CheckpointFormat::Binary);
+            if (!saved.isOk()) {
+                std::cerr << "cannot write zoo checkpoint: "
+                          << saved.toString() << "\n";
+                return false;
+            }
+        }
+    }
+    // The corrupt v3: v2's bytes with one payload byte flipped.  Only
+    // the registry's load-time CRC check stands between this file and
+    // the serving path.
+    Expected<std::string> bytes =
+        tryReadFile(checkpointPath("zoo-a", 2));
+    if (!bytes.hasValue()) {
+        std::cerr << bytes.error().toString() << "\n";
+        return false;
+    }
+    std::string corrupt = std::move(bytes).value();
+    corrupt[corrupt.size() / 2] ^= 0x5a;
+    const Status wrote = tryAtomicWriteFile(checkpointPath("zoo-a", 3),
+                                            corrupt, {});
+    if (!wrote.isOk()) {
+        std::cerr << wrote.toString() << "\n";
+        return false;
+    }
+    return true;
+}
+
+void
+removeZoo()
+{
+    for (const std::string id : {"zoo-a", "zoo-b"})
+        for (std::uint64_t version : {1u, 2u, 3u})
+            std::remove(checkpointPath(id, version).c_str());
+}
+
+/** A factory that loads its engine from a checkpoint on disk. */
+EngineFactory
+checkpointFactory(std::string id, std::uint64_t version)
+{
+    return [id, version]() -> Expected<std::unique_ptr<FastBcnnEngine>> {
+        Network net = zooModel(id);
+        Expected<CheckpointFormat> loaded =
+            tryLoadCheckpointFile(net, checkpointPath(id, version));
+        if (!loaded.hasValue())
+            return std::move(loaded).takeError();
+        EngineOptions eopts;
+        eopts.mc.samples = 4;
+        eopts.mc.seed = 17;
+        eopts.mc.recordMasks = false;
+        eopts.optimizer.samples = 2;
+        Expected<std::unique_ptr<FastBcnnEngine>> engine =
+            FastBcnnEngine::create(std::move(net), eopts);
+        if (!engine.hasValue())
+            return engine;
+        Status calibrated = engine.value()->tryCalibrate({input()});
+        if (!calibrated.isOk())
+            return Expected<std::unique_ptr<FastBcnnEngine>>(
+                std::move(calibrated));
+        return engine;
+    };
+}
+
+ModelVersionSpec
+zooVersion(std::string id, std::uint64_t version)
+{
+    ModelVersionSpec spec;
+    spec.modelId = id;
+    spec.version = version;
+    spec.factory = checkpointFactory(std::move(id), version);
+    return spec;
+}
+
+/** One completed request as the collectors record it. */
+struct Completion {
+    double atS = 0.0;      ///< completion wall time since soak start
+    double totalMs = 0.0;  ///< submit-to-completion latency
+    Outcome outcome = Outcome::Failed;
+    std::uint64_t id = 0;
+    std::uint64_t modelVersion = 0;
+};
+
+/** One second of the soak trajectory. */
+struct Window {
+    std::size_t ok = 0;
+    std::size_t shed = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    LatencyHistogram okLatency;
+    std::map<std::uint64_t, std::size_t> byVersion;
+};
+
+/** One hot-swap attempt in the chaos schedule. */
+struct SwapEvent {
+    double atS = 0.0;
+    std::string modelId;
+    std::uint64_t version = 0;
+    bool expectSuccess = true;
+    bool succeeded = false;
+    double latencyMs = 0.0;
+    std::string detail;
+};
+
+double
+soakSeconds()
+{
+    if (const char *env = std::getenv("FASTBCNN_SOAK_SECONDS")) {
+        const double parsed = std::strtod(env, nullptr);
+        if (parsed > 0.0)
+            return parsed;
+    }
+    return 60.0;
+}
+
+/** Closed-loop ceiling: clients keep one request in flight each. */
+double
+measureCeiling(InferenceServer &srv)
+{
+    constexpr std::size_t clients = 4;
+    constexpr std::size_t perClient = 40;
+    std::atomic<std::uint64_t> ok{0};
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c]() {
+            for (std::size_t i = 0; i < perClient; ++i) {
+                InferRequest req;
+                req.modelId = c % 2 == 0 ? "zoo-a" : "zoo-b";
+                req.input = input();
+                req.mc.seed = c * 10000 + i;
+                auto handle = srv.submit(std::move(req));
+                if (!handle.hasValue())
+                    continue;
+                if (handle.value().response.get().ok())
+                    ok.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    const double duration =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+    return duration > 0.0 ? static_cast<double>(ok.load()) / duration
+                          : 100.0;
+}
+
+void
+appendWindowJson(std::ostringstream &os, const Window &w,
+                 std::size_t index, bool last)
+{
+    os << "    {\"t_s\": " << index << ", \"ok\": " << w.ok
+       << ", \"shed\": " << w.shed << ", \"failed\": " << w.failed
+       << ", \"cancelled\": " << w.cancelled
+       << ", \"p50_ms\": " << format("%.3f", w.okLatency.p50Ms())
+       << ", \"p95_ms\": " << format("%.3f", w.okLatency.p95Ms())
+       << ", \"p99_ms\": " << format("%.3f", w.okLatency.p99Ms())
+       << ", \"by_version\": {";
+    bool first = true;
+    for (const auto &[version, count] : w.byVersion) {
+        os << (first ? "" : ", ") << "\"v" << version
+           << "\": " << count;
+        first = false;
+    }
+    os << "}}" << (last ? "\n" : ",\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const double durationS = soakSeconds();
+    if (!writeZoo())
+        return 1;
+
+    ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.queueCapacity = 128;
+    sopts.maxBatch = 4;
+    sopts.breaker.enabled = true;
+    sopts.breaker.failureThreshold = 16;
+    sopts.breaker.cooldownMs = 500.0;
+
+    std::vector<ModelSpec> zoo;
+    for (const std::string id : {"zoo-a", "zoo-b"}) {
+        ModelSpec spec;
+        spec.id = id;
+        spec.version = 1;
+        spec.factory = checkpointFactory(id, 1);
+        zoo.push_back(std::move(spec));
+    }
+    auto created = InferenceServer::create(std::move(zoo), sopts);
+    if (!created.hasValue()) {
+        std::cerr << "server creation failed: "
+                  << created.error().toString() << "\n";
+        removeZoo();
+        return 1;
+    }
+    InferenceServer &srv = *created.value();
+
+    std::cerr << "bench_serve_soak: measuring ceiling...\n";
+    const double ceiling = measureCeiling(srv);
+    const double offered = 2.0 * ceiling;
+    const double deadlineMs = 1000.0 / ceiling * 8.0;
+    std::cerr << format(
+        "bench_serve_soak: ceiling %.0f rps; soaking %.0f s at "
+        "%.0f rps (2x overload), deadline %.1f ms\n", ceiling,
+        durationS, offered, deadlineMs);
+
+    // --- The soak ----------------------------------------------------
+    const auto soakBegin = std::chrono::steady_clock::now();
+    std::atomic<bool> submitting{true};
+    std::atomic<std::uint64_t> accepted{0}, rejected{0};
+
+    std::mutex handlesMutex;
+    std::deque<RequestHandle> handles;
+
+    // The open-loop submitter: fires at the offered rate whatever the
+    // completion rate is, alternating models — overload must surface
+    // as shed/rejected, never as a stall.
+    std::thread submitter([&]() {
+        const auto interval = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(1.0 / offered));
+        auto nextFire = std::chrono::steady_clock::now();
+        std::uint64_t i = 0;
+        while (submitting.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_until(nextFire);
+            nextFire += interval;
+            InferRequest req;
+            req.modelId = i % 2 == 0 ? "zoo-a" : "zoo-b";
+            req.input = input();
+            req.mc.seed = i;
+            req.deadlineMs = deadlineMs;
+            ++i;
+            auto handle = srv.submit(std::move(req));
+            if (!handle.hasValue()) {
+                rejected.fetch_add(1);
+                continue;
+            }
+            accepted.fetch_add(1);
+            const std::lock_guard<std::mutex> lock(handlesMutex);
+            handles.push_back(std::move(handle).value());
+        }
+    });
+
+    // Collector pool: each thread drains handles as they complete and
+    // stamps the completion into the trajectory.
+    constexpr std::size_t collectors = 4;
+    std::vector<std::vector<Completion>> collected(collectors);
+    std::vector<std::thread> collectorPool;
+    collectorPool.reserve(collectors);
+    for (std::size_t c = 0; c < collectors; ++c) {
+        collectorPool.emplace_back([&, c]() {
+            std::vector<Completion> &mine = collected[c];
+            for (;;) {
+                RequestHandle handle;
+                {
+                    const std::lock_guard<std::mutex> lock(
+                        handlesMutex);
+                    if (handles.empty()) {
+                        if (!submitting.load(
+                                std::memory_order_relaxed))
+                            return;
+                    } else {
+                        handle = std::move(handles.front());
+                        handles.pop_front();
+                    }
+                }
+                if (!handle.response.valid()) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                    continue;
+                }
+                const InferResponse response = handle.response.get();
+                Completion done;
+                done.atS = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               soakBegin)
+                               .count();
+                done.totalMs = response.totalMs;
+                done.outcome = response.outcome;
+                done.id = response.id;
+                done.modelVersion = response.modelVersion;
+                mine.push_back(done);
+            }
+        });
+    }
+
+    // The chaos thread: two good swaps and one corrupt one.
+    std::vector<SwapEvent> swaps;
+    std::thread chaos([&]() {
+        struct Planned {
+            double fraction;
+            const char *modelId;
+            std::uint64_t version;
+            bool expectSuccess;
+        };
+        const Planned plan[] = {
+            {0.3, "zoo-a", 2, true},
+            {0.5, "zoo-a", 3, false},  // the corrupt checkpoint
+            {0.7, "zoo-b", 2, true},
+        };
+        for (const Planned &p : plan) {
+            const auto at =
+                soakBegin + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double>(
+                                    p.fraction * durationS));
+            std::this_thread::sleep_until(at);
+            SwapEvent event;
+            event.modelId = p.modelId;
+            event.version = p.version;
+            event.expectSuccess = p.expectSuccess;
+            event.atS = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            soakBegin)
+                            .count();
+            const auto swapBegin = std::chrono::steady_clock::now();
+            auto pending =
+                srv.requestSwap(zooVersion(p.modelId, p.version));
+            if (!pending.hasValue()) {
+                event.succeeded = false;
+                event.detail = pending.error().toString();
+            } else {
+                const Status landed = pending.value().get();
+                event.succeeded = landed.isOk();
+                event.detail =
+                    landed.isOk() ? "swapped" : landed.toString();
+            }
+            event.latencyMs = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() -
+                                  swapBegin)
+                                  .count();
+            swaps.push_back(event);
+            std::cerr << format(
+                "bench_serve_soak: t=%.1fs swap %s -> v%llu: %s "
+                "(%.1f ms)\n", event.atS, event.modelId.c_str(),
+                static_cast<unsigned long long>(event.version),
+                event.detail.c_str(), event.latencyMs);
+        }
+    });
+
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(durationS));
+    submitting.store(false, std::memory_order_relaxed);
+    submitter.join();
+    chaos.join();
+
+    // The rolled-back model must still serve (checked before drain()
+    // closes the admission queue for good).
+    int failures = 0;
+    {
+        InferRequest req;
+        req.modelId = "zoo-a";
+        req.input = input();
+        auto handle = srv.submit(std::move(req));
+        if (!handle.hasValue() ||
+            !handle.value().response.get().ok()) {
+            std::cerr << "FAIL: zoo-a cannot serve after rollback\n";
+            ++failures;
+        }
+    }
+    srv.drain();
+    for (std::thread &t : collectorPool)
+        t.join();
+
+    // --- Accounting: exactly-once, nothing lost ----------------------
+    std::vector<Completion> all;
+    for (const std::vector<Completion> &part : collected)
+        all.insert(all.end(), part.begin(), part.end());
+    if (all.size() != accepted.load()) {
+        std::cerr << format(
+            "FAIL: %zu accepted but %zu completions observed\n",
+            static_cast<std::size_t>(accepted.load()), all.size());
+        ++failures;
+    }
+    std::set<std::uint64_t> ids;
+    for (const Completion &done : all)
+        ids.insert(done.id);
+    if (ids.size() != all.size()) {
+        std::cerr << format(
+            "FAIL: %zu completions carry only %zu distinct ids "
+            "(double completion)\n", all.size(), ids.size());
+        ++failures;
+    }
+
+    // --- Swap outcomes -----------------------------------------------
+    if (swaps.size() != 3) {
+        std::cerr << "FAIL: chaos thread ran " << swaps.size()
+                  << " of 3 swaps\n";
+        ++failures;
+    }
+    for (const SwapEvent &event : swaps) {
+        if (event.succeeded != event.expectSuccess) {
+            std::cerr << format(
+                "FAIL: swap %s -> v%llu %s but was expected to %s\n",
+                event.modelId.c_str(),
+                static_cast<unsigned long long>(event.version),
+                event.succeeded ? "succeeded" : "failed",
+                event.expectSuccess ? "succeed" : "fail");
+            ++failures;
+        }
+    }
+
+    // --- Post-rollback health ----------------------------------------
+    const HealthReport health = srv.health();
+    for (const ModelHealth &model : health.models) {
+        if (model.id == "zoo-a") {
+            if (model.registry.activeVersion != 2 ||
+                model.registry.rollbacks != 1) {
+                std::cerr << format(
+                    "FAIL: zoo-a should serve v2 with 1 rollback; "
+                    "health says v%llu with %llu\n",
+                    static_cast<unsigned long long>(
+                        model.registry.activeVersion),
+                    static_cast<unsigned long long>(
+                        model.registry.rollbacks));
+                ++failures;
+            }
+            if (model.breakerState != BreakerState::Closed) {
+                std::cerr << "FAIL: zoo-a breaker opened during the "
+                             "rollback\n";
+                ++failures;
+            }
+        }
+        if (model.id == "zoo-b" && model.registry.activeVersion != 2) {
+            std::cerr << "FAIL: zoo-b swap did not land\n";
+            ++failures;
+        }
+    }
+    // --- Trajectories -------------------------------------------------
+    const std::size_t windowCount =
+        static_cast<std::size_t>(durationS) + 2;
+    std::vector<Window> windows(windowCount);
+    for (const Completion &done : all) {
+        const std::size_t index = std::min(
+            windowCount - 1,
+            static_cast<std::size_t>(std::max(0.0, done.atS)));
+        Window &w = windows[index];
+        switch (done.outcome) {
+        case Outcome::Ok:
+            ++w.ok;
+            w.okLatency.record(done.totalMs);
+            ++w.byVersion[done.modelVersion];
+            break;
+        case Outcome::Shed: ++w.shed; break;
+        case Outcome::Failed: ++w.failed; break;
+        case Outcome::Cancelled: ++w.cancelled; break;
+        }
+    }
+
+    const StatGroup &stats = srv.stats();
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"serve_soak\",\n"
+         << "  \"duration_s\": " << format("%.1f", durationS) << ",\n"
+         << "  \"ceiling_rps\": " << format("%.1f", ceiling) << ",\n"
+         << "  \"offered_rps\": " << format("%.1f", offered) << ",\n"
+         << "  \"deadline_ms\": " << format("%.2f", deadlineMs)
+         << ",\n"
+         << "  \"accepted\": " << accepted.load() << ",\n"
+         << "  \"rejected\": " << rejected.load() << ",\n"
+         << "  \"ok\": " << stats.counter("ok") << ",\n"
+         << "  \"shed\": " << stats.counter("shed") << ",\n"
+         << "  \"failed\": " << stats.counter("failed") << ",\n"
+         << "  \"cancelled\": " << stats.counter("cancelled") << ",\n"
+         << "  \"swaps\": [\n";
+    for (std::size_t i = 0; i < swaps.size(); ++i) {
+        const SwapEvent &event = swaps[i];
+        json << "    {\"t_s\": " << format("%.2f", event.atS)
+             << ", \"model\": \"" << event.modelId << "\""
+             << ", \"version\": " << event.version
+             << ", \"expected_success\": "
+             << (event.expectSuccess ? "true" : "false")
+             << ", \"succeeded\": "
+             << (event.succeeded ? "true" : "false")
+             << ", \"latency_ms\": "
+             << format("%.2f", event.latencyMs) << "}"
+             << (i + 1 == swaps.size() ? "\n" : ",\n");
+    }
+    json << "  ],\n  \"windows\": [\n";
+    for (std::size_t i = 0; i < windows.size(); ++i)
+        appendWindowJson(json, windows[i], i,
+                         i + 1 == windows.size());
+    json << "  ],\n  \"verdict\": \""
+         << (failures == 0 ? "pass" : "fail") << "\"\n}\n";
+
+    std::cout << json.str();
+    const char *jsonPath = std::getenv("FASTBCNN_SOAK_JSON");
+    const std::string outPath =
+        jsonPath != nullptr ? jsonPath : "BENCH_serve_soak.json";
+    std::ofstream file(outPath);
+    if (!file) {
+        std::cerr << "cannot write " << outPath << "\n";
+        ++failures;
+    } else {
+        file << json.str();
+        std::cerr << "bench_serve_soak: wrote " << outPath << "\n";
+    }
+
+    removeZoo();
+    if (failures > 0) {
+        std::cerr << "bench_serve_soak: " << failures
+                  << " check(s) FAILED\n";
+        return 1;
+    }
+    std::cerr << "bench_serve_soak: all robustness checks passed\n";
+    return 0;
+}

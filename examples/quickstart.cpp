@@ -14,8 +14,13 @@
  *   --audit-rate R    shadow-audit fraction of skipped neurons; any
  *                     R > 0 enables the skip guard and prints a
  *                     guard summary after the guarded run
+ *   --checkpoint-format {text,binary}
+ *                     demo the checkpoint pipeline: atomically save
+ *                     the model in that format, reload it into a
+ *                     fresh network, and print the integrity audit
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -24,6 +29,7 @@
 #include "core/engine.hpp"
 #include "data/synthetic.hpp"
 #include "models/zoo.hpp"
+#include "nn/checkpoint.hpp"
 
 using namespace fastbcnn;
 
@@ -35,6 +41,7 @@ struct CliOptions {
     double deadlineMs = 0.0;  // 0 = no deadline
     std::size_t quorum = 0;   // 0 = any survivor suffices
     double auditRate = 0.0;   // 0 = guard off
+    std::string checkpointFormat;  // empty = skip the demo
 };
 
 CliOptions
@@ -59,10 +66,20 @@ parseArgs(int argc, char **argv)
             cli.quorum = std::stoul(value());
         } else if (flag == "--audit-rate") {
             cli.auditRate = std::stod(value());
+        } else if (flag == "--checkpoint-format") {
+            cli.checkpointFormat = value();
+            if (cli.checkpointFormat != "text" &&
+                cli.checkpointFormat != "binary") {
+                std::cerr << "--checkpoint-format must be 'text' or "
+                             "'binary'\n";
+                // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI arg-parse exit
+                std::exit(2);
+            }
         } else {
             std::cerr << "usage: quickstart [--threads N] "
                          "[--deadline-ms D] [--quorum Q] "
-                         "[--audit-rate R]\n";
+                         "[--audit-rate R] "
+                         "[--checkpoint-format text|binary]\n";
             // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI usage exit
             std::exit(flag == "--help" ? 0 : 2);
         }
@@ -88,6 +105,38 @@ main(int argc, char **argv)
     // statistics (~60 % post-ReLU zeros with shallow zeros).
     calibrateSparsity(net, {makeMnistLikeImage(0, 1),
                             makeMnistLikeImage(5, 2)});
+
+    // 1b. With --checkpoint-format: the checkpoint pipeline the
+    //     serving stack uses for hot-swaps.  The save is atomic (temp
+    //     file + fsync + rename), the reload auto-detects the format
+    //     and re-checks every CRC before a single weight is touched.
+    if (!cli.checkpointFormat.empty()) {
+        const CheckpointFormat fmt =
+            cli.checkpointFormat == "binary" ? CheckpointFormat::Binary
+                                             : CheckpointFormat::Text;
+        const std::string path =
+            std::string("quickstart_ckpt.") +
+            (fmt == CheckpointFormat::Binary ? "bin" : "txt");
+        const Status saved = trySaveCheckpointFile(net, path, fmt);
+        if (!saved.isOk()) {
+            std::cerr << "checkpoint save failed: " << saved.toString()
+                      << "\n";
+            return 1;
+        }
+        Network reloaded = buildLenet5(mopts);
+        const Expected<CheckpointFormat> loaded =
+            tryLoadCheckpointFile(reloaded, path);
+        if (!loaded.hasValue()) {
+            std::cerr << "checkpoint reload failed: "
+                      << loaded.error().toString() << "\n";
+            return 1;
+        }
+        std::cout << format(
+            "Checkpoint round-trip: wrote %s, reloaded as %s format "
+            "with every CRC verified\n", path.c_str(),
+            checkpointFormatName(loaded.value()));
+        std::remove(path.c_str());
+    }
 
     // 2. Wrap it in the engine: 50 MC-dropout samples on the
     //    Fast-BCNN64 design point, thresholds tuned to p_cf = 68 %.

@@ -1,0 +1,189 @@
+#include "atomic_file.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/table.hpp"
+
+namespace fastbcnn {
+
+namespace {
+
+/** errno rendered for error messages (thread-safe, bounded). */
+std::string
+errnoString()
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "errno %d (%.96s)", errno,
+                  std::strerror(errno));
+    return buf;
+}
+
+/** Directory part of @p path ("." when it has none). */
+std::string
+dirOf(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
+
+/**
+ * A unique temp sibling of @p path.  A process-local counter (not
+ * wall clock) keeps names unique across concurrent writers in one
+ * process; the pid keeps crashed leftovers from colliding across
+ * restarts.
+ */
+std::string
+tempSibling(const std::string &path)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), ".tmp-%ld-%llu",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(
+                      counter.fetch_add(1, std::memory_order_relaxed)));
+    return path + suffix;
+}
+
+/** Write all of @p bytes to @p fd, handling short writes. */
+Status
+writeAll(int fd, const char *bytes, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const ::ssize_t n = ::write(fd, bytes + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errorf(ErrorCode::IoError, "write failed: %s",
+                          errnoString().c_str());
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+}
+
+/** fsync the directory holding @p path so the rename is durable. */
+Status
+syncDir(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        return errorf(ErrorCode::IoError,
+                      "cannot open directory '%s' for fsync: %s",
+                      dir.c_str(), errnoString().c_str());
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+        return errorf(ErrorCode::IoError,
+                      "fsync of directory '%s' failed: %s",
+                      dir.c_str(), errnoString().c_str());
+    }
+    return Status::ok();
+}
+
+} // namespace
+
+Status
+tryAtomicWriteFile(const std::string &path, std::string_view bytes,
+                   const AtomicWriteOptions &opts)
+{
+    const std::string tmp = tempSibling(path);
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL,
+                          0644);
+    if (fd < 0) {
+        return errorf(ErrorCode::IoError,
+                      "cannot create temp file '%s': %s", tmp.c_str(),
+                      errnoString().c_str());
+    }
+
+    // Simulated mid-write kill: leave the torn temp file on disk —
+    // exactly the debris a real crash leaves — and stop.
+    const std::size_t toWrite =
+        opts.failAfterBytes.has_value() &&
+                *opts.failAfterBytes < bytes.size()
+            ? *opts.failAfterBytes
+            : bytes.size();
+    Status wrote = writeAll(fd, bytes.data(), toWrite);
+    if (!wrote.isOk()) {
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return std::move(wrote).withContext(
+            format("writing '%s'", tmp.c_str()));
+    }
+    if (toWrite != bytes.size()) {
+        ::close(fd);
+        return errorf(ErrorCode::IoError,
+                      "simulated crash after %zu of %zu bytes of "
+                      "'%s' (temp file left torn, target untouched)",
+                      toWrite, bytes.size(), tmp.c_str());
+    }
+
+    if (opts.sync && ::fsync(fd) != 0) {
+        const Status failed =
+            errorf(ErrorCode::IoError, "fsync of '%s' failed: %s",
+                   tmp.c_str(), errnoString().c_str());
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return failed;
+    }
+    if (::close(fd) != 0) {
+        const Status failed =
+            errorf(ErrorCode::IoError, "close of '%s' failed: %s",
+                   tmp.c_str(), errnoString().c_str());
+        ::unlink(tmp.c_str());
+        return failed;
+    }
+
+    if (opts.failBeforeRename) {
+        return errorf(ErrorCode::IoError,
+                      "simulated crash between fsync and rename of "
+                      "'%s' (target untouched)", tmp.c_str());
+    }
+
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const Status failed = errorf(
+            ErrorCode::IoError, "rename '%s' -> '%s' failed: %s",
+            tmp.c_str(), path.c_str(), errnoString().c_str());
+        ::unlink(tmp.c_str());
+        return failed;
+    }
+    if (opts.sync)
+        FASTBCNN_RETURN_IF_ERROR(syncDir(dirOf(path)));
+    return Status::ok();
+}
+
+Expected<std::string>
+tryReadFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0 && errno == ENOENT) {
+            return errorf(ErrorCode::NotFound, "no file at '%s'",
+                          path.c_str());
+        }
+        return errorf(ErrorCode::IoError, "cannot open '%s'",
+                      path.c_str());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    if (in.bad()) {
+        return errorf(ErrorCode::IoError, "read of '%s' failed",
+                      path.c_str());
+    }
+    return ss.str();
+}
+
+} // namespace fastbcnn

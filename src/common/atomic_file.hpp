@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Crash-safe whole-file writes: temp file + fsync + atomic rename.
+ *
+ * A checkpoint writer that dies mid-write must never leave a torn
+ * file where the old one was — a restarting replica has to find
+ * either the complete old bytes or the complete new bytes.  POSIX
+ * rename() within one directory is atomic, so the recipe is: write
+ * everything to a unique sibling temp file, fsync it, rename over the
+ * target, fsync the directory.  A crash at any byte of that sequence
+ * leaves the target untouched (at worst a stray *.tmp-* sibling).
+ *
+ * The crash points are modelled explicitly (AtomicWriteOptions::
+ * failAfterBytes / failBeforeRename) so the fault-injection tests can
+ * prove the old-or-new invariant at randomized kill offsets without
+ * actually killing the process.
+ */
+
+#ifndef FASTBCNN_COMMON_ATOMIC_FILE_HPP
+#define FASTBCNN_COMMON_ATOMIC_FILE_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace fastbcnn {
+
+/** Knobs (and test-only crash hooks) of tryAtomicWriteFile(). */
+struct AtomicWriteOptions {
+    /**
+     * fsync the temp file before rename and the directory after.
+     * Leave on for durability; tests turn it off for speed.
+     */
+    bool sync = true;
+    /**
+     * Test hook: simulate the writer being killed after this many
+     * bytes reached the temp file.  The temp file is left behind
+     * exactly as a real crash would leave it, no rename happens, and
+     * the call returns an IoError describing the simulated kill.
+     */
+    std::optional<std::size_t> failAfterBytes;
+    /**
+     * Test hook: simulate a kill after the temp file is complete and
+     * synced but before the rename — the last instant a crash can
+     * still lose the new version.
+     */
+    bool failBeforeRename = false;
+};
+
+/**
+ * Atomically replace (or create) @p path with @p bytes.
+ *
+ * On success the file at @p path contains exactly @p bytes and the
+ * data is durable (when opts.sync).  On any error — including the
+ * simulated crashes — the previous content of @p path is intact.
+ *
+ * @return ok, or an IoError naming the failing step.
+ */
+[[nodiscard]] Status tryAtomicWriteFile(
+    const std::string &path, std::string_view bytes,
+    const AtomicWriteOptions &opts = {});
+
+/**
+ * Read the entire file at @p path.
+ * @return the bytes, or an IoError when the file cannot be read.
+ */
+[[nodiscard]] Expected<std::string> tryReadFile(
+    const std::string &path);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_COMMON_ATOMIC_FILE_HPP

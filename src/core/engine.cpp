@@ -177,6 +177,31 @@ FastBcnnEngine::tryMcReference(const Tensor &input,
     return tryRunMcDropout(net_, input, mc);
 }
 
+Expected<std::vector<double>>
+FastBcnnEngine::tryReferenceDigest(const Tensor &input,
+                                   std::size_t samples,
+                                   std::uint64_t seed) const
+{
+    McOptions mc = opts_.mc;
+    mc.samples = samples == 0 ? opts_.mc.samples : samples;
+    mc.seed = seed;
+    mc.threads = 1;       // serial: digest must be machine-independent
+    mc.recordMasks = false;
+    mc.quorum = mc.samples;  // a digest over casualties is meaningless
+    mc.deadlineMs = 0.0;
+    mc.faults = nullptr;
+    Expected<McResult> result = tryMcReference(input, mc);
+    if (!result.hasValue()) {
+        return std::move(result).takeError().withContext(
+            "computing reference digest");
+    }
+    const Tensor &mean = result.value().summary.mean;
+    std::vector<double> digest(mean.numel());
+    for (std::size_t i = 0; i < mean.numel(); ++i)
+        digest[i] = mean.at(i);
+    return digest;
+}
+
 Expected<GuardedMcResult>
 FastBcnnEngine::tryGuardedMc(const Tensor &input) const
 {

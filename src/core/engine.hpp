@@ -145,6 +145,18 @@ class FastBcnnEngine
         const Tensor &input, const McOptions &mc) const;
 
     /**
+     * Deterministic health-gate digest: the predictive mean of a
+     * serial, fault-free, deadline-free MC reference on @p input with
+     * exactly @p samples samples and @p seed.  Two replicas built
+     * from the same checkpoint produce bit-identical digests, so the
+     * model registry compares a candidate version's digest against a
+     * recorded reference before swapping it live.
+     */
+    [[nodiscard]] Expected<std::vector<double>> tryReferenceDigest(
+        const Tensor &input, std::size_t samples,
+        std::uint64_t seed) const;
+
+    /**
      * Guarded predictive MC inference (EngineOptions::guard must be
      * enabled and the engine calibrated): samples run in prediction
      * mode under the guard's effective thresholds with shadow

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Binary checkpoint format + crash-safe checkpoint files.
+ *
+ * Byte-level layout (all integers little-endian, every region padded
+ * to a 64-byte boundary so float payloads are 64-byte-aligned from
+ * the start of the file — mmap-friendly):
+ *
+ *   FileHeader   (64 B)  magic "FBCNNCK1", format version, section
+ *                        count, payload byte count, model-name length
+ *                        + CRC32, header CRC32 over bytes [0, 60)
+ *   name region          model name, zero-padded to 64 B
+ *   Section × N (each):
+ *     SectionHeader (64 B)  layer kind, name length, weight/bias
+ *                           element counts, payload byte count,
+ *                           payload CRC32, header CRC32
+ *     payload             layer name (zero-padded to 64 B), weights
+ *                         as f32 LE, bias as f32 LE, zero-padded to
+ *                         64 B; the payload CRC covers all of it
+ *   FileFooter   (64 B)  magic "FBCNNFT1", byte count of everything
+ *                        before the footer, whole-file CRC32 over
+ *                        those bytes, footer CRC32
+ *
+ * Every length field is validated against the actual stream size
+ * before any allocation it implies, so rotted lengths surface as
+ * Truncated / ParseError — never as an over-read or a giant alloc.
+ * CRC mismatches surface as DataLoss, at the finest granularity that
+ * detects them (header, name, section, whole file).
+ *
+ * File-level helpers write through tryAtomicWriteFile() (temp file +
+ * fsync + rename), so a writer killed at any byte leaves the previous
+ * checkpoint intact: a reader finds either the old file or the new
+ * one, never a torn hybrid.
+ */
+
+#ifndef FASTBCNN_NN_CHECKPOINT_HPP
+#define FASTBCNN_NN_CHECKPOINT_HPP
+
+#include <iosfwd>
+
+#include "common/atomic_file.hpp"
+#include "serialize.hpp"
+
+namespace fastbcnn {
+
+/** The two interchangeable on-disk checkpoint encodings. */
+enum class CheckpointFormat {
+    Text,    ///< hex-float records + "crc32" footer (serialize.hpp)
+    Binary   ///< this header's sectioned binary layout
+};
+
+/** @return a stable lowercase name ("text" / "binary"). */
+const char *checkpointFormatName(CheckpointFormat format);
+
+/**
+ * Sniff the encoding of @p bytes from its magic.
+ * @return the format, or ParseError when it is neither.
+ */
+[[nodiscard]] Expected<CheckpointFormat> detectCheckpointFormat(
+    const std::string &bytes);
+
+/** Serialise @p image in the binary format. */
+[[nodiscard]] Status tryEmitBinaryCheckpoint(
+    const CheckpointImage &image, std::ostream &os);
+
+/**
+ * Parse a binary checkpoint into an image, verifying every CRC and
+ * bounds-checking every length field.  Errors: ParseError (bad magic
+ * / version / field inconsistency), Truncated (stream shorter than
+ * the advertised layout), DataLoss (any CRC mismatch).
+ */
+[[nodiscard]] Expected<CheckpointImage> tryParseBinaryCheckpoint(
+    const std::string &bytes);
+
+/** Stream overload of tryParseBinaryCheckpoint(). */
+[[nodiscard]] Expected<CheckpointImage> tryParseBinaryCheckpoint(
+    std::istream &is);
+
+/** Binary analogue of trySaveWeights(). */
+[[nodiscard]] Status trySaveWeightsBinary(const Network &net,
+                                          std::ostream &os);
+
+/**
+ * Binary analogue of tryLoadWeights(): parse, verify, staged
+ * all-or-nothing commit into @p net.
+ */
+[[nodiscard]] Status tryLoadWeightsBinary(Network &net,
+                                          std::istream &is);
+
+/**
+ * Result of a structural audit of one checkpoint (fastbcnn_ckpt
+ * --verify): what the file claims to hold, with every CRC re-checked.
+ */
+struct CheckpointAudit {
+    CheckpointFormat format = CheckpointFormat::Text;
+    std::string modelName;
+    std::size_t sections = 0;       ///< parameterised-layer records
+    std::size_t totalValues = 0;    ///< weight + bias element count
+    std::size_t fileBytes = 0;
+    bool crcVerified = false;       ///< false only for legacy text
+};
+
+/**
+ * Parse + CRC-verify @p bytes in whichever format it carries and
+ * report what was found.  @p image (optional) receives the parsed
+ * records for conversion.
+ */
+[[nodiscard]] Expected<CheckpointAudit> tryAuditCheckpoint(
+    const std::string &bytes, CheckpointImage *image = nullptr);
+
+/**
+ * Atomically write @p net's checkpoint to @p path in @p format.  The
+ * write goes through tryAtomicWriteFile(): a crash at any point —
+ * including the simulated kills in @p write_opts — leaves the
+ * previous file intact.
+ */
+[[nodiscard]] Status trySaveCheckpointFile(
+    const Network &net, const std::string &path,
+    CheckpointFormat format,
+    const AtomicWriteOptions &write_opts = {});
+
+/**
+ * Load the checkpoint at @p path into @p net, auto-detecting the
+ * format from the file magic.
+ * @return the detected format, or the load error.
+ */
+[[nodiscard]] Expected<CheckpointFormat> tryLoadCheckpointFile(
+    Network &net, const std::string &path);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_NN_CHECKPOINT_HPP

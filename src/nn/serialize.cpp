@@ -46,15 +46,22 @@ paramsOf(Layer &layer)
 }
 
 void
-writeValues(std::ostream &os, const Tensor &t)
+writeValues(std::ostream &os, const std::vector<float> &values)
 {
     char buf[64];
-    for (float v : t.data()) {
+    for (float v : values) {
         // Hex floats round-trip exactly through text.
         std::snprintf(buf, sizeof(buf), "%a", static_cast<double>(v));
         os << buf << '\n';
     }
 }
+
+/**
+ * Cap on reserve-ahead when a count field comes from the untrusted
+ * stream: a rotted count must not become a giant allocation before
+ * the (cheap) truncation check below catches it.
+ */
+constexpr std::size_t kReserveCap = 1u << 16;
 
 /**
  * Read @p count float tokens into @p out.  Rejects truncation and
@@ -66,7 +73,7 @@ readValues(std::istream &is, std::size_t count,
            std::vector<float> &out)
 {
     out.clear();
-    out.reserve(count);
+    out.reserve(std::min(count, kReserveCap));
     std::string token;
     for (std::size_t i = 0; i < count; ++i) {
         if (!(is >> token)) {
@@ -93,13 +100,6 @@ readValues(std::istream &is, std::size_t count,
     }
     return Status::ok();
 }
-
-/** One parsed-and-validated record awaiting commit. */
-struct StagedRecord {
-    NodeId node = 0;
-    std::vector<float> weights;
-    std::vector<float> bias;
-};
 
 /** The integrity footer tag ("crc32 <8 hex digits>" on its own line). */
 constexpr const char *kCrcFooterTag = "\ncrc32 ";
@@ -153,49 +153,129 @@ splitCrcFooter(const std::string &body, std::string &payload,
     return Status::ok();
 }
 
+/** Map a text kind token onto the two checkpointable LayerKinds. */
+Status
+parseRecordKind(const std::string &token, LayerKind &kind)
+{
+    if (token == "Conv2d") {
+        kind = LayerKind::Conv2d;
+        return Status::ok();
+    }
+    if (token == "Linear") {
+        kind = LayerKind::Linear;
+        return Status::ok();
+    }
+    return errorf(ErrorCode::ParseError,
+                  "unknown checkpoint layer kind '%.32s' (want "
+                  "Conv2d or Linear)", token.c_str());
+}
+
 } // namespace
 
+StatGroup &
+checkpointStats()
+{
+    static StatGroup stats("checkpoint");
+    return stats;
+}
+
+CheckpointImage
+checkpointImageOf(const Network &net)
+{
+    CheckpointImage image;
+    image.modelName = net.name();
+    for (NodeId id = 0; id < net.size(); ++id) {
+        // paramsOf needs mutable access; snapshotting only reads.
+        ParamRefs p = paramsOf(const_cast<Layer &>(net.layer(id)));
+        if (!p.weights)
+            continue;
+        CheckpointRecord rec;
+        rec.name = net.layer(id).name();
+        rec.kind = net.layer(id).kind();
+        rec.weights.assign(p.weights->data().begin(),
+                           p.weights->data().end());
+        rec.bias.assign(p.bias->data().begin(), p.bias->data().end());
+        image.records.push_back(std::move(rec));
+    }
+    return image;
+}
+
 Status
-trySaveWeights(const Network &net, std::ostream &os)
+tryCommitCheckpointImage(Network &net, const CheckpointImage &image)
+{
+    // Stage 1: resolve and validate every record without touching the
+    // network, so any error leaves the weights exactly as they were.
+    std::vector<NodeId> nodes;
+    nodes.reserve(image.records.size());
+    for (const CheckpointRecord &rec : image.records) {
+        const std::optional<NodeId> id = net.tryFindNode(rec.name);
+        if (!id) {
+            return errorf(ErrorCode::NotFound,
+                          "network '%s' has no layer named '%.64s'",
+                          net.name().c_str(), rec.name.c_str());
+        }
+        ParamRefs p = paramsOf(net.layer(*id));
+        if (!p.weights) {
+            return errorf(ErrorCode::Mismatch,
+                          "layer '%.64s' in weight file has no "
+                          "parameters in the network",
+                          rec.name.c_str());
+        }
+        if (p.weights->numel() != rec.weights.size() ||
+            p.bias->numel() != rec.bias.size()) {
+            return errorf(ErrorCode::Mismatch,
+                          "layer '%.64s': checkpoint holds %zu/%zu "
+                          "values but the network needs %zu/%zu",
+                          rec.name.c_str(), rec.weights.size(),
+                          rec.bias.size(), p.weights->numel(),
+                          p.bias->numel());
+        }
+        nodes.push_back(*id);
+    }
+
+    // Stage 2: commit.  Counts were validated above, so this cannot
+    // fail half-way.
+    for (std::size_t i = 0; i < image.records.size(); ++i) {
+        const CheckpointRecord &rec = image.records[i];
+        ParamRefs p = paramsOf(net.layer(nodes[i]));
+        std::copy(rec.weights.begin(), rec.weights.end(),
+                  p.weights->data().begin());
+        std::copy(rec.bias.begin(), rec.bias.end(),
+                  p.bias->data().begin());
+    }
+    return Status::ok();
+}
+
+Status
+tryEmitTextCheckpoint(const CheckpointImage &image, std::ostream &os)
 {
     // Records are built in memory first so the CRC footer can cover
     // the exact byte region the loader will re-hash.
     std::ostringstream records;
-    for (NodeId id = 0; id < net.size(); ++id) {
-        // paramsOf needs mutable access; serialisation only reads.
-        ParamRefs p = paramsOf(const_cast<Layer &>(net.layer(id)));
-        if (!p.weights)
-            continue;
-        records << "layer " << net.layer(id).name() << ' '
-                << layerKindName(net.layer(id).kind()) << ' '
-                << p.weights->numel() << ' ' << p.bias->numel() << '\n';
-        writeValues(records, *p.weights);
-        writeValues(records, *p.bias);
+    for (const CheckpointRecord &rec : image.records) {
+        records << "layer " << rec.name << ' '
+                << layerKindName(rec.kind) << ' '
+                << rec.weights.size() << ' ' << rec.bias.size()
+                << '\n';
+        writeValues(records, rec.weights);
+        writeValues(records, rec.bias);
     }
     const std::string payload = records.str();
     char footer[16];
     std::snprintf(footer, sizeof(footer), "crc32 %08x",
                   crc32(payload));
-    os << "fastbcnn-weights v1 " << net.name() << '\n'
+    os << "fastbcnn-weights v1 " << image.modelName << '\n'
        << payload << footer << '\n';
     if (!os.good()) {
         return errorf(ErrorCode::IoError,
                       "stream failed while saving weights of '%s'",
-                      net.name().c_str());
+                      image.modelName.c_str());
     }
     return Status::ok();
 }
 
-void
-saveWeights(const Network &net, std::ostream &os)
-{
-    Status status = trySaveWeights(net, os);
-    if (!status.isOk())
-        fatal("%s", status.toString().c_str());
-}
-
-Status
-tryLoadWeights(Network &net, std::istream &is)
+Expected<CheckpointImage>
+tryParseTextCheckpoint(std::istream &is)
 {
     std::string magic, version, model;
     if (!(is >> magic >> version >> model) ||
@@ -209,8 +289,8 @@ tryLoadWeights(Network &net, std::istream &is)
     // Integrity first: hash the record region and compare with the
     // footer before spending any time parsing.  A footer-less stream
     // is a legacy (pre-footer) checkpoint — still accepted, with a
-    // warning, because parse-level validation below catches gross
-    // damage anyway.
+    // warning and a counted stat, because parse-level validation
+    // below catches gross damage anyway.
     std::string body{std::istreambuf_iterator<char>(is),
                      std::istreambuf_iterator<char>()};
     std::string payload;
@@ -227,15 +307,15 @@ tryLoadWeights(Network &net, std::istream &is)
                           model.c_str(), stored_crc, actual);
         }
     } else if (!payload.empty()) {
+        checkpointStats().add("legacy_text_loads");
         warn("weight file of '%s' has no crc32 footer (legacy "
              "format); loading without an integrity check",
              model.c_str());
     }
     std::istringstream records(payload);
 
-    // Stage 1: parse and validate every record without touching the
-    // network, so any error leaves the weights exactly as they were.
-    std::vector<StagedRecord> staged;
+    CheckpointImage image;
+    image.modelName = std::move(model);
     std::string tag;
     while (records >> tag) {
         if (tag != "layer") {
@@ -250,48 +330,45 @@ tryLoadWeights(Network &net, std::istream &is)
                           "malformed layer record near '%.64s'",
                           name.c_str());
         }
-        const std::optional<NodeId> id = net.tryFindNode(name);
-        if (!id) {
-            return errorf(ErrorCode::NotFound,
-                          "network '%s' has no layer named '%.64s'",
-                          net.name().c_str(), name.c_str());
-        }
-        ParamRefs p = paramsOf(net.layer(*id));
-        if (!p.weights) {
-            return errorf(ErrorCode::Mismatch,
-                          "layer '%.64s' in weight file has no "
-                          "parameters in the network", name.c_str());
-        }
-        if (p.weights->numel() != w_count ||
-            p.bias->numel() != b_count) {
-            return errorf(ErrorCode::Mismatch,
-                          "layer '%.64s': checkpoint holds %zu/%zu "
-                          "values but the network needs %zu/%zu",
-                          name.c_str(), w_count, b_count,
-                          p.weights->numel(), p.bias->numel());
-        }
-        StagedRecord rec;
-        rec.node = *id;
+        CheckpointRecord rec;
+        rec.name = std::move(name);
+        FASTBCNN_RETURN_IF_ERROR(parseRecordKind(kind, rec.kind));
         FASTBCNN_RETURN_IF_ERROR(
             readValues(records, w_count, rec.weights)
                 .withContext(format("weights of layer '%.64s'",
-                                    name.c_str())));
+                                    rec.name.c_str())));
         FASTBCNN_RETURN_IF_ERROR(
             readValues(records, b_count, rec.bias)
                 .withContext(format("bias of layer '%.64s'",
-                                    name.c_str())));
-        staged.push_back(std::move(rec));
+                                    rec.name.c_str())));
+        image.records.push_back(std::move(rec));
     }
+    return image;
+}
 
-    // Stage 2: commit.  Counts were validated above, so this cannot
-    // fail half-way.
-    for (StagedRecord &rec : staged) {
-        ParamRefs p = paramsOf(net.layer(rec.node));
-        std::copy(rec.weights.begin(), rec.weights.end(),
-                  p.weights->data().begin());
-        std::copy(rec.bias.begin(), rec.bias.end(),
-                  p.bias->data().begin());
-    }
+Status
+trySaveWeights(const Network &net, std::ostream &os)
+{
+    return tryEmitTextCheckpoint(checkpointImageOf(net), os);
+}
+
+void
+saveWeights(const Network &net, std::ostream &os)
+{
+    Status status = trySaveWeights(net, os);
+    if (!status.isOk())
+        fatal("%s", status.toString().c_str());
+}
+
+Status
+tryLoadWeights(Network &net, std::istream &is)
+{
+    Expected<CheckpointImage> image = tryParseTextCheckpoint(is);
+    if (!image.hasValue())
+        return std::move(image).takeError();
+    FASTBCNN_RETURN_IF_ERROR(
+        tryCommitCheckpointImage(net, image.value()));
+    checkpointStats().add("text_loads");
     return Status::ok();
 }
 

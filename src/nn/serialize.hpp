@@ -2,26 +2,90 @@
  * @file
  * Weight (de)serialisation and model summaries.
  *
- * The text format stores one record per parameterised layer keyed by
- * layer name, so weights survive rebuilds as long as the topology's
- * names match — the property the offline threshold store (Algorithm 1
- * artefacts) also relies on.
+ * Two interchangeable on-disk formats share one in-memory currency,
+ * the CheckpointImage (model name + per-layer records):
+ *
+ *  - text (this header): one record per parameterised layer keyed by
+ *    layer name, hex-float values, "crc32 %08x" integrity footer.
+ *    Human-diffable; the original format.
+ *  - binary (checkpoint.hpp): versioned magic header, 64-byte-aligned
+ *    sections with per-section CRC32s and a whole-file footer CRC,
+ *    little-endian IEEE-754 payload.  The fleet-scale format.
+ *
+ * Both key records by layer name, so weights survive rebuilds as long
+ * as the topology's names match — the property the offline threshold
+ * store (Algorithm 1 artefacts) also relies on.
  *
  * Loading is a boundary path: checkpoint streams are untrusted input
- * (truncated files, bit rot, wrong formats), so tryLoadWeights()
- * returns an Error instead of terminating, and commits weights
- * all-or-nothing — a failed load leaves the network untouched.
+ * (truncated files, bit rot, wrong formats), so every loader returns
+ * an Error instead of terminating, and commits weights all-or-nothing
+ * — a failed load leaves the network untouched.
  */
 
 #ifndef FASTBCNN_NN_SERIALIZE_HPP
 #define FASTBCNN_NN_SERIALIZE_HPP
 
 #include <iosfwd>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/stats.hpp"
 #include "network.hpp"
 
 namespace fastbcnn {
+
+/** One parameterised layer's checkpointed state. */
+struct CheckpointRecord {
+    std::string name;          ///< layer name (the matching key)
+    LayerKind kind = LayerKind::Conv2d;  ///< Conv2d or Linear
+    std::vector<float> weights;
+    std::vector<float> bias;
+};
+
+/**
+ * A parsed checkpoint, independent of any network: the format
+ * converter (tools/fastbcnn_ckpt) round-trips images without ever
+ * building a model, and both loaders commit through the same staged
+ * all-or-nothing path.
+ */
+struct CheckpointImage {
+    std::string modelName;
+    std::vector<CheckpointRecord> records;
+};
+
+/** Snapshot every Conv2d / Linear layer of @p net into an image. */
+CheckpointImage checkpointImageOf(const Network &net);
+
+/**
+ * Commit @p image into @p net (layers matched by name).  Validates
+ * every record first — unknown layer names (NotFound), layers without
+ * parameters or element-count disagreements (Mismatch) — and only
+ * then writes, so on any error the network's weights are left exactly
+ * as they were.
+ */
+[[nodiscard]] Status tryCommitCheckpointImage(Network &net,
+                                              const CheckpointImage &image);
+
+/**
+ * Parse a text checkpoint stream into an image.  Verifies the CRC32
+ * footer when present (DataLoss on mismatch); a footer-less stream is
+ * a legacy checkpoint — accepted with a warning and counted in
+ * checkpointStats() as "legacy_text_loads".
+ */
+[[nodiscard]] Expected<CheckpointImage> tryParseTextCheckpoint(
+    std::istream &is);
+
+/** Serialise @p image in the text format (with CRC footer). */
+[[nodiscard]] Status tryEmitTextCheckpoint(const CheckpointImage &image,
+                                           std::ostream &os);
+
+/**
+ * Process-wide checkpoint counters, surfaced by the serving layer's
+ * health():
+ *   text_loads, binary_loads  — successful loads by format
+ *   legacy_text_loads         — text loads that had no CRC footer
+ */
+StatGroup &checkpointStats();
 
 /**
  * Write every Conv2d / Linear layer's weights and biases.

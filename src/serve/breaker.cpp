@@ -122,6 +122,16 @@ CircuitBreaker::report(BreakerSignal signal, bool probe,
     }
 }
 
+void
+CircuitBreaker::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    state_ = BreakerState::Closed;
+    consecutiveFailures_ = 0;
+    probesInFlight_ = 0;
+    probeSuccesses_ = 0;
+}
+
 BreakerState
 CircuitBreaker::state() const
 {

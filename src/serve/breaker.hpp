@@ -91,6 +91,14 @@ class CircuitBreaker
     /** @return the current state (Open may flip HalfOpen on admit). */
     BreakerState state() const;
 
+    /**
+     * Force the breaker back to Closed with a clean failure count —
+     * the model registry calls this after a successful hot-swap, since
+     * failures accumulated against the old version say nothing about
+     * the new one.  Cumulative opens/rejections counters are kept.
+     */
+    void reset();
+
     /** @return times the breaker tripped open (incl. probe reopens). */
     std::uint64_t opens() const;
 

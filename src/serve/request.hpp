@@ -174,6 +174,12 @@ struct InferResponse {
     std::size_t batchSize = 0;
     /** Index of the worker that served it (meaningless unless Ok). */
     std::size_t worker = 0;
+    /**
+     * Registry version of the model that served this request (0 when
+     * never dispatched).  Every request in one micro-batch carries the
+     * same value — the hot-swap atomicity the RegistrySwap tests pin.
+     */
+    std::uint64_t modelVersion = 0;
 
     /** @return true when the request was served. */
     bool ok() const { return outcome == Outcome::Ok; }

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/table.hpp"
+#include "nn/serialize.hpp"
 
 namespace fastbcnn::serve {
 
@@ -25,6 +26,9 @@ validateServerOptions(const ServerOptions &opts)
     FASTBCNN_RETURN_IF_ERROR(
         validateBreakerOptions(opts.breaker)
             .withContext("ServerOptions::breaker"));
+    FASTBCNN_RETURN_IF_ERROR(
+        validateRegistryOptions(opts.registry)
+            .withContext("ServerOptions::registry"));
     return Status::ok();
 }
 
@@ -50,12 +54,13 @@ InferenceServer::create(std::vector<ModelSpec> models,
     std::unique_ptr<InferenceServer> server(
         new InferenceServer(opts));
 
-    // Build opts.workers calibrated replicas of every model.  Replica
-    // 0 of each model defines the admission-time contract (input
-    // shape, MC defaults); later replicas must agree.
-    std::vector<std::map<std::string, std::unique_ptr<FastBcnnEngine>>>
-        replicaSets(opts.workers);
-    for (const ModelSpec &spec : models) {
+    // Install every model into the registry as its initial version.
+    // Replica 0 of each model defines the admission-time contract
+    // (input shape, MC defaults); the registry rebuilds one replica
+    // per worker through the same factory.
+    server->registry_ = std::make_unique<ModelRegistry>(
+        opts.workers, opts.registry);
+    for (ModelSpec &spec : models) {
         if (spec.id.empty()) {
             return errorf(ErrorCode::InvalidArgument,
                           "ModelSpec::id must be non-empty");
@@ -70,44 +75,40 @@ InferenceServer::create(std::vector<ModelSpec> models,
                           "duplicate ModelSpec id '%s'",
                           spec.id.c_str());
         }
-        for (std::size_t w = 0; w < opts.workers; ++w) {
-            Expected<std::unique_ptr<FastBcnnEngine>> engine =
-                spec.factory();
-            if (!engine.hasValue()) {
-                return std::move(engine).takeError().withContext(
-                    format("building replica %zu of model '%s'", w,
-                           spec.id.c_str()));
-            }
-            std::unique_ptr<FastBcnnEngine> replica =
-                std::move(engine).value();
-            if (replica == nullptr || !replica->calibrated()) {
-                return errorf(ErrorCode::InvalidArgument,
-                              "factory of model '%s' must return a "
-                              "calibrated engine", spec.id.c_str());
-            }
-            if (w == 0) {
-                ModelInfo info;
-                info.inputShape = replica->network().inputShape();
-                info.mcDefaults = replica->options().mc;
-                info.guardEnabled = replica->guard() != nullptr;
-                server->models_.emplace(spec.id, std::move(info));
-                server->breakers_.emplace(
-                    spec.id,
-                    std::make_unique<CircuitBreaker>(opts.breaker));
-            } else if (!(replica->network().inputShape() ==
-                         server->models_.at(spec.id).inputShape)) {
-                return errorf(ErrorCode::Mismatch,
-                              "replica %zu of model '%s' has a "
-                              "different input shape", w,
-                              spec.id.c_str());
-            }
-            replicaSets[w].emplace(spec.id, std::move(replica));
+        ModelVersionSpec initial;
+        initial.modelId = spec.id;
+        initial.version = spec.version;
+        initial.factory = std::move(spec.factory);
+        initial.gate = std::move(spec.gate);
+        Status installed = server->registry_->swapNow(initial);
+        if (!installed.isOk()) {
+            return std::move(installed).withContext(
+                format("installing model '%s'", spec.id.c_str()));
         }
+        const std::shared_ptr<const VersionedEngine> replica0 =
+            server->registry_->acquire(spec.id, 0);
+        FASTBCNN_CHECK(replica0 != nullptr,
+                       "freshly installed model has no replica 0");
+        ModelInfo info;
+        info.inputShape = replica0->engine->network().inputShape();
+        info.mcDefaults = replica0->engine->options().mc;
+        info.guardEnabled = replica0->engine->guard() != nullptr;
+        server->models_.emplace(spec.id, std::move(info));
+        server->breakers_.emplace(
+            spec.id, std::make_unique<CircuitBreaker>(opts.breaker));
     }
+    // Later swaps refresh admission metadata and reset the breaker;
+    // wired only now so the initial installs above stay simple.
+    InferenceServer *raw0 = server.get();
+    server->registry_->setSwapCallback(
+        [raw0](const std::string &model_id,
+               const VersionedEngine &replica0) {
+            raw0->onSwapSuccess(model_id, replica0);
+        });
 
     for (std::size_t w = 0; w < opts.workers; ++w) {
         server->workers_.push_back(std::make_unique<EngineWorker>(
-            w, std::move(replicaSets[w])));
+            w, server->registry_.get()));
     }
     InferenceServer *raw = server.get();
     server->scheduler_ = std::make_unique<BatchScheduler>(
@@ -131,14 +132,20 @@ Expected<RequestHandle>
 InferenceServer::submit(InferRequest request)
 {
     stats_.add("submitted");
-    auto it = models_.find(request.modelId);
-    if (it == models_.end()) {
-        stats_.add("rejected_invalid");
-        return errorf(ErrorCode::NotFound,
-                      "model '%s' is not served",
-                      request.modelId.c_str());
+    ModelInfo info;
+    {
+        // Copy the admission contract out: a concurrent hot-swap may
+        // refresh mcDefaults / guardEnabled mid-validation.
+        const std::lock_guard<std::mutex> lock(modelsMutex_);
+        auto it = models_.find(request.modelId);
+        if (it == models_.end()) {
+            stats_.add("rejected_invalid");
+            return errorf(ErrorCode::NotFound,
+                          "model '%s' is not served",
+                          request.modelId.c_str());
+        }
+        info = it->second;
     }
-    const ModelInfo &info = it->second;
     if (!(request.input.shape() == info.inputShape)) {
         stats_.add("rejected_invalid");
         return errorf(ErrorCode::InvalidArgument,
@@ -352,11 +359,50 @@ InferenceServer::accepting() const
 std::vector<std::string>
 InferenceServer::modelIds() const
 {
+    const std::lock_guard<std::mutex> lock(modelsMutex_);
     std::vector<std::string> ids;
     ids.reserve(models_.size());
     for (const auto &[id, info] : models_)
         ids.push_back(id);
     return ids;
+}
+
+void
+InferenceServer::onSwapSuccess(const std::string &model_id,
+                               const VersionedEngine &replica0)
+{
+    {
+        const std::lock_guard<std::mutex> lock(modelsMutex_);
+        auto it = models_.find(model_id);
+        if (it != models_.end()) {
+            // inputShape is swap-invariant (the registry rejects
+            // shape changes); the tunables may move with the version.
+            it->second.mcDefaults = replica0.engine->options().mc;
+            it->second.guardEnabled =
+                replica0.engine->guard() != nullptr;
+        }
+    }
+    // Failures accumulated against the old version say nothing about
+    // the new one: give it a Closed breaker.
+    auto breaker = breakers_.find(model_id);
+    if (breaker != breakers_.end())
+        breaker->second->reset();
+    stats_.add("swaps");
+}
+
+Expected<std::future<Status>>
+InferenceServer::requestSwap(ModelVersionSpec spec)
+{
+    {
+        const std::lock_guard<std::mutex> lock(modelsMutex_);
+        if (models_.count(spec.modelId) == 0) {
+            return errorf(ErrorCode::NotFound,
+                          "model '%s' is not served; hot-swap "
+                          "changes versions, not the model set",
+                          spec.modelId.c_str());
+        }
+    }
+    return registry_->requestSwap(std::move(spec));
 }
 
 LatencyHistogram
@@ -378,6 +424,8 @@ InferenceServer::health() const
     report.shed = stats_.counter("shed");
     report.cancelled = stats_.counter("cancelled");
     report.rejectedBreaker = stats_.counter("rejected_breaker");
+    report.legacyTextLoads =
+        checkpointStats().counter("legacy_text_loads");
 
     const LatencyHistogram &served =
         latency_[static_cast<std::size_t>(Outcome::Ok)];
@@ -385,8 +433,15 @@ InferenceServer::health() const
     report.p95Ms = served.p95Ms();
     report.p99Ms = served.p99Ms();
 
-    report.models.reserve(models_.size());
-    for (const auto &[id, info] : models_) {
+    // Copy the model map out so guard / registry snapshots (which
+    // take other locks) run without holding modelsMutex_.
+    std::map<std::string, ModelInfo> models;
+    {
+        const std::lock_guard<std::mutex> lock(modelsMutex_);
+        models = models_;
+    }
+    report.models.reserve(models.size());
+    for (const auto &[id, info] : models) {
         ModelHealth model;
         model.id = id;
         model.guardEnabled = info.guardEnabled;
@@ -396,15 +451,20 @@ InferenceServer::health() const
             model.breakerOpens = breaker->second->opens();
             model.breakerRejections = breaker->second->rejections();
         }
+        Expected<RegistryModelHealth> registry =
+            registry_->modelHealth(id);
+        if (registry.hasValue())
+            model.registry = std::move(registry).value();
         if (info.guardEnabled) {
             std::vector<GuardSnapshot> snapshots;
             snapshots.reserve(workers_.size());
             for (const auto &worker : workers_) {
-                const FastBcnnEngine *replica = worker->replica(id);
+                const std::shared_ptr<const VersionedEngine> replica =
+                    worker->replica(id);
                 if (replica != nullptr &&
-                    replica->guard() != nullptr) {
+                    replica->engine->guard() != nullptr) {
                     snapshots.push_back(
-                        replica->guard()->snapshot());
+                        replica->engine->guard()->snapshot());
                 }
             }
             model.guard = mergeGuardSnapshots(snapshots);

@@ -31,6 +31,7 @@
 #include "common/stats.hpp"
 #include "serve/breaker.hpp"
 #include "serve/queue.hpp"
+#include "serve/registry.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/worker.hpp"
 
@@ -45,7 +46,11 @@ struct ModelSpec {
      * at create() time; every call must produce an engine with the
      * same input shape and MC defaults (replicas of one model).
      */
-    std::function<Expected<std::unique_ptr<FastBcnnEngine>>()> factory;
+    EngineFactory factory;
+    /** Registry version the initial install publishes as. */
+    std::uint64_t version = 1;
+    /** Pre-install health gate (disabled by default). */
+    HealthGate gate;
 };
 
 /** Server sizing knobs. */
@@ -58,6 +63,8 @@ struct ServerOptions {
     std::size_t maxBatch = 8;
     /** Per-model circuit breaker (disabled by default). */
     BreakerOptions breaker;
+    /** Model-registry policy (hot-swap backoff). */
+    RegistryOptions registry;
 };
 
 /**
@@ -76,6 +83,11 @@ struct ModelHealth {
     std::uint64_t breakerRejections = 0;
     /** Guard state merged across the worker replicas' guards. */
     GuardSnapshot guard;
+    /**
+     * Registry lifecycle state: active / warming version, swap and
+     * rollback counts, failure backoff, last lifecycle event.
+     */
+    RegistryModelHealth registry;
 };
 
 /** Point-in-time health of the whole server (health()). */
@@ -89,6 +101,12 @@ struct HealthReport {
     std::uint64_t shed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t rejectedBreaker = 0;
+    /**
+     * Process-wide count of text checkpoints loaded without a CRC
+     * footer (checkpointStats() "legacy_text_loads") — weight files
+     * that predate integrity footers and should be re-saved.
+     */
+    std::uint64_t legacyTextLoads = 0;
     /** Served-request (Outcome::Ok) latency percentiles in ms. */
     double p50Ms = 0.0;
     double p95Ms = 0.0;
@@ -165,14 +183,31 @@ class InferenceServer
 
     /**
      * Assemble a health report: queue depth, admission/outcome
-     * counters, served-latency percentiles, and per-model breaker
-     * state plus the guard snapshots merged across worker replicas.
-     * Safe to call at any time from any thread.
+     * counters, served-latency percentiles, and per-model breaker +
+     * registry state plus the guard snapshots merged across worker
+     * replicas.  Safe to call at any time from any thread.
      */
     HealthReport health() const;
 
     /** @return the breaker of @p model_id (nullptr: not served). */
     const CircuitBreaker *breaker(const std::string &model_id) const;
+
+    /**
+     * Queue a hot-swap of @p spec.modelId to @p spec (thread-safe;
+     * the model must already be served — swaps change versions, not
+     * the model set).  The new version builds, warms and health-gates
+     * on the registry's background thread while the old one keeps
+     * serving; on success admission metadata is refreshed, the
+     * model's circuit breaker resets, and the "swaps" counter ticks —
+     * on failure the old version keeps serving (rollback) and the
+     * model enters exponential backoff.  The returned future resolves
+     * with the final status.
+     */
+    [[nodiscard]] Expected<std::future<Status>> requestSwap(
+        ModelVersionSpec spec);
+
+    /** @return the model registry (for tests / direct inspection). */
+    const ModelRegistry &registry() const { return *registry_; }
 
   private:
     /** Admission-time knowledge about one served model. */
@@ -185,6 +220,10 @@ class InferenceServer
 
     explicit InferenceServer(ServerOptions opts);
 
+    /** Registry post-swap hook: refresh ModelInfo, reset the breaker. */
+    void onSwapSuccess(const std::string &model_id,
+                       const VersionedEngine &replica0);
+
     void workerLoop(std::size_t index);
     /** Resolve @p pending's promise and account for the outcome. */
     void complete(PendingRequest &&pending, InferResponse &&response);
@@ -193,6 +232,8 @@ class InferenceServer
     void stop(bool drain_queue);
 
     ServerOptions opts_;
+    /** Guards models_ (mutated by onSwapSuccess, read by submit). */
+    mutable std::mutex modelsMutex_;
     std::map<std::string, ModelInfo> models_;
     /** Per-model breakers (stable addresses; created at create()). */
     std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
@@ -205,6 +246,14 @@ class InferenceServer
     std::array<LatencyHistogram, kOutcomeCount> latency_;
     std::atomic<std::uint64_t> nextId_{1};
     std::atomic<std::uint64_t> nextSeq_{1};
+
+    /**
+     * Versioned engine replicas (workers acquire per batch).
+     * Declared after every member its swap callback touches (models_,
+     * breakers_, stats_), so its destructor — which joins the swap
+     * thread, possibly mid-callback — runs first.
+     */
+    std::unique_ptr<ModelRegistry> registry_;
 
     std::mutex lifecycle_;
     bool stopped_ = false;

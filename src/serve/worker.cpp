@@ -7,29 +7,20 @@
 
 namespace fastbcnn::serve {
 
-EngineWorker::EngineWorker(
-    std::size_t index,
-    std::map<std::string, std::unique_ptr<FastBcnnEngine>> replicas)
-    : index_(index), replicas_(std::move(replicas))
+EngineWorker::EngineWorker(std::size_t index,
+                           const ModelRegistry *registry)
+    : index_(index), registry_(registry)
 {
-    FASTBCNN_CHECK(!replicas_.empty(),
-                   "EngineWorker needs at least one engine replica");
-    for (const auto &[id, engine] : replicas_) {
-        FASTBCNN_CHECK(engine != nullptr,
-                       format("replica '%s' is null", id.c_str())
-                           .c_str());
-        FASTBCNN_CHECK(engine->calibrated(),
-                       format("replica '%s' is not calibrated",
-                              id.c_str())
-                           .c_str());
-    }
+    FASTBCNN_CHECK(registry_ != nullptr,
+                   "EngineWorker needs a model registry");
+    FASTBCNN_CHECK(index_ < registry_->replicas(),
+                   "worker index exceeds the registry's replica count");
 }
 
-const FastBcnnEngine *
+std::shared_ptr<const VersionedEngine>
 EngineWorker::replica(const std::string &model_id) const
 {
-    auto it = replicas_.find(model_id);
-    return it == replicas_.end() ? nullptr : it->second.get();
+    return registry_->acquire(model_id, index_);
 }
 
 McOptions
@@ -65,17 +56,21 @@ EngineWorker::runBatch(std::vector<PendingRequest> &&batch,
                        const CompleteFn &complete)
 {
     FASTBCNN_CHECK(!batch.empty(), "runBatch on an empty batch");
-    // Resolve the replica once for the whole batch: same-model
+    // Acquire the replica once for the whole batch: same-model
     // grouping means every request shares this engine's calibrated
-    // thresholds and predictor state (the per-request setup the
-    // single-call API would redo each time).
+    // thresholds and predictor state, and the single acquisition is
+    // what makes hot-swaps atomic — every request in the batch runs
+    // on exactly one version, pinned by this shared_ptr until the
+    // batch completes.
     const std::string &model = batch.front().request.modelId;
-    const FastBcnnEngine *engine = replica(model);
-    FASTBCNN_CHECK(engine != nullptr,
+    const std::shared_ptr<const VersionedEngine> pinned =
+        replica(model);
+    FASTBCNN_CHECK(pinned != nullptr,
                    format("worker %zu has no replica of model '%s' "
                           "(admission should have rejected this)",
                           index_, model.c_str())
                        .c_str());
+    const FastBcnnEngine *engine = pinned->engine.get();
     const std::size_t batchSize = batch.size();
 
     for (PendingRequest &pending : batch) {
@@ -85,6 +80,7 @@ EngineWorker::runBatch(std::vector<PendingRequest> &&batch,
         response.id = pending.id;
         response.batchSize = batchSize;
         response.worker = index_;
+        response.modelVersion = pinned->version;
 
         const ServeClock::time_point now = ServeClock::now();
         if (pending.request.token.cancelled()) {

@@ -1,28 +1,35 @@
 /**
  * @file
- * Engine-replica worker: executes micro-batches on its own engines.
+ * Engine-replica worker: executes micro-batches on registry replicas.
  *
- * Each worker owns one calibrated FastBcnnEngine replica per served
- * model and is driven by exactly one thread, so no engine is ever
- * touched concurrently — the only cross-thread state is the request
- * queue and the server's (internally locked) metrics.  For every
- * request the worker re-checks cancellation and the deadline at
- * dispatch time, merges the request's McOverrides into the replica's
- * default McOptions — converting the *remaining* end-to-end budget
- * into McOptions::deadlineMs so the MC runner stops launching samples
- * when the request's budget runs out — and dispatches through the
- * engine's Expected<T> API.
+ * Each worker is driven by exactly one thread and owns a replica
+ * *slot index* into the ModelRegistry rather than the engines
+ * themselves: at the start of every same-model micro-batch it acquires
+ * its slot's shared_ptr<const VersionedEngine> once, so every request
+ * in the batch observes exactly one model version — a hot-swap
+ * published mid-batch takes effect at the next batch, and the old
+ * version stays alive (via the shared_ptr) until the last in-flight
+ * batch on it completes.  No engine is ever touched concurrently; the
+ * only cross-thread state is the queue, the registry's slot map and
+ * the server's (internally locked) metrics.
+ *
+ * For every request the worker re-checks cancellation and the deadline
+ * at dispatch time, merges the request's McOverrides into the
+ * replica's default McOptions — converting the *remaining* end-to-end
+ * budget into McOptions::deadlineMs so the MC runner stops launching
+ * samples when the request's budget runs out — and dispatches through
+ * the engine's Expected<T> API.
  */
 
 #ifndef FASTBCNN_SERVE_WORKER_HPP
 #define FASTBCNN_SERVE_WORKER_HPP
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/registry.hpp"
 #include "serve/request.hpp"
 
 namespace fastbcnn::serve {
@@ -35,26 +42,30 @@ class EngineWorker
         std::function<void(PendingRequest &&, InferResponse &&)>;
 
     /**
-     * @param index    worker id (reported in responses)
-     * @param replicas one calibrated engine per served model id
+     * @param index    worker id == registry replica slot (reported in
+     *                 responses)
+     * @param registry the replica source (not owned; must outlive the
+     *                 worker)
      */
-    EngineWorker(
-        std::size_t index,
-        std::map<std::string, std::unique_ptr<FastBcnnEngine>>
-            replicas);
+    EngineWorker(std::size_t index, const ModelRegistry *registry);
 
     EngineWorker(const EngineWorker &) = delete;
     EngineWorker &operator=(const EngineWorker &) = delete;
 
     /**
-     * Execute one same-model micro-batch, completing every request
-     * through @p complete (exactly once each).
+     * Execute one same-model micro-batch on the model's currently
+     * active version, completing every request through @p complete
+     * (exactly once each).
      */
     void runBatch(std::vector<PendingRequest> &&batch,
                   const CompleteFn &complete);
 
-    /** @return this worker's replica of @p model_id (nullptr: none). */
-    const FastBcnnEngine *replica(const std::string &model_id) const;
+    /**
+     * @return this worker's slot of @p model_id's active version
+     * (nullptr: not installed).  Holding the pointer pins the version.
+     */
+    std::shared_ptr<const VersionedEngine> replica(
+        const std::string &model_id) const;
 
     /** @return the worker id. */
     std::size_t index() const { return index_; }
@@ -70,7 +81,7 @@ class EngineWorker
 
   private:
     std::size_t index_;
-    std::map<std::string, std::unique_ptr<FastBcnnEngine>> replicas_;
+    const ModelRegistry *registry_;
 };
 
 } // namespace fastbcnn::serve

@@ -1,9 +1,11 @@
 /**
  * @file
- * Fuzz harness for the checkpoint parser: arbitrary bytes go through
- * tryLoadWeights(), which must return a clean Error — never abort,
- * never trip ASan/UBSan, never partially corrupt the network badly
- * enough to crash a later parse.
+ * Fuzz harness for the checkpoint parsers: arbitrary bytes go through
+ * the text loader (tryLoadWeights), the binary loader
+ * (tryLoadWeightsBinary) and the format-agnostic auditor
+ * (tryAuditCheckpoint).  Every one must return a clean Error — never
+ * abort, never trip ASan/UBSan, never partially corrupt the network
+ * badly enough to crash a later parse.
  *
  * Two build modes (tests/fuzz/CMakeLists.txt):
  *  - libFuzzer: clang -fsanitize=fuzzer,address provides main() and
@@ -21,6 +23,7 @@
 #include <string>
 
 #include "models/zoo.hpp"
+#include "nn/checkpoint.hpp"
 #include "nn/serialize.hpp"
 
 namespace {
@@ -41,11 +44,28 @@ fuzzNetwork()
 int
 runOne(const std::uint8_t *data, std::size_t size)
 {
-    std::istringstream in(
-        std::string(reinterpret_cast<const char *>(data), size));
-    const fastbcnn::Status s =
-        fastbcnn::tryLoadWeights(fuzzNetwork(), in);
-    (void)s;  // any Status is fine; crashing is the only failure
+    const std::string bytes(reinterpret_cast<const char *>(data),
+                            size);
+    // Every parser sees every input — a binary blob hitting the text
+    // path (and vice versa) is exactly the confusion a bad deploy
+    // produces.  Any Status is fine; crashing is the only failure.
+    {
+        std::istringstream in(bytes);
+        const fastbcnn::Status s =
+            fastbcnn::tryLoadWeights(fuzzNetwork(), in);
+        (void)s;
+    }
+    {
+        std::istringstream in(bytes);
+        const fastbcnn::Status s =
+            fastbcnn::tryLoadWeightsBinary(fuzzNetwork(), in);
+        (void)s;
+    }
+    {
+        const fastbcnn::Expected<fastbcnn::CheckpointAudit> audit =
+            fastbcnn::tryAuditCheckpoint(bytes);
+        (void)audit;
+    }
     return 0;
 }
 
@@ -113,26 +133,31 @@ main(int argc, char **argv)
         ++ran;
     }
 
-    // Deterministic mutations of a real checkpoint: flip one byte at
-    // a stride through the stream so the deep parse + CRC paths get
-    // exercised without any corpus at all.
-    std::ostringstream saved;
-    const fastbcnn::Status s =
-        fastbcnn::trySaveWeights(fuzzNetwork(), saved);
-    if (!s.isOk()) {
+    // Deterministic mutations of real checkpoints in BOTH formats:
+    // flip one byte at a stride through the stream so the deep parse
+    // + CRC paths get exercised without any corpus at all.
+    std::ostringstream savedText;
+    std::ostringstream savedBinary;
+    const fastbcnn::Status st =
+        fastbcnn::trySaveWeights(fuzzNetwork(), savedText);
+    const fastbcnn::Status sb =
+        fastbcnn::trySaveWeightsBinary(fuzzNetwork(), savedBinary);
+    if (!st.isOk() || !sb.isOk()) {
         std::cerr << "fuzz_checkpoint: cannot save seed checkpoint: "
-                  << s.toString() << "\n";
+                  << (st.isOk() ? sb : st).toString() << "\n";
         return 2;
     }
-    const std::string good = saved.str();
-    replay(good);
-    for (std::size_t pos = 0; pos < good.size();
-         pos += 1 + good.size() / 64) {
-        std::string bad = good;
-        bad[pos] = static_cast<char>(bad[pos] ^ 0x5a);
-        replay(bad);
-        replay(bad.substr(0, pos));  // truncation at the same spot
-        ++ran;
+    for (const std::string &good :
+         {savedText.str(), savedBinary.str()}) {
+        replay(good);
+        for (std::size_t pos = 0; pos < good.size();
+             pos += 1 + good.size() / 64) {
+            std::string bad = good;
+            bad[pos] = static_cast<char>(bad[pos] ^ 0x5a);
+            replay(bad);
+            replay(bad.substr(0, pos));  // truncation at the same spot
+            ++ran;
+        }
     }
 
     std::cout << "fuzz_checkpoint: replayed " << ran

@@ -23,6 +23,7 @@
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dropout.hpp"
+#include "nn/serialize.hpp"
 #include "serve/server.hpp"
 
 using namespace fastbcnn;
@@ -76,10 +77,19 @@ makeTinyReplica(std::size_t samples = 4)
 }
 
 ModelSpec
+namedSpec(std::string id, EngineFactory factory)
+{
+    ModelSpec spec;
+    spec.id = std::move(id);
+    spec.factory = std::move(factory);
+    return spec;
+}
+
+ModelSpec
 tinySpec(std::string id = "tiny", std::size_t samples = 4)
 {
-    return ModelSpec{std::move(id),
-                     [samples]() { return makeTinyReplica(samples); }};
+    return namedSpec(std::move(id),
+                     [samples]() { return makeTinyReplica(samples); });
 }
 
 PendingRequest
@@ -242,9 +252,9 @@ TEST(ServeServer, CreateRejectsBadConfigurations)
     EXPECT_EQ(noModels.error().code(), ErrorCode::InvalidArgument);
 
     auto uncalibrated = InferenceServer::create(
-        {ModelSpec{"raw", []() {
+        {namedSpec("raw", []() {
              return FastBcnnEngine::create(tinyBcnn(), EngineOptions{});
-         }}},
+         })},
         ServerOptions{});
     ASSERT_FALSE(uncalibrated.hasValue());
     EXPECT_EQ(uncalibrated.error().code(), ErrorCode::InvalidArgument);
@@ -847,8 +857,8 @@ TEST(ServeBreaker, GuardedPathServesAndReportsHealth)
     ServerOptions sopts;
     sopts.workers = 2;
     auto server = InferenceServer::create(
-        {ModelSpec{"guarded",
-                   []() { return makeGuardedReplica(0.9); }},
+        {namedSpec("guarded",
+                   []() { return makeGuardedReplica(0.9); }),
          tinySpec("plain")},
         sopts);
     ASSERT_TRUE(server.hasValue()) << server.error().toString();
@@ -904,8 +914,8 @@ TEST(ServeBreaker, GuardTripCountsAsBreakerFailure)
     sopts.workers = 1;
     sopts.breaker = fastBreaker(1, 10000.0);
     auto server = InferenceServer::create(
-        {ModelSpec{"touchy",
-                   []() { return makeGuardedReplica(1e-6); }}},
+        {namedSpec("touchy",
+                   []() { return makeGuardedReplica(1e-6); })},
         sopts);
     ASSERT_TRUE(server.hasValue()) << server.error().toString();
     InferenceServer &srv = *server.value();
@@ -1011,4 +1021,344 @@ TEST(ServeConcurrency, BreakerSoakLosesNoRequestAndDoublesNone)
                   srv.stats().counter("cancelled") +
                   srv.stats().counter("shed"),
               accepted.load());
+}
+
+// ---------------------------------------------------------------------------
+// RegistrySwap: hot-swap atomicity, rollback, backoff, health gate.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** A tiny-model replica with version-specific weights. */
+Expected<std::unique_ptr<FastBcnnEngine>>
+makeVersionReplica(std::uint64_t weight_seed, std::size_t samples = 4)
+{
+    Network net = tinyBcnn();
+    InitOptions init;
+    init.seed = weight_seed;
+    init.biasShift = 0.0;
+    initializeWeights(net, init);
+    EngineOptions eopts;
+    eopts.mc.samples = samples;
+    eopts.mc.seed = 21;
+    eopts.mc.recordMasks = false;
+    eopts.optimizer.samples = 2;
+    Expected<std::unique_ptr<FastBcnnEngine>> engine =
+        FastBcnnEngine::create(std::move(net), eopts);
+    if (!engine.hasValue())
+        return engine;
+    Status calibrated =
+        engine.value()->tryCalibrate({ones(Shape({1, 6, 6}))});
+    if (!calibrated.isOk())
+        return calibrated;
+    return engine;
+}
+
+ModelVersionSpec
+versionSpec(std::uint64_t version, std::uint64_t weight_seed,
+            std::string id = "tiny")
+{
+    ModelVersionSpec spec;
+    spec.modelId = std::move(id);
+    spec.version = version;
+    spec.factory = [weight_seed]() {
+        return makeVersionReplica(weight_seed);
+    };
+    return spec;
+}
+
+const RegistryModelHealth &
+registryHealthOf(const HealthReport &report, const std::string &id)
+{
+    for (const ModelHealth &model : report.models) {
+        if (model.id == id)
+            return model.registry;
+    }
+    ADD_FAILURE() << "model '" << id << "' missing from health()";
+    static const RegistryModelHealth empty;
+    return empty;
+}
+
+} // namespace
+
+TEST(RegistrySwap, SwapUnderLoadLosesNothingAndStaysVersionAtomic)
+{
+    ServerOptions opts;
+    opts.workers = 2;
+    opts.queueCapacity = 256;
+    opts.maxBatch = 4;
+    auto created =
+        InferenceServer::create({tinySpec("tiny", 2)}, opts);
+    ASSERT_TRUE(created.hasValue()) << created.error().toString();
+    InferenceServer &srv = *created.value();
+
+    constexpr std::size_t producers = 4;
+    constexpr std::size_t perProducer = 48;
+    std::atomic<std::uint64_t> accepted{0};
+    std::mutex handlesMutex;
+    std::vector<RequestHandle> handles;
+
+    std::vector<std::thread> pool;
+    pool.reserve(producers);
+    for (std::size_t p = 0; p < producers; ++p) {
+        pool.emplace_back([&]() {
+            for (std::size_t i = 0; i < perProducer; ++i) {
+                InferRequest req;
+                req.modelId = "tiny";
+                req.input = ones(Shape({1, 6, 6}));
+                auto handle = srv.submit(std::move(req));
+                if (handle.hasValue()) {
+                    accepted.fetch_add(1);
+                    const std::lock_guard<std::mutex> lock(
+                        handlesMutex);
+                    handles.push_back(std::move(handle).value());
+                } else {
+                    ASSERT_EQ(handle.error().code(),
+                              ErrorCode::ResourceExhausted);
+                }
+                if (i % 16 == 15) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+                }
+            }
+        });
+    }
+
+    // Two hot-swaps race the producers.
+    auto swap2 = srv.requestSwap(versionSpec(2, 100));
+    ASSERT_TRUE(swap2.hasValue()) << swap2.error().toString();
+    const Status s2 = swap2.value().get();
+    EXPECT_TRUE(s2.isOk()) << s2.toString();
+    auto swap3 = srv.requestSwap(versionSpec(3, 101));
+    ASSERT_TRUE(swap3.hasValue());
+    const Status s3 = swap3.value().get();
+    EXPECT_TRUE(s3.isOk()) << s3.toString();
+
+    for (std::thread &t : pool)
+        t.join();
+    srv.drain();
+
+    // Exactly-once completion, and every served request ran on
+    // exactly one *installed* version — no request ever observes a
+    // half-swapped model.
+    std::size_t resolved = 0;
+    for (RequestHandle &h : handles) {
+        const InferResponse response = h.response.get();
+        ++resolved;
+        if (response.outcome == Outcome::Ok) {
+            EXPECT_TRUE(response.modelVersion == 1 ||
+                        response.modelVersion == 2 ||
+                        response.modelVersion == 3)
+                << "request served by uninstalled version "
+                << response.modelVersion;
+        }
+    }
+    EXPECT_EQ(resolved, accepted.load());
+    EXPECT_EQ(srv.stats().counter("accepted"), accepted.load());
+    EXPECT_EQ(srv.stats().counter("ok") +
+                  srv.stats().counter("failed") +
+                  srv.stats().counter("cancelled") +
+                  srv.stats().counter("shed"),
+              accepted.load());
+    EXPECT_EQ(srv.stats().counter("swaps"), 2u);
+
+    const HealthReport report = srv.health();
+    const RegistryModelHealth &reg = registryHealthOf(report, "tiny");
+    EXPECT_EQ(3u, reg.activeVersion);
+    EXPECT_EQ(0u, reg.warmingVersion);
+    EXPECT_EQ(3u, reg.swaps);  // initial install + 2 hot-swaps
+    EXPECT_EQ(0u, reg.rollbacks);
+}
+
+TEST(RegistrySwap, FailedSwapRollsBackAndBacksOff)
+{
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.registry.backoffBaseMs = 400.0;
+    auto created = InferenceServer::create({tinySpec()}, opts);
+    ASSERT_TRUE(created.hasValue()) << created.error().toString();
+    InferenceServer &srv = *created.value();
+
+    // A factory that cannot load its checkpoint.
+    ModelVersionSpec broken;
+    broken.modelId = "tiny";
+    broken.version = 2;
+    broken.factory = []() -> Expected<std::unique_ptr<FastBcnnEngine>> {
+        return errorf(ErrorCode::DataLoss,
+                      "checkpoint failed its CRC32 check");
+    };
+    auto attempt = srv.requestSwap(broken);
+    ASSERT_TRUE(attempt.hasValue());
+    const Status failed = attempt.value().get();
+    ASSERT_FALSE(failed.isOk());
+    EXPECT_EQ(ErrorCode::DataLoss, failed.code());
+
+    // Rolled back: v1 still serves, health says so.
+    {
+        const HealthReport report = srv.health();
+        const RegistryModelHealth &reg =
+            registryHealthOf(report, "tiny");
+        EXPECT_EQ(1u, reg.activeVersion);
+        EXPECT_EQ(1u, reg.rollbacks);
+        EXPECT_EQ(1u, reg.consecutiveLoadFailures);
+        EXPECT_GT(reg.backoffMs, 0.0);
+        EXPECT_NE(std::string::npos, reg.lastEvent.find("rejected"));
+    }
+    InferRequest req;
+    req.modelId = "tiny";
+    req.input = ones(Shape({1, 6, 6}));
+    auto handle = srv.submit(std::move(req));
+    ASSERT_TRUE(handle.hasValue());
+    EXPECT_EQ(Outcome::Ok, handle.value().response.get().outcome);
+
+    // Inside the backoff window even a good swap fails fast...
+    auto tooSoon = srv.requestSwap(versionSpec(2, 100));
+    ASSERT_TRUE(tooSoon.hasValue());
+    const Status rejected = tooSoon.value().get();
+    ASSERT_FALSE(rejected.isOk());
+    EXPECT_EQ(ErrorCode::Unavailable, rejected.code());
+
+    // ...and once it expires, the swap lands and clears the failure
+    // streak.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    auto retry = srv.requestSwap(versionSpec(2, 100));
+    ASSERT_TRUE(retry.hasValue());
+    const Status landed = retry.value().get();
+    EXPECT_TRUE(landed.isOk()) << landed.toString();
+    const HealthReport report = srv.health();
+    const RegistryModelHealth &reg = registryHealthOf(report, "tiny");
+    EXPECT_EQ(2u, reg.activeVersion);
+    EXPECT_EQ(0u, reg.consecutiveLoadFailures);
+    EXPECT_EQ(0.0, reg.backoffMs);
+    srv.drain();
+}
+
+TEST(RegistrySwap, HealthGateRejectsWrongDigestAcceptsRightOne)
+{
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.registry.backoffBaseMs = 1.0;  // no waiting between attempts
+    auto created = InferenceServer::create({tinySpec()}, opts);
+    ASSERT_TRUE(created.hasValue()) << created.error().toString();
+    InferenceServer &srv = *created.value();
+
+    const Tensor gateInput = ones(Shape({1, 6, 6}));
+    // The recorded reference: what the *candidate* checkpoint (weight
+    // seed 100) is supposed to produce, computed out-of-band.
+    auto reference = makeVersionReplica(100);
+    ASSERT_TRUE(reference.hasValue());
+    auto expected = reference.value()->tryReferenceDigest(
+        gateInput, 4, 777);
+    ASSERT_TRUE(expected.hasValue()) << expected.error().toString();
+
+    // Candidate with DIFFERENT weights (seed 200) against that
+    // digest: the gate must catch the mismatch and roll back.
+    ModelVersionSpec wrong = versionSpec(2, 200);
+    wrong.gate.enabled = true;
+    wrong.gate.input = gateInput;
+    wrong.gate.expectedMean = expected.value();
+    wrong.gate.samples = 4;
+    wrong.gate.seed = 777;
+    wrong.gate.epsilon = 1e-9;
+    auto rejected = srv.requestSwap(wrong);
+    ASSERT_TRUE(rejected.hasValue());
+    const Status miss = rejected.value().get();
+    ASSERT_FALSE(miss.isOk());
+    EXPECT_EQ(ErrorCode::DataLoss, miss.code());
+    EXPECT_EQ(1u,
+              registryHealthOf(srv.health(), "tiny").activeVersion);
+
+    // The matching candidate passes the same gate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ModelVersionSpec right = versionSpec(2, 100);
+    right.gate = wrong.gate;
+    auto accepted2 = srv.requestSwap(right);
+    ASSERT_TRUE(accepted2.hasValue());
+    const Status landed = accepted2.value().get();
+    EXPECT_TRUE(landed.isOk()) << landed.toString();
+    EXPECT_EQ(2u,
+              registryHealthOf(srv.health(), "tiny").activeVersion);
+    srv.drain();
+}
+
+TEST(RegistrySwap, BreakerResetsOnSuccessfulSwap)
+{
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.breaker = fastBreaker(3, 60000.0);  // cooldown >> test
+    auto created = InferenceServer::create({tinySpec()}, opts);
+    ASSERT_TRUE(created.hasValue()) << created.error().toString();
+    InferenceServer &srv = *created.value();
+
+    // Trip the breaker against v1.
+    for (int i = 0; i < 3; ++i) {
+        InferRequest doomed;
+        doomed.modelId = "tiny";
+        doomed.input = ones(Shape({1, 6, 6}));
+        doomed.mc.faults = &killAllPlan();
+        auto handle = srv.submit(std::move(doomed));
+        ASSERT_TRUE(handle.hasValue());
+        EXPECT_EQ(Outcome::Failed,
+                  handle.value().response.get().outcome);
+    }
+    ASSERT_EQ(BreakerState::Open, srv.breaker("tiny")->state());
+    {
+        InferRequest req;
+        req.modelId = "tiny";
+        req.input = ones(Shape({1, 6, 6}));
+        auto blocked = srv.submit(std::move(req));
+        ASSERT_FALSE(blocked.hasValue());
+        EXPECT_EQ(ErrorCode::Unavailable, blocked.error().code());
+    }
+
+    // A successful swap gives the new version a Closed breaker well
+    // before the cooldown would have expired.
+    auto swap = srv.requestSwap(versionSpec(2, 100));
+    ASSERT_TRUE(swap.hasValue());
+    const Status landed = swap.value().get();
+    ASSERT_TRUE(landed.isOk()) << landed.toString();
+    EXPECT_EQ(BreakerState::Closed, srv.breaker("tiny")->state());
+    InferRequest req;
+    req.modelId = "tiny";
+    req.input = ones(Shape({1, 6, 6}));
+    auto handle = srv.submit(std::move(req));
+    ASSERT_TRUE(handle.hasValue()) << handle.error().toString();
+    EXPECT_EQ(Outcome::Ok, handle.value().response.get().outcome);
+    srv.drain();
+}
+
+TEST(RegistrySwap, RejectsUnknownModelAndStaleVersion)
+{
+    auto created = InferenceServer::create({tinySpec()}, {});
+    ASSERT_TRUE(created.hasValue()) << created.error().toString();
+    InferenceServer &srv = *created.value();
+
+    auto unknown = srv.requestSwap(versionSpec(2, 100, "nope"));
+    ASSERT_FALSE(unknown.hasValue());
+    EXPECT_EQ(ErrorCode::NotFound, unknown.error().code());
+
+    auto stale = srv.requestSwap(versionSpec(1, 100));
+    ASSERT_TRUE(stale.hasValue());
+    const Status refused = stale.value().get();
+    ASSERT_FALSE(refused.isOk());
+    EXPECT_EQ(ErrorCode::InvalidArgument, refused.code());
+    srv.drain();
+}
+
+TEST(RegistrySwap, HealthReportsRegistryAndLegacyLoadState)
+{
+    auto created = InferenceServer::create({tinySpec()}, {});
+    ASSERT_TRUE(created.hasValue()) << created.error().toString();
+    InferenceServer &srv = *created.value();
+
+    const HealthReport report = srv.health();
+    const RegistryModelHealth &reg = registryHealthOf(report, "tiny");
+    EXPECT_EQ(1u, reg.activeVersion);
+    EXPECT_EQ(0u, reg.warmingVersion);
+    EXPECT_EQ(1u, reg.swaps);
+    EXPECT_EQ(0u, reg.rollbacks);
+    EXPECT_NE(std::string::npos, reg.lastEvent.find("swapped to v1"));
+    EXPECT_EQ(checkpointStats().counter("legacy_text_loads"),
+              report.legacyTextLoads);
+    srv.drain();
 }

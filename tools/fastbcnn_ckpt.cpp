@@ -1,0 +1,173 @@
+/**
+ * @file
+ * fastbcnn_ckpt — checkpoint converter and integrity auditor.
+ *
+ *   fastbcnn_ckpt convert <in> <out> [--to text|binary]
+ *       Re-encode a checkpoint (default: the other format).  The
+ *       output is written atomically (temp file + fsync + rename) and
+ *       round-trips bit-exactly: both formats store IEEE-754 floats
+ *       losslessly, so text -> binary -> text reproduces every value.
+ *
+ *   fastbcnn_ckpt verify <file> [<file>...]
+ *       Parse each file, re-checking every CRC and length field, and
+ *       print what it holds.  Exit 1 if any file fails — the CI hook
+ *       for auditing a checkpoint store.
+ *
+ * The tool works on CheckpointImages, never building a network, so it
+ * converts checkpoints of models this binary has no builder for.
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/table.hpp"
+#include "nn/checkpoint.hpp"
+
+using namespace fastbcnn;
+
+namespace {
+
+int
+usage(int code)
+{
+    std::cerr <<
+        "usage: fastbcnn_ckpt convert <in> <out> [--to text|binary]\n"
+        "       fastbcnn_ckpt verify <file> [<file>...]\n";
+    return code;
+}
+
+void
+printAudit(const std::string &path, const CheckpointAudit &audit)
+{
+    std::cout << format(
+        "%s: %s checkpoint of model '%s' — %zu sections, %zu values, "
+        "%zu bytes, CRC %s\n", path.c_str(),
+        checkpointFormatName(audit.format), audit.modelName.c_str(),
+        audit.sections, audit.totalValues, audit.fileBytes,
+        audit.crcVerified ? "verified" : "absent (legacy text)");
+}
+
+int
+runVerify(const std::vector<std::string> &paths)
+{
+    int failures = 0;
+    for (const std::string &path : paths) {
+        Expected<std::string> bytes = tryReadFile(path);
+        if (!bytes.hasValue()) {
+            std::cerr << path << ": "
+                      << bytes.error().toString() << "\n";
+            ++failures;
+            continue;
+        }
+        Expected<CheckpointAudit> audit =
+            tryAuditCheckpoint(bytes.value());
+        if (!audit.hasValue()) {
+            std::cerr << path << ": "
+                      << audit.error().toString() << "\n";
+            ++failures;
+            continue;
+        }
+        printAudit(path, audit.value());
+    }
+    if (failures > 0) {
+        std::cerr << format("%d of %zu file(s) failed verification\n",
+                            failures, paths.size());
+        return 1;
+    }
+    return 0;
+}
+
+int
+runConvert(const std::string &in, const std::string &out,
+           const std::string &to)
+{
+    Expected<std::string> bytes = tryReadFile(in);
+    if (!bytes.hasValue()) {
+        std::cerr << in << ": " << bytes.error().toString() << "\n";
+        return 1;
+    }
+    CheckpointImage image;
+    Expected<CheckpointAudit> audit =
+        tryAuditCheckpoint(bytes.value(), &image);
+    if (!audit.hasValue()) {
+        std::cerr << in << ": " << audit.error().toString() << "\n";
+        return 1;
+    }
+
+    CheckpointFormat target;
+    if (to == "text") {
+        target = CheckpointFormat::Text;
+    } else if (to == "binary") {
+        target = CheckpointFormat::Binary;
+    } else if (to.empty()) {
+        // Default: the other format.
+        target = audit.value().format == CheckpointFormat::Binary
+                     ? CheckpointFormat::Text
+                     : CheckpointFormat::Binary;
+    } else {
+        std::cerr << "--to must be 'text' or 'binary', not '" << to
+                  << "'\n";
+        return 2;
+    }
+
+    std::ostringstream os;
+    const Status emitted =
+        target == CheckpointFormat::Binary
+            ? tryEmitBinaryCheckpoint(image, os)
+            : tryEmitTextCheckpoint(image, os);
+    if (!emitted.isOk()) {
+        std::cerr << out << ": " << emitted.toString() << "\n";
+        return 1;
+    }
+    const Status written = tryAtomicWriteFile(out, os.str(), {});
+    if (!written.isOk()) {
+        std::cerr << out << ": " << written.toString() << "\n";
+        return 1;
+    }
+    printAudit(in, audit.value());
+    std::cout << format("wrote %s checkpoint to %s\n",
+                        checkpointFormatName(target), out.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(2);
+    const std::string &command = args[0];
+    if (command == "--help" || command == "-h")
+        return usage(0);
+
+    if (command == "verify") {
+        if (args.size() < 2)
+            return usage(2);
+        return runVerify({args.begin() + 1, args.end()});
+    }
+    if (command == "convert") {
+        std::string in, out, to;
+        for (std::size_t i = 1; i < args.size(); ++i) {
+            if (args[i] == "--to") {
+                if (i + 1 >= args.size())
+                    return usage(2);
+                to = args[++i];
+            } else if (in.empty()) {
+                in = args[i];
+            } else if (out.empty()) {
+                out = args[i];
+            } else {
+                return usage(2);
+            }
+        }
+        if (in.empty() || out.empty())
+            return usage(2);
+        return runConvert(in, out, to);
+    }
+    return usage(2);
+}
