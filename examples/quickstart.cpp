@@ -18,6 +18,10 @@
  *                     demo the checkpoint pipeline: atomically save
  *                     the model in that format, reload it into a
  *                     fresh network, and print the integrity audit
+ *   --simd {scalar,sse4,avx2}
+ *                     force a SIMD dispatch level (default: strongest
+ *                     the CPU supports; outputs are bit-identical at
+ *                     every level)
  */
 
 #include <cstdio>
@@ -30,6 +34,7 @@
 #include "data/synthetic.hpp"
 #include "models/zoo.hpp"
 #include "nn/checkpoint.hpp"
+#include "simd/simd.hpp"
 
 using namespace fastbcnn;
 
@@ -42,6 +47,7 @@ struct CliOptions {
     std::size_t quorum = 0;   // 0 = any survivor suffices
     double auditRate = 0.0;   // 0 = guard off
     std::string checkpointFormat;  // empty = skip the demo
+    std::string simdLevel;    // empty = strongest available
 };
 
 CliOptions
@@ -75,11 +81,21 @@ parseArgs(int argc, char **argv)
                 // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI arg-parse exit
                 std::exit(2);
             }
+        } else if (flag == "--simd") {
+            cli.simdLevel = value();
+            simd::SimdLevel parsed;
+            if (!simd::simdLevelFromName(cli.simdLevel, parsed)) {
+                std::cerr << "--simd must be 'scalar', 'sse4' or "
+                             "'avx2'\n";
+                // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI arg-parse exit
+                std::exit(2);
+            }
         } else {
             std::cerr << "usage: quickstart [--threads N] "
                          "[--deadline-ms D] [--quorum Q] "
                          "[--audit-rate R] "
-                         "[--checkpoint-format text|binary]\n";
+                         "[--checkpoint-format text|binary] "
+                         "[--simd scalar|sse4|avx2]\n";
             // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI usage exit
             std::exit(flag == "--help" ? 0 : 2);
         }
@@ -93,6 +109,20 @@ int
 main(int argc, char **argv)
 {
     const CliOptions cli = parseArgs(argc, argv);
+
+    // 0. SIMD dispatch: report what the CPU gives us and honor the
+    //    --simd override (the kernels are bit-identical at every
+    //    level, so this only changes speed).
+    if (!cli.simdLevel.empty()) {
+        simd::SimdLevel requested;
+        simd::simdLevelFromName(cli.simdLevel, requested);
+        simd::setLevel(requested);
+    }
+    std::cout << "SIMD: detected "
+              << simd::simdLevelName(simd::detectedLevel())
+              << ", running "
+              << simd::simdLevelName(simd::activeLevel()) << "\n";
+
     // 1. Build the model: LeNet-5 with a dropout layer after every
     //    convolution (the BCNN construction, drop rate 0.3).
     ModelOptions mopts;

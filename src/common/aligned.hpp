@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cache-line-aligned storage for the SIMD kernel layer.
+ *
+ * The vector kernels in src/simd/ issue 32-byte loads against Tensor
+ * and BitVolume backing storage; aligning the allocations to a full
+ * 64-byte cache line guarantees no vector load ever splits a line and
+ * keeps the alignment contract (DESIGN.md §14) independent of what the
+ * default allocator happens to return.
+ */
+
+#ifndef FASTBCNN_COMMON_ALIGNED_HPP
+#define FASTBCNN_COMMON_ALIGNED_HPP
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace fastbcnn {
+
+/** Alignment (bytes) of all kernel-visible backing storage. */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/**
+ * Minimal C++17 aligned allocator: every allocation is aligned to
+ * @p Alignment bytes via the align_val_t overloads of operator new.
+ * Stateless, so any two instances compare equal and containers can
+ * propagate it freely.
+ */
+template <typename T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator
+{
+  public:
+    using value_type = T;
+    static_assert(Alignment >= alignof(T),
+                  "alignment below the type's natural alignment");
+    static_assert((Alignment & (Alignment - 1)) == 0,
+                  "alignment must be a power of two");
+
+    AlignedAllocator() = default;
+
+    template <typename U>
+    explicit constexpr AlignedAllocator(
+        const AlignedAllocator<U, Alignment> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind {
+        using other = AlignedAllocator<U, Alignment>;
+    };
+
+    T *allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Alignment)));
+    }
+
+    void deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Alignment));
+    }
+
+    bool operator==(const AlignedAllocator &) const { return true; }
+    bool operator!=(const AlignedAllocator &) const { return false; }
+};
+
+/** A std::vector whose storage starts on a 64-byte cache line. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_COMMON_ALIGNED_HPP

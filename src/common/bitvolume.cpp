@@ -1,16 +1,18 @@
 #include "bitvolume.hpp"
 
-#include <bit>
+#include <algorithm>
 
 #include "check.hpp"
 #include "math_util.hpp"
+#include "simd/simd.hpp"
 
 namespace fastbcnn {
 
 BitVolume::BitVolume(std::size_t channels, std::size_t height,
                      std::size_t width)
     : channels_(channels), height_(height), width_(width),
-      words_(ceilDiv<std::size_t>(channels * height * width, 64), 0)
+      // +1: the guard word the SIMD layer's window extraction may read.
+      words_(ceilDiv<std::size_t>(channels * height * width, 64) + 1, 0)
 {
 }
 
@@ -47,23 +49,17 @@ BitVolume::setFlat(std::size_t idx, bool value)
 std::size_t
 BitVolume::popcount() const
 {
-    std::size_t total = 0;
-    for (std::uint64_t w : words_)
-        total += static_cast<std::size_t>(std::popcount(w));
-    return total;
+    return simd::active().popcountWords(words_.data(), wordCount());
 }
 
 std::size_t
 BitVolume::popcountChannel(std::size_t c) const
 {
     FASTBCNN_CHECK(c < channels_, "channel out of range");
-    // Channels are not word-aligned, so walk bit-by-bit; channel sizes
-    // are small (feature-map planes) and this is not on a hot path.
-    std::size_t total = 0;
-    const std::size_t base = c * height_ * width_;
-    for (std::size_t i = 0; i < height_ * width_; ++i)
-        total += getFlat(base + i) ? 1 : 0;
-    return total;
+    // Channels are not word-aligned; the dispatched kernel masks the
+    // partial first/last words and counts whole words in between.
+    return simd::active().popcountBits(
+        words_.data(), c * height_ * width_, height_ * width_);
 }
 
 void
@@ -75,28 +71,26 @@ BitVolume::clear()
 void
 BitVolume::fill(bool value)
 {
-    std::fill(words_.begin(), words_.end(),
-              value ? ~0ull : 0ull);
+    std::fill_n(words_.begin(), wordCount(), value ? ~0ull : 0ull);
     if (value) {
-        // Clear the padding bits past size() so popcount() stays exact.
+        // Clear the padding bits past size() so popcount() stays exact
+        // (the guard word past wordCount() is never written).
         const std::size_t used = size() % 64;
-        if (used != 0 && !words_.empty())
-            words_.back() &= (1ull << used) - 1;
+        if (used != 0)
+            words_[wordCount() - 1] &= (1ull << used) - 1;
     }
 }
 
 std::size_t
 BitVolume::andPopcount(const BitVolume &other) const
 {
-    FASTBCNN_CHECK(channels_ == other.channels_ &&
-                   height_ == other.height_ && width_ == other.width_,
-                   "BitVolume shape mismatch in andPopcount");
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-        total += static_cast<std::size_t>(
-            std::popcount(words_[i] & other.words_[i]));
-    }
-    return total;
+    FASTBCNN_DCHECK_EQ(wordCount(), other.wordCount());
+    FASTBCNN_DCHECK(channels_ == other.channels_ &&
+                    height_ == other.height_ && width_ == other.width_,
+                    "BitVolume shape mismatch in andPopcount");
+    return simd::active().andPopcountWords(words_.data(),
+                                           other.words_.data(),
+                                           wordCount());
 }
 
 void
@@ -105,7 +99,7 @@ BitVolume::orWith(const BitVolume &other)
     FASTBCNN_CHECK(channels_ == other.channels_ &&
                    height_ == other.height_ && width_ == other.width_,
                    "BitVolume shape mismatch in orWith");
-    for (std::size_t i = 0; i < words_.size(); ++i)
+    for (std::size_t i = 0; i < wordCount(); ++i)
         words_[i] |= other.words_[i];
 }
 
@@ -113,7 +107,9 @@ bool
 BitVolume::operator==(const BitVolume &other) const
 {
     return channels_ == other.channels_ && height_ == other.height_ &&
-           width_ == other.width_ && words_ == other.words_;
+           width_ == other.width_ &&
+           std::equal(words_.begin(), words_.begin() + wordCount(),
+                      other.words_.begin());
 }
 
 } // namespace fastbcnn

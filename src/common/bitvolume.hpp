@@ -15,8 +15,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
+#include "aligned.hpp"
 #include "check.hpp"
 
 namespace fastbcnn {
@@ -71,6 +71,17 @@ class BitVolume
     /** @return number of set bits in channel @p c. */
     std::size_t popcountChannel(std::size_t c) const;
 
+    /** @return number of 64-bit words backing size() bits. */
+    std::size_t wordCount() const { return (size() + 63) / 64; }
+
+    /**
+     * @return the packed words (64-byte-aligned).  One zero guard word
+     * is allocated past wordCount() so the SIMD layer's 64-bit window
+     * extraction may read one word beyond the last data word; bits at
+     * and past size() are always zero.
+     */
+    const std::uint64_t *words() const { return words_.data(); }
+
     /** Set every bit to zero, keeping the shape. */
     void clear();
 
@@ -103,7 +114,9 @@ class BitVolume
     std::size_t channels_ = 0;
     std::size_t height_ = 0;
     std::size_t width_ = 0;
-    std::vector<std::uint64_t> words_;
+    // wordCount() data words plus one always-zero guard word, aligned
+    // to a cache line for the SIMD kernel layer (DESIGN.md §14).
+    AlignedVector<std::uint64_t> words_;
 };
 
 } // namespace fastbcnn

@@ -4,21 +4,9 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "simd/simd.hpp"
 
 namespace fastbcnn {
-
-namespace {
-
-/** Elementwise max(x, 0) over preallocated buffers (FASTBCNN_HOT —
- *  lint rule R3 keeps allocation, locks, I/O and logging out). */
-FASTBCNN_HOT void
-reluKernel(const float *in, float *out, std::size_t n)
-{
-    for (std::size_t i = 0; i < n; ++i)
-        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
-}
-
-} // namespace
 
 Shape
 ReLU::outputShape(const std::vector<Shape> &input_shapes) const
@@ -34,8 +22,8 @@ ReLU::forward(const std::vector<const Tensor *> &inputs,
     FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
                    "ReLU takes one input");
     Tensor out(inputs[0]->shape());
-    reluKernel(inputs[0]->data().data(), out.data().data(),
-               inputs[0]->numel());
+    simd::active().relu(inputs[0]->data().data(), out.data().data(),
+                        inputs[0]->numel());
     if (hooks)
         hooks->onActivation(name(), kind(), out);
     return out;

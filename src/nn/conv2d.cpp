@@ -1,70 +1,9 @@
 #include "conv2d.hpp"
 
 #include "common/check.hpp"
+#include "simd/simd.hpp"
 
 namespace fastbcnn {
-
-namespace {
-
-/**
- * Raw-pointer conv inner loops: accumulate one (m, n, i, j) weight
- * across the whole output plane.  All buffers are preallocated by the
- * caller; this function is pure arithmetic over them (FASTBCNN_HOT —
- * lint rule R3 keeps allocation, locks, I/O and logging out).
- */
-FASTBCNN_HOT void
-convForwardKernel(const float *in_data, const float *w_data,
-                  const float *bias, float *out_data,
-                  std::size_t in_channels, std::size_t out_channels,
-                  std::size_t in_h, std::size_t in_w,
-                  std::size_t out_h, std::size_t out_w,
-                  std::size_t kernel, std::size_t stride,
-                  std::size_t padding)
-{
-    for (std::size_t m = 0; m < out_channels; ++m) {
-        float *out_plane = out_data + m * out_h * out_w;
-        const float b = bias[m];
-        for (std::size_t i = 0; i < out_h * out_w; ++i)
-            out_plane[i] = b;
-        for (std::size_t n = 0; n < in_channels; ++n) {
-            const float *in_plane = in_data + n * in_h * in_w;
-            const float *w_kernel =
-                w_data + (m * in_channels + n) * kernel * kernel;
-            for (std::size_t i = 0; i < kernel; ++i) {
-                for (std::size_t j = 0; j < kernel; ++j) {
-                    const float wv = w_kernel[i * kernel + j];
-                    if (wv == 0.0f)
-                        continue;
-                    for (std::size_t r = 0; r < out_h; ++r) {
-                        const std::ptrdiff_t in_r =
-                            static_cast<std::ptrdiff_t>(r * stride + i)
-                            - static_cast<std::ptrdiff_t>(padding);
-                        if (in_r < 0 ||
-                            in_r >= static_cast<std::ptrdiff_t>(in_h)) {
-                            continue;
-                        }
-                        const float *in_row = in_plane + in_r * in_w;
-                        float *out_row = out_plane + r * out_w;
-                        for (std::size_t c = 0; c < out_w; ++c) {
-                            const std::ptrdiff_t in_c =
-                                static_cast<std::ptrdiff_t>(
-                                    c * stride + j) -
-                                static_cast<std::ptrdiff_t>(padding);
-                            if (in_c < 0 ||
-                                in_c >=
-                                    static_cast<std::ptrdiff_t>(in_w)) {
-                                continue;
-                            }
-                            out_row[c] += wv * in_row[in_c];
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-} // namespace
 
 Conv2d::Conv2d(std::string name, std::size_t in_channels,
                std::size_t out_channels, std::size_t kernel_size,
@@ -148,12 +87,15 @@ Conv2d::forward(const std::vector<const Tensor *> &inputs,
     const std::size_t out_h = out_shape.dim(1);
     const std::size_t out_w = out_shape.dim(2);
 
-    // Hot loops live in convForwardKernel() (the checked per-neuron
-    // path is computeNeuron(), kept as the reference).
-    convForwardKernel(input.data().data(), weights_.data().data(),
-                      bias_.data().data(), out.data().data(),
-                      inChannels_, outChannels_, in_h, in_w, out_h,
-                      out_w, kernelSize_, stride_, padding_);
+    // Hot loops live in the dispatched SIMD kernel layer (the checked
+    // per-neuron path is computeNeuron(), kept as the reference; every
+    // dispatch level accumulates taps in its exact order).
+    simd::active().convForward(input.data().data(),
+                               weights_.data().data(),
+                               bias_.data().data(), out.data().data(),
+                               inChannels_, outChannels_, in_h, in_w,
+                               out_h, out_w, kernelSize_, stride_,
+                               padding_);
     if (hooks)
         hooks->onActivation(name(), kind(), out);
     return out;

@@ -1,31 +1,9 @@
 #include "dense.hpp"
 
 #include "common/check.hpp"
+#include "simd/simd.hpp"
 
 namespace fastbcnn {
-
-namespace {
-
-/**
- * Row-major matrix-vector product with double accumulation.  Buffers
- * are preallocated by the caller (FASTBCNN_HOT — lint rule R3 keeps
- * allocation, locks, I/O and logging out).
- */
-FASTBCNN_HOT void
-denseForwardKernel(const float *w, const float *bias, const float *x,
-                   float *out, std::size_t out_features,
-                   std::size_t in_features)
-{
-    for (std::size_t o = 0; o < out_features; ++o) {
-        double acc = bias[o];
-        const float *row = w + o * in_features;
-        for (std::size_t i = 0; i < in_features; ++i)
-            acc += static_cast<double>(row[i]) * x[i];
-        out[o] = static_cast<float>(acc);
-    }
-}
-
-} // namespace
 
 Shape
 Flatten::outputShape(const std::vector<Shape> &input_shapes) const
@@ -82,9 +60,12 @@ Linear::forward(const std::vector<const Tensor *> &inputs,
     const Tensor &in = *inputs[0];
     FASTBCNN_CHECK_EQ(in.numel(), inFeatures_);
     Tensor out(Shape({outFeatures_}));
-    denseForwardKernel(weights_.data().data(), bias_.data().data(),
-                       in.data().data(), out.data().data(),
-                       outFeatures_, inFeatures_);
+    // Dispatched matrix-vector product with the lane-strided double
+    // accumulation contract (bit-identical across dispatch levels).
+    simd::active().denseForward(weights_.data().data(),
+                                bias_.data().data(), in.data().data(),
+                                out.data().data(), outFeatures_,
+                                inFeatures_);
     if (hooks)
         hooks->onActivation(name(), kind(), out);
     return out;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "simd/simd.hpp"
 
 namespace fastbcnn {
 
@@ -37,90 +38,24 @@ Pool2dBase::outputShape(const std::vector<Shape> &input_shapes) const
                   (w - kernelSize_) / stride_ + 1});
 }
 
-namespace {
-
-/**
- * Windowed-pool inner loops over preallocated raw buffers
- * (FASTBCNN_HOT — lint rule R3 keeps allocation, locks, I/O and
- * logging out).  @p reduce folds in-window values; out-of-range
- * (padding) positions contribute the init value for max pooling and
- * are counted as zeros for average pooling.
- */
-template <typename Reduce>
-FASTBCNN_HOT void
-poolKernel(const float *in, float *out, std::size_t channels,
-           std::size_t in_h, std::size_t in_w, std::size_t out_h,
-           std::size_t out_w, std::size_t k, std::size_t s,
-           std::size_t p, Reduce reduce, float init, bool average)
-{
-    for (std::size_t ch = 0; ch < channels; ++ch) {
-        const float *in_plane = in + ch * in_h * in_w;
-        float *out_plane = out + ch * out_h * out_w;
-        for (std::size_t r = 0; r < out_h; ++r) {
-            for (std::size_t c = 0; c < out_w; ++c) {
-                float acc = init;
-                for (std::size_t i = 0; i < k; ++i) {
-                    const std::ptrdiff_t in_r =
-                        static_cast<std::ptrdiff_t>(r * s + i) -
-                        static_cast<std::ptrdiff_t>(p);
-                    if (in_r < 0 ||
-                        in_r >= static_cast<std::ptrdiff_t>(in_h)) {
-                        continue;
-                    }
-                    for (std::size_t j = 0; j < k; ++j) {
-                        const std::ptrdiff_t in_c =
-                            static_cast<std::ptrdiff_t>(c * s + j) -
-                            static_cast<std::ptrdiff_t>(p);
-                        if (in_c < 0 ||
-                            in_c >= static_cast<std::ptrdiff_t>(in_w)) {
-                            continue;
-                        }
-                        acc = reduce(
-                            acc, in_plane[static_cast<std::size_t>(in_r)
-                                              * in_w +
-                                          static_cast<std::size_t>(
-                                              in_c)]);
-                    }
-                }
-                out_plane[r * out_w + c] =
-                    average ? acc / static_cast<float>(k * k) : acc;
-            }
-        }
-    }
-}
-
-/** Shared windowed-pool implementation: shape checks and the output
- *  allocation, with the arithmetic delegated to poolKernel(). */
-template <typename Reduce>
-Tensor
-poolForward(const Pool2dBase &layer, const Tensor &input, Reduce reduce,
-            float init, bool average)
-{
-    const Shape out_shape = layer.outputShape({input.shape()});
-    Tensor out(out_shape);
-    poolKernel(input.data().data(), out.data().data(),
-               out_shape.dim(0), input.shape().dim(1),
-               input.shape().dim(2), out_shape.dim(1),
-               out_shape.dim(2), layer.kernelSize(), layer.stride(),
-               layer.padding(), reduce, init, average);
-    return out;
-}
-
-} // namespace
-
 Tensor
 MaxPool2d::forward(const std::vector<const Tensor *> &inputs,
                    ForwardHooks *hooks) const
 {
     FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
                    "pool takes one input");
+    const Tensor &input = *inputs[0];
+    const Shape out_shape = outputShape({input.shape()});
+    Tensor out(out_shape);
     // Padding positions act as zeros, matching ReLU-positive maps;
     // init with 0 rather than -inf so padded windows pool to zero.
-    Tensor out = poolForward(
-        *this, *inputs[0],
-        [](float a, float b) { return std::max(a, b); },
-        padding() > 0 ? 0.0f : -std::numeric_limits<float>::infinity(),
-        false);
+    // Hot loops live in the dispatched SIMD kernel layer.
+    simd::active().poolMax(
+        input.data().data(), out.data().data(), out_shape.dim(0),
+        input.shape().dim(1), input.shape().dim(2), out_shape.dim(1),
+        out_shape.dim(2), kernelSize(), stride(), padding(),
+        padding() > 0 ? 0.0f
+                      : -std::numeric_limits<float>::infinity());
     if (hooks)
         hooks->onActivation(name(), kind(), out);
     return out;
@@ -132,9 +67,13 @@ AvgPool2d::forward(const std::vector<const Tensor *> &inputs,
 {
     FASTBCNN_CHECK(inputs.size() == 1 && inputs[0] != nullptr,
                    "pool takes one input");
-    Tensor out = poolForward(
-        *this, *inputs[0],
-        [](float a, float b) { return a + b; }, 0.0f, true);
+    const Tensor &input = *inputs[0];
+    const Shape out_shape = outputShape({input.shape()});
+    Tensor out(out_shape);
+    simd::active().poolAvg(
+        input.data().data(), out.data().data(), out_shape.dim(0),
+        input.shape().dim(1), input.shape().dim(2), out_shape.dim(1),
+        out_shape.dim(2), kernelSize(), stride(), padding());
     if (hooks)
         hooks->onActivation(name(), kind(), out);
     return out;

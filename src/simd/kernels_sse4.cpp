@@ -1,0 +1,444 @@
+/**
+ * @file
+ * SSE4.2 dispatch table: 4-wide float kernels plus hardware-POPCNT
+ * bit kernels.  Compiled with -msse4.2 -mpopcnt -ffp-contract=off and
+ * only when FASTBCNN_SIMD_BUILD_SSE4 is defined (x86 targets with the
+ * FASTBCNN_SIMD_SSE4 CMake option on); otherwise this TU degrades to
+ * a nullptr provider and dispatch clamps to Scalar.
+ *
+ * Bit-identity notes (the full contract lives in simd.hpp):
+ *  - conv/pool vectorize across output columns only; each output
+ *    element sees its taps in the exact scalar (n, i, j) order with
+ *    separate mul + add, so sums round identically;
+ *  - dense uses the lane-strided 8x double accumulation — two
+ *    converted-double products per __m128d register, four registers,
+ *    matching the scalar reference's lanes i % 8 exactly;
+ *  - max-pool uses cmplt + blendv to replicate (acc < v) ? v : acc
+ *    (NaN taps keep acc, matching the scalar comparison); ReLU uses
+ *    cmpgt + and (NaN and -0 both map to +0, like the scalar ternary);
+ *  - strides > 1 (conv) and > 2 (pool) fall back to the scalar
+ *    reference — same results, no vector win.
+ */
+
+#include "simd/kernels_internal.hpp"
+
+#if defined(FASTBCNN_SIMD_BUILD_SSE4)
+
+#include <nmmintrin.h>
+
+namespace fastbcnn::simd::detail {
+namespace {
+
+/** Valid output-column range [c0, c1) for tap offset d = j - p at
+ *  stride 1: keeps c + d inside [0, in_w). */
+inline void
+validRangeS1(std::ptrdiff_t d, std::size_t out_w, std::size_t in_w,
+             std::size_t &c0, std::size_t &c1)
+{
+    c0 = d < 0 ? static_cast<std::size_t>(-d) : 0;
+    const std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(in_w) - d;
+    c1 = hi <= 0 ? 0
+                 : std::min(out_w, static_cast<std::size_t>(hi));
+    if (c0 > c1)
+        c0 = c1;
+}
+
+/** Valid output-column range [c0, c1) for tap offset d at stride 2:
+ *  keeps 2c + d inside [0, in_w). */
+inline void
+validRangeS2(std::ptrdiff_t d, std::size_t out_w, std::size_t in_w,
+             std::size_t &c0, std::size_t &c1)
+{
+    c0 = d < 0 ? static_cast<std::size_t>((-d) + 1) / 2 : 0;
+    const std::ptrdiff_t hi =
+        static_cast<std::ptrdiff_t>(in_w) - 1 - d;
+    c1 = hi < 0 ? 0
+                : std::min(out_w,
+                           static_cast<std::size_t>(hi) / 2 + 1);
+    if (c0 > c1)
+        c0 = c1;
+}
+
+/** [in[b], in[b+2], in[b+4], in[b+6]] — stride-2 gather of 4 floats.
+ *  Reads 8 floats starting at @p b (caller guarantees in-range). */
+FASTBCNN_HOT inline __m128
+loadEven4(const float *in, std::size_t b)
+{
+    const __m128 a = _mm_loadu_ps(in + b);
+    const __m128 c = _mm_loadu_ps(in + b + 4);
+    return _mm_shuffle_ps(a, c, _MM_SHUFFLE(2, 0, 2, 0));
+}
+
+FASTBCNN_HOT void
+sse4ConvForward(const float *in_data, const float *w_data,
+                const float *bias, float *out_data,
+                std::size_t in_channels, std::size_t out_channels,
+                std::size_t in_h, std::size_t in_w, std::size_t out_h,
+                std::size_t out_w, std::size_t kernel,
+                std::size_t stride, std::size_t padding)
+{
+    if (stride != 1) {
+        scalarConvForward(in_data, w_data, bias, out_data, in_channels,
+                          out_channels, in_h, in_w, out_h, out_w,
+                          kernel, stride, padding);
+        return;
+    }
+    for (std::size_t m = 0; m < out_channels; ++m) {
+        float *out_plane = out_data + m * out_h * out_w;
+        const float b = bias[m];
+        const __m128 b4 = _mm_set1_ps(b);
+        std::size_t z = 0;
+        for (; z + 4 <= out_h * out_w; z += 4)
+            _mm_storeu_ps(out_plane + z, b4);
+        for (; z < out_h * out_w; ++z)
+            out_plane[z] = b;
+        for (std::size_t n = 0; n < in_channels; ++n) {
+            const float *in_plane = in_data + n * in_h * in_w;
+            const float *w_kernel =
+                w_data + (m * in_channels + n) * kernel * kernel;
+            for (std::size_t i = 0; i < kernel; ++i) {
+                for (std::size_t j = 0; j < kernel; ++j) {
+                    const float wv = w_kernel[i * kernel + j];
+                    if (wv == 0.0f)
+                        continue;
+                    const std::ptrdiff_t d =
+                        static_cast<std::ptrdiff_t>(j) -
+                        static_cast<std::ptrdiff_t>(padding);
+                    std::size_t c0, c1;
+                    validRangeS1(d, out_w, in_w, c0, c1);
+                    const __m128 wv4 = _mm_set1_ps(wv);
+                    for (std::size_t r = 0; r < out_h; ++r) {
+                        const std::ptrdiff_t in_r =
+                            static_cast<std::ptrdiff_t>(r + i) -
+                            static_cast<std::ptrdiff_t>(padding);
+                        if (in_r < 0 ||
+                            in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                            continue;
+                        }
+                        const float *in_row = in_plane + in_r * in_w;
+                        float *out_row = out_plane + r * out_w;
+                        std::size_t c = c0;
+                        for (; c + 4 <= c1; c += 4) {
+                            const __m128 v = _mm_loadu_ps(
+                                in_row +
+                                (static_cast<std::ptrdiff_t>(c) + d));
+                            const __m128 o =
+                                _mm_loadu_ps(out_row + c);
+                            _mm_storeu_ps(
+                                out_row + c,
+                                _mm_add_ps(o, _mm_mul_ps(wv4, v)));
+                        }
+                        for (; c < c1; ++c) {
+                            out_row[c] +=
+                                wv *
+                                in_row[static_cast<std::ptrdiff_t>(c) +
+                                       d];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+FASTBCNN_HOT void
+sse4DenseForward(const float *w, const float *bias, const float *x,
+                 float *out, std::size_t out_features,
+                 std::size_t in_features)
+{
+    for (std::size_t o = 0; o < out_features; ++o) {
+        const float *row = w + o * in_features;
+        __m128d a01 = _mm_setzero_pd();
+        __m128d a23 = _mm_setzero_pd();
+        __m128d a45 = _mm_setzero_pd();
+        __m128d a67 = _mm_setzero_pd();
+        std::size_t i = 0;
+        for (; i + 8 <= in_features; i += 8) {
+            const __m128 r0 = _mm_loadu_ps(row + i);
+            const __m128 r1 = _mm_loadu_ps(row + i + 4);
+            const __m128 x0 = _mm_loadu_ps(x + i);
+            const __m128 x1 = _mm_loadu_ps(x + i + 4);
+            a01 = _mm_add_pd(
+                a01, _mm_mul_pd(_mm_cvtps_pd(r0), _mm_cvtps_pd(x0)));
+            a23 = _mm_add_pd(
+                a23,
+                _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(r0, r0)),
+                           _mm_cvtps_pd(_mm_movehl_ps(x0, x0))));
+            a45 = _mm_add_pd(
+                a45, _mm_mul_pd(_mm_cvtps_pd(r1), _mm_cvtps_pd(x1)));
+            a67 = _mm_add_pd(
+                a67,
+                _mm_mul_pd(_mm_cvtps_pd(_mm_movehl_ps(r1, r1)),
+                           _mm_cvtps_pd(_mm_movehl_ps(x1, x1))));
+        }
+        double lanes[8];
+        _mm_storeu_pd(lanes + 0, a01);
+        _mm_storeu_pd(lanes + 2, a23);
+        _mm_storeu_pd(lanes + 4, a45);
+        _mm_storeu_pd(lanes + 6, a67);
+        for (; i < in_features; ++i) {
+            lanes[i & 7] += static_cast<double>(row[i]) *
+                            static_cast<double>(x[i]);
+        }
+        double acc = bias[o];
+        for (std::size_t l = 0; l < 8; ++l)
+            acc += lanes[l];
+        out[o] = static_cast<float>(acc);
+    }
+}
+
+FASTBCNN_HOT void
+sse4PoolMax(const float *in, float *out, std::size_t channels,
+            std::size_t in_h, std::size_t in_w, std::size_t out_h,
+            std::size_t out_w, std::size_t k, std::size_t s,
+            std::size_t p, float init)
+{
+    if (s > 2) {
+        scalarPoolMax(in, out, channels, in_h, in_w, out_h, out_w, k,
+                      s, p, init);
+        return;
+    }
+    const __m128 init4 = _mm_set1_ps(init);
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+        const float *in_plane = in + ch * in_h * in_w;
+        float *out_plane = out + ch * out_h * out_w;
+        std::size_t z = 0;
+        for (; z + 4 <= out_h * out_w; z += 4)
+            _mm_storeu_ps(out_plane + z, init4);
+        for (; z < out_h * out_w; ++z)
+            out_plane[z] = init;
+        for (std::size_t r = 0; r < out_h; ++r) {
+            float *out_row = out_plane + r * out_w;
+            for (std::size_t i = 0; i < k; ++i) {
+                const std::ptrdiff_t in_r =
+                    static_cast<std::ptrdiff_t>(r * s + i) -
+                    static_cast<std::ptrdiff_t>(p);
+                if (in_r < 0 ||
+                    in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                    continue;
+                }
+                const float *in_row = in_plane + in_r * in_w;
+                for (std::size_t j = 0; j < k; ++j) {
+                    const std::ptrdiff_t d =
+                        static_cast<std::ptrdiff_t>(j) -
+                        static_cast<std::ptrdiff_t>(p);
+                    std::size_t c0, c1;
+                    std::size_t c;
+                    if (s == 1) {
+                        validRangeS1(d, out_w, in_w, c0, c1);
+                        c = c0;
+                        for (; c + 4 <= c1; c += 4) {
+                            const __m128 v = _mm_loadu_ps(
+                                in_row +
+                                (static_cast<std::ptrdiff_t>(c) + d));
+                            const __m128 acc =
+                                _mm_loadu_ps(out_row + c);
+                            const __m128 lt = _mm_cmplt_ps(acc, v);
+                            _mm_storeu_ps(out_row + c,
+                                          _mm_blendv_ps(acc, v, lt));
+                        }
+                    } else {
+                        validRangeS2(d, out_w, in_w, c0, c1);
+                        c = c0;
+                        for (; c + 4 <= c1 &&
+                               static_cast<std::ptrdiff_t>(2 * c + 8) +
+                                       d <=
+                                   static_cast<std::ptrdiff_t>(in_w);
+                             c += 4) {
+                            const __m128 v = loadEven4(
+                                in_row, static_cast<std::size_t>(
+                                            static_cast<std::ptrdiff_t>(
+                                                2 * c) +
+                                            d));
+                            const __m128 acc =
+                                _mm_loadu_ps(out_row + c);
+                            const __m128 lt = _mm_cmplt_ps(acc, v);
+                            _mm_storeu_ps(out_row + c,
+                                          _mm_blendv_ps(acc, v, lt));
+                        }
+                    }
+                    for (; c < c1; ++c) {
+                        const float v =
+                            in_row[static_cast<std::ptrdiff_t>(c * s) +
+                                   d];
+                        const float acc = out_row[c];
+                        out_row[c] = (acc < v) ? v : acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+FASTBCNN_HOT void
+sse4PoolAvg(const float *in, float *out, std::size_t channels,
+            std::size_t in_h, std::size_t in_w, std::size_t out_h,
+            std::size_t out_w, std::size_t k, std::size_t s,
+            std::size_t p)
+{
+    if (s > 2) {
+        scalarPoolAvg(in, out, channels, in_h, in_w, out_h, out_w, k,
+                      s, p);
+        return;
+    }
+    const __m128 zero4 = _mm_setzero_ps();
+    const __m128 denom4 = _mm_set1_ps(static_cast<float>(k * k));
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+        const float *in_plane = in + ch * in_h * in_w;
+        float *out_plane = out + ch * out_h * out_w;
+        std::size_t z = 0;
+        for (; z + 4 <= out_h * out_w; z += 4)
+            _mm_storeu_ps(out_plane + z, zero4);
+        for (; z < out_h * out_w; ++z)
+            out_plane[z] = 0.0f;
+        for (std::size_t r = 0; r < out_h; ++r) {
+            float *out_row = out_plane + r * out_w;
+            for (std::size_t i = 0; i < k; ++i) {
+                const std::ptrdiff_t in_r =
+                    static_cast<std::ptrdiff_t>(r * s + i) -
+                    static_cast<std::ptrdiff_t>(p);
+                if (in_r < 0 ||
+                    in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                    continue;
+                }
+                const float *in_row = in_plane + in_r * in_w;
+                for (std::size_t j = 0; j < k; ++j) {
+                    const std::ptrdiff_t d =
+                        static_cast<std::ptrdiff_t>(j) -
+                        static_cast<std::ptrdiff_t>(p);
+                    std::size_t c0, c1;
+                    std::size_t c;
+                    if (s == 1) {
+                        validRangeS1(d, out_w, in_w, c0, c1);
+                        c = c0;
+                        for (; c + 4 <= c1; c += 4) {
+                            const __m128 v = _mm_loadu_ps(
+                                in_row +
+                                (static_cast<std::ptrdiff_t>(c) + d));
+                            const __m128 acc =
+                                _mm_loadu_ps(out_row + c);
+                            _mm_storeu_ps(out_row + c,
+                                          _mm_add_ps(acc, v));
+                        }
+                    } else {
+                        validRangeS2(d, out_w, in_w, c0, c1);
+                        c = c0;
+                        for (; c + 4 <= c1 &&
+                               static_cast<std::ptrdiff_t>(2 * c + 8) +
+                                       d <=
+                                   static_cast<std::ptrdiff_t>(in_w);
+                             c += 4) {
+                            const __m128 v = loadEven4(
+                                in_row, static_cast<std::size_t>(
+                                            static_cast<std::ptrdiff_t>(
+                                                2 * c) +
+                                            d));
+                            const __m128 acc =
+                                _mm_loadu_ps(out_row + c);
+                            _mm_storeu_ps(out_row + c,
+                                          _mm_add_ps(acc, v));
+                        }
+                    }
+                    for (; c < c1; ++c) {
+                        out_row[c] +=
+                            in_row[static_cast<std::ptrdiff_t>(c * s) +
+                                   d];
+                    }
+                }
+            }
+        }
+        z = 0;
+        for (; z + 4 <= out_h * out_w; z += 4) {
+            _mm_storeu_ps(
+                out_plane + z,
+                _mm_div_ps(_mm_loadu_ps(out_plane + z), denom4));
+        }
+        for (; z < out_h * out_w; ++z)
+            out_plane[z] /= static_cast<float>(k * k);
+    }
+}
+
+FASTBCNN_HOT void
+sse4Relu(const float *in, float *out, std::size_t n)
+{
+    const __m128 zero4 = _mm_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 v = _mm_loadu_ps(in + i);
+        const __m128 gt = _mm_cmpgt_ps(v, zero4);
+        _mm_storeu_ps(out + i, _mm_and_ps(v, gt));
+    }
+    for (; i < n; ++i)
+        out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+}
+
+FASTBCNN_HOT std::size_t
+sse4PopcountWords(const std::uint64_t *w, std::size_t n)
+{
+    return popcountWords4(w, n);
+}
+
+FASTBCNN_HOT std::size_t
+sse4PopcountBits(const std::uint64_t *w, std::size_t start_bit,
+                 std::size_t n_bits)
+{
+    return popcountBitsWords(w, start_bit, n_bits);
+}
+
+FASTBCNN_HOT std::size_t
+sse4AndPopcountWords(const std::uint64_t *a, const std::uint64_t *b,
+                     std::size_t n)
+{
+    return andPopcountWords4(a, b, n);
+}
+
+FASTBCNN_HOT void
+sse4CountKernelPlane(const std::uint64_t *mask_words,
+                     const std::uint64_t *ind_words, std::uint16_t *out,
+                     std::uint32_t *row_scratch,
+                     std::size_t in_channels, std::size_t in_h,
+                     std::size_t in_w, std::size_t out_h,
+                     std::size_t out_w, std::size_t k, std::size_t s,
+                     std::size_t p)
+{
+    if (k + p > kMaxWordWindow) {
+        scalarCountKernelPlane(mask_words, ind_words, out, row_scratch,
+                               in_channels, in_h, in_w, out_h, out_w,
+                               k, s, p);
+        return;
+    }
+    countKernelPlaneWords<1>(mask_words, ind_words, out, row_scratch,
+                             in_channels, in_h, in_w, out_h, out_w, k,
+                             s, p);
+}
+
+} // namespace
+
+const SimdKernels *
+sse4TableOrNull()
+{
+    static const SimdKernels table = {
+        &sse4ConvForward,       &sse4DenseForward,
+        &sse4PoolMax,           &sse4PoolAvg,
+        &sse4Relu,              &sse4PopcountWords,
+        &sse4PopcountBits,      &sse4AndPopcountWords,
+        &sse4CountKernelPlane,
+    };
+    return &table;
+}
+
+} // namespace fastbcnn::simd::detail
+
+#else // !FASTBCNN_SIMD_BUILD_SSE4
+
+namespace fastbcnn::simd::detail {
+
+const SimdKernels *
+sse4TableOrNull()
+{
+    return nullptr;
+}
+
+} // namespace fastbcnn::simd::detail
+
+#endif // FASTBCNN_SIMD_BUILD_SSE4

@@ -1,64 +1,12 @@
 #include "nw_counter.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.hpp"
+#include "simd/simd.hpp"
 
 namespace fastbcnn {
-
-namespace {
-
-/**
- * Eq. 5 inner loops for one output kernel m: slide the indicator
- * volume over the dropout mask and count dropped nw-inputs per output
- * position into @p out (a preallocated out_h*out_w plane).  This is
- * the skip predictor's central per-sample operation (FASTBCNN_HOT —
- * lint rule R3 keeps allocation, locks, I/O and logging out).
- */
-FASTBCNN_HOT void
-countKernelPlane(const BitVolume &input_mask, const BitVolume &ind,
-                 std::uint16_t *out, std::size_t in_channels,
-                 std::size_t in_h, std::size_t in_w, std::size_t out_h,
-                 std::size_t out_w, std::size_t k, std::size_t s,
-                 std::size_t p)
-{
-    for (std::size_t r = 0; r < out_h; ++r) {
-        for (std::size_t c = 0; c < out_w; ++c) {
-            std::uint32_t n_d = 0;
-            for (std::size_t n = 0; n < in_channels; ++n) {
-                for (std::size_t i = 0; i < k; ++i) {
-                    const std::ptrdiff_t in_r =
-                        static_cast<std::ptrdiff_t>(r * s + i) -
-                        static_cast<std::ptrdiff_t>(p);
-                    if (in_r < 0 ||
-                        in_r >= static_cast<std::ptrdiff_t>(in_h)) {
-                        continue;
-                    }
-                    for (std::size_t j = 0; j < k; ++j) {
-                        const std::ptrdiff_t in_c =
-                            static_cast<std::ptrdiff_t>(c * s + j) -
-                            static_cast<std::ptrdiff_t>(p);
-                        if (in_c < 0 ||
-                            in_c >=
-                                static_cast<std::ptrdiff_t>(in_w)) {
-                            continue;
-                        }
-                        if (input_mask.get(
-                                n, static_cast<std::size_t>(in_r),
-                                static_cast<std::size_t>(in_c)) &&
-                            ind.get(n, i, j)) {
-                            ++n_d;
-                        }
-                    }
-                }
-            }
-            out[r * out_w + c] = static_cast<std::uint16_t>(
-                std::min<std::uint32_t>(n_d, 0xffffu));
-        }
-    }
-}
-
-} // namespace
 
 CountVolume::CountVolume(std::size_t channels, std::size_t height,
                          std::size_t width)
@@ -113,10 +61,20 @@ countDroppedNwInputs(const Conv2d &conv, const BitVolume &input_mask,
     const std::size_t out_w = (in_w + 2 * p - k) / s + 1;
 
     CountVolume counts(conv.outChannels(), out_h, out_w);
+    // Eq. 5 inner loops live in the dispatched SIMD kernel layer: the
+    // vector levels collapse each indicator row into one
+    // popcount(mask_window & indicator_bits) per output column.  The
+    // plane scratch is hoisted here so the hot kernels never allocate.
+    std::vector<std::uint32_t> row_scratch(out_h * out_w, 0);
     for (std::size_t m = 0; m < conv.outChannels(); ++m) {
-        countKernelPlane(input_mask, indicators.kernel(m),
-                         &counts.at(m, 0, 0), conv.inChannels(), in_h,
-                         in_w, out_h, out_w, k, s, p);
+        const BitVolume &ind = indicators.kernel(m);
+        FASTBCNN_DCHECK(ind.channels() == conv.inChannels() &&
+                        ind.height() == k && ind.width() == k,
+                        "indicator volume shape mismatch");
+        simd::active().countKernelPlane(
+            input_mask.words(), ind.words(), &counts.at(m, 0, 0),
+            row_scratch.data(), conv.inChannels(), in_h, in_w, out_h,
+            out_w, k, s, p);
     }
     return counts;
 }

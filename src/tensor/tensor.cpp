@@ -36,7 +36,7 @@ Tensor::Tensor(Shape shape)
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data))
+    : shape_(std::move(shape)), data_(data.begin(), data.end())
 {
     FASTBCNN_CHECK(data_.size() == shape_.numel(),
                    "tensor data size does not match shape");

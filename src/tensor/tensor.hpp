@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/check.hpp"
 
 namespace fastbcnn {
@@ -84,7 +85,10 @@ class Tensor
     /** Construct a zero-filled tensor of the given shape. */
     explicit Tensor(Shape shape);
 
-    /** Construct from shape and explicit data (sizes must agree). */
+    /**
+     * Construct from shape and explicit data (sizes must agree).  The
+     * data is copied into the tensor's cache-line-aligned storage.
+     */
     Tensor(Shape shape, std::vector<float> data);
 
     /** @return the tensor's shape. */
@@ -155,7 +159,9 @@ class Tensor
                        std::size_t j) const;
 
     Shape shape_;
-    std::vector<float> data_;
+    // 64-byte-aligned so the SIMD kernel layer's vector loads against
+    // tensor storage never split a cache line (DESIGN.md §14).
+    AlignedVector<float> data_;
 };
 
 } // namespace fastbcnn

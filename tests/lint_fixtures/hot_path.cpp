@@ -32,6 +32,8 @@ hotDirty(std::vector<float> &v, std::mutex &m)
     v.push_back(1.0f);                 // hot-path (member growth)
     std::string s;                     // hot-path (allocating type)
     (void)s;
+    void *q = _mm_malloc(64, 64);      // hot-path (aligned heap alloc)
+    _mm_free(q);                       // hot-path (aligned heap free)
     FASTBCNN_CHECK(v.size() > 0, "grew");  // hot-path (always-on check)
 }
 

@@ -213,8 +213,9 @@ TEST(LintRules, HotPathFixture)
     const auto findings = fbl::lintSource(
         "src/nn/hot_path.cpp", readFixture("hot_path.cpp"));
     // All findings are hot-path, and all live in hotDirty: lock_guard,
-    // mutex, push_back, std::string, FASTBCNN_CHECK.
-    EXPECT_EQ(findings.size(), 5u);
+    // mutex, push_back, std::string, the aligned heap pair, and
+    // FASTBCNN_CHECK.
+    EXPECT_EQ(findings.size(), 7u);
     std::set<std::string> tokens;
     for (const Finding &f : findings) {
         EXPECT_EQ(f.rule, "hot-path");
@@ -222,7 +223,7 @@ TEST(LintRules, HotPathFixture)
     }
     const std::set<std::string> expected = {
         "lock_guard", "mutex", "push_back", "string",
-        "FASTBCNN_CHECK"};
+        "_mm_malloc", "_mm_free", "FASTBCNN_CHECK"};
     EXPECT_EQ(tokens, expected);
 }
 

@@ -196,9 +196,12 @@ ruleDiscardedStatus(const std::string &path,
 
 /** Banned in any position inside a FASTBCNN_HOT body. */
 const std::set<std::string> kHotBansAnywhere = {
-    // heap allocation
+    // heap allocation (including the aligned variants the SIMD kernel
+    // layer might be tempted by — alignment belongs in the owning
+    // containers via AlignedAllocator, never inside a kernel)
     "new", "delete", "malloc", "calloc", "realloc", "free",
-    "make_unique", "make_shared",
+    "make_unique", "make_shared", "_mm_malloc", "_mm_free",
+    "aligned_alloc", "posix_memalign",
     // locks / synchronization
     "mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
     "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
