@@ -22,8 +22,14 @@
  *                     force a SIMD dispatch level (default: strongest
  *                     the CPU supports; outputs are bit-identical at
  *                     every level)
+ *   --precision {f32,int8}
+ *                     numeric path for the MC reference; int8 builds
+ *                     the engine's quantized mirror during calibration
+ *                     and prints a side-by-side f32-vs-int8 comparison
+ *                     (posterior mean/variance, zero/skip rates)
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -35,6 +41,7 @@
 #include "models/zoo.hpp"
 #include "nn/checkpoint.hpp"
 #include "simd/simd.hpp"
+#include "skip/predictor.hpp"
 
 using namespace fastbcnn;
 
@@ -48,6 +55,7 @@ struct CliOptions {
     double auditRate = 0.0;   // 0 = guard off
     std::string checkpointFormat;  // empty = skip the demo
     std::string simdLevel;    // empty = strongest available
+    Precision precision = Precision::Float32;
 };
 
 CliOptions
@@ -90,12 +98,20 @@ parseArgs(int argc, char **argv)
                 // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI arg-parse exit
                 std::exit(2);
             }
+        } else if (flag == "--precision") {
+            if (!precisionFromName(value().c_str(),
+                                   &cli.precision)) {
+                std::cerr << "--precision must be 'f32' or 'int8'\n";
+                // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI arg-parse exit
+                std::exit(2);
+            }
         } else {
             std::cerr << "usage: quickstart [--threads N] "
                          "[--deadline-ms D] [--quorum Q] "
                          "[--audit-rate R] "
                          "[--checkpoint-format text|binary] "
-                         "[--simd scalar|sse4|avx2]\n";
+                         "[--simd scalar|sse4|avx2] "
+                         "[--precision f32|int8]\n";
             // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI usage exit
             std::exit(flag == "--help" ? 0 : 2);
         }
@@ -175,6 +191,8 @@ main(int argc, char **argv)
     eopts.mc.threads = cli.threads;
     eopts.mc.deadlineMs = cli.deadlineMs;
     eopts.mc.quorum = cli.quorum;
+    // int8 makes calibrate() also build the quantized mirror.
+    eopts.mc.precision = cli.precision;
     eopts.optimizer.confidence = 0.68;
     if (cli.auditRate > 0.0) {
         eopts.guard.enabled = true;
@@ -260,11 +278,81 @@ main(int argc, char **argv)
         return 1;
     }
     const DegradationCensus &census2 = reference.value().census;
-    std::cout << format("\nMC reference: %zu of %zu samples survived",
+    std::cout << format("\nMC reference (%s): %zu of %zu samples "
+                        "survived",
+                        precisionName(cli.precision),
                         census2.survived, census2.requested)
               << (census2.degraded ? " (degraded by the deadline)"
                                    : "")
               << "\n";
+
+    // 5b. With --precision int8: the same MC reference on both
+    //     numeric paths, side by side.  The masks are identical
+    //     (same seed, same per-sample BRNG), so every difference
+    //     below is quantization, not sampling noise.  "zero rate" is
+    //     the pre-inference zero-map density — the quantity Eq. 5
+    //     skipping feeds on — and skip rates come from the census of
+    //     the skipping run above.
+    if (cli.precision == Precision::Int8) {
+        McOptions f32mc = engine.options().mc;
+        f32mc.precision = Precision::Float32;
+        Expected<McResult> f32ref =
+            engine.tryMcReference(input, f32mc);
+        if (!f32ref.hasValue()) {
+            std::cerr << "f32 MC reference failed: "
+                      << f32ref.error().toString() << "\n";
+            return 1;
+        }
+        const UncertaintySummary &sf = f32ref.value().summary;
+        const UncertaintySummary &sq = reference.value().summary;
+
+        const ZeroMaps zf =
+            computeZeroMaps(engine.topology(), input);
+        const std::map<NodeId, BitVolume> zq =
+            engine.quantized()->computeZeroMaps(input);
+        std::size_t zf_set = 0, zq_set = 0, z_total = 0;
+        for (const auto &[conv, map] : zf) {
+            const BitVolume &qmap = zq.at(conv);
+            z_total += map.size();
+            for (std::size_t i = 0; i < map.size(); ++i) {
+                zf_set += map.getFlat(i) ? 1 : 0;
+                zq_set += qmap.getFlat(i) ? 1 : 0;
+            }
+        }
+        double mean_skip = 0.0;
+        for (const BlockCensus &c : result.census)
+            mean_skip += c.skipRatio;
+        mean_skip /= static_cast<double>(result.census.size());
+
+        std::cout << "\nf32 vs int8 on the same masks:\n";
+        Table side({"path", "argmax", "mean[argmax]", "var[argmax]",
+                    "zero rate", "skip rate"});
+        const auto row = [&](const char *path,
+                             const UncertaintySummary &s,
+                             std::size_t zeros) {
+            side.addRow(
+                {path, format("%zu", s.argmax),
+                 format("%.4f", s.mean.at(s.argmax)),
+                 format("%.6f", s.variance.at(s.argmax)),
+                 format("%.3f", static_cast<double>(zeros) /
+                                    static_cast<double>(z_total)),
+                 format("%.3f", mean_skip)});
+        };
+        row("f32", sf, zf_set);
+        row("int8", sq, zq_set);
+        side.print(std::cout);
+        double max_mean_diff = 0.0;
+        for (std::size_t i = 0; i < sf.mean.numel(); ++i) {
+            const double d = std::abs(
+                static_cast<double>(sf.mean.at(i)) - sq.mean.at(i));
+            if (d > max_mean_diff)
+                max_mean_diff = d;
+        }
+        std::cout << format("max |mean diff| %.5f, argmax %s\n",
+                            max_mean_diff,
+                            sf.argmax == sq.argmax ? "agrees"
+                                                   : "DISAGREES");
+    }
 
     // 6. With --audit-rate, re-run through the guarded predictive
     //    path: a shadow audit re-computes a sample of the skipped

@@ -44,7 +44,7 @@ struct SampleSlot {
 
 /** Run sample @p t (unguarded body shared by both paths). */
 void
-runSampleBody(const Network &net, const Tensor &input,
+runSampleBody(const ForwardTarget &target, const Tensor &input,
               const McOptions &opts, std::size_t t, SampleSlot &slot)
 {
     auto brng = makeBrng(opts.brng, opts.dropRate,
@@ -58,14 +58,14 @@ runSampleBody(const Network &net, const Tensor &input,
         injector.emplace(*opts.faults, t, &sampling);
         hooks = &*injector;
     }
-    slot.output = net.forward(input, hooks);
+    slot.output = target.forward(input, hooks);
     if (opts.recordMasks)
         slot.masks = sampling.takeMasks();
 }
 
 /** Run sample @p t under the isolation guard, recording its fate. */
 void
-runGuardedSample(const Network &net, const Tensor &input,
+runGuardedSample(const ForwardTarget &target, const Tensor &input,
                  const McOptions &opts, std::size_t t,
                  SampleSlot &slot)
 {
@@ -75,11 +75,11 @@ runGuardedSample(const Network &net, const Tensor &input,
         return;
     }
     if (!opts.sampleGuard) {
-        runSampleBody(net, input, opts, t, slot);
+        runSampleBody(target, input, opts, t, slot);
         return;
     }
     try {
-        runSampleBody(net, input, opts, t, slot);
+        runSampleBody(target, input, opts, t, slot);
         const std::size_t bad = firstNonFinite(slot.output);
         if (bad != static_cast<std::size_t>(-1)) {
             slot.code = ErrorCode::NonFinite;
@@ -157,13 +157,31 @@ Expected<McResult>
 tryRunMcDropout(const Network &net, const Tensor &input,
                 const McOptions &opts)
 {
+    ForwardTarget target;
+    target.forward = [&net](const Tensor &in, ForwardHooks *hooks) {
+        return net.forward(in, hooks);
+    };
+    target.name = net.name();
+    target.inputShape = net.inputShape();
+    return tryRunMcDropoutWith(target, input, opts);
+}
+
+Expected<McResult>
+tryRunMcDropoutWith(const ForwardTarget &target, const Tensor &input,
+                    const McOptions &opts)
+{
     FASTBCNN_RETURN_IF_ERROR(validateMcOptions(opts));
-    if (!(input.shape() == net.inputShape())) {
+    if (!target.forward) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "ForwardTarget '%s' has no forward function",
+                      target.name.c_str());
+    }
+    if (!(input.shape() == target.inputShape)) {
         return errorf(ErrorCode::InvalidArgument,
                       "input shape %s does not match network '%s' "
                       "input %s", input.shape().toString().c_str(),
-                      net.name().c_str(),
-                      net.inputShape().toString().c_str());
+                      target.name.c_str(),
+                      target.inputShape.toString().c_str());
     }
 
     // Deadline support is the one sanctioned wall-clock read in the
@@ -183,7 +201,7 @@ tryRunMcDropout(const Network &net, const Tensor &input,
     // unaffected-neuron machinery downstream.  A non-finite output
     // here is a whole-run failure — every sample shares these
     // weights, so no quorum of samples could be healthy.
-    result.preOutput = net.forward(input, nullptr);
+    result.preOutput = target.forward(input, nullptr);
     if (opts.sampleGuard) {
         const std::size_t bad = firstNonFinite(result.preOutput);
         if (bad != static_cast<std::size_t>(-1)) {
@@ -219,7 +237,7 @@ tryRunMcDropout(const Network &net, const Tensor &input,
                 markSkipped(slots[t]);
                 continue;
             }
-            runGuardedSample(net, input, opts, t, slots[t]);
+            runGuardedSample(target, input, opts, t, slots[t]);
         }
     } else {
         std::atomic<std::size_t> next{0};
@@ -233,7 +251,7 @@ tryRunMcDropout(const Network &net, const Tensor &input,
                         markSkipped(slots[t]);
                         continue;
                     }
-                    runGuardedSample(net, input, opts, t, slots[t]);
+                    runGuardedSample(target, input, opts, t, slots[t]);
                 }
             });
         }

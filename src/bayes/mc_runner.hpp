@@ -18,10 +18,12 @@
 #define FASTBCNN_BAYES_MC_RUNNER_HPP
 
 #include <cstdint>
+#include <functional>
 
 #include "fault/fault.hpp"
 #include "hooks.hpp"
 #include "nn/network.hpp"
+#include "quant/precision.hpp"
 #include "uncertainty.hpp"
 
 namespace fastbcnn {
@@ -93,6 +95,30 @@ struct McOptions {
      * the run.  See fault/fault.hpp for the plan format.
      */
     const FaultPlan *faults = nullptr;
+
+    /**
+     * Numeric path for the forward passes.  The runner itself is
+     * precision-agnostic (it drives whatever ForwardTarget it is
+     * handed); this knob is consumed by the engine layer, which picks
+     * the float network or its int8 mirror before calling the runner,
+     * and by the serving layer's per-request override plumbing.
+     */
+    Precision precision = Precision::Float32;
+};
+
+/**
+ * A forward pass the MC runner can drive: the float Network, its int8
+ * QuantizedNetwork mirror, or anything else that maps (input, hooks)
+ * to an output tensor.  Must be thread-safe for concurrent calls —
+ * every MC sample may run on a different worker.
+ */
+using ForwardFn = std::function<Tensor(const Tensor &, ForwardHooks *)>;
+
+/** The subject of an MC run when driving a ForwardFn directly. */
+struct ForwardTarget {
+    ForwardFn forward;  ///< the forward pass (required, non-empty)
+    std::string name;   ///< model name for error messages
+    Shape inputShape;   ///< validated against the run's input
 };
 
 /**
@@ -154,6 +180,17 @@ std::unique_ptr<Brng> makeBrng(BrngKind kind, double drop_rate,
  */
 [[nodiscard]] Expected<McResult> tryRunMcDropout(
     const Network &net, const Tensor &input, const McOptions &opts);
+
+/**
+ * Generalised MC-dropout run over an arbitrary forward pass.  Same
+ * semantics, guards and determinism contract as tryRunMcDropout() —
+ * that overload is a thin wrapper handing the Network's forward here.
+ * The int8 engine hands its QuantizedNetwork mirror instead, so both
+ * precisions share one scheduler, guard and census implementation.
+ */
+[[nodiscard]] Expected<McResult> tryRunMcDropoutWith(
+    const ForwardTarget &target, const Tensor &input,
+    const McOptions &opts);
 
 /**
  * Legacy convenience wrapper around tryRunMcDropout(): identical

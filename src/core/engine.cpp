@@ -47,7 +47,8 @@ FastBcnnEngine::create(Network net, EngineOptions opts)
 }
 
 void
-FastBcnnEngine::calibrate(const std::vector<Tensor> &calibration_inputs)
+FastBcnnEngine::calibrateThresholds(
+    const std::vector<Tensor> &calibration_inputs)
 {
     OptimizeResult res = optimizeThresholds(topo_, indicators_,
                                             calibration_inputs,
@@ -66,6 +67,18 @@ FastBcnnEngine::calibrate(const std::vector<Tensor> &calibration_inputs)
         }
         guard_ = std::make_unique<SkipGuard>(topo_, *thresholds_,
                                              gopts);
+    }
+}
+
+void
+FastBcnnEngine::calibrate(const std::vector<Tensor> &calibration_inputs)
+{
+    calibrateThresholds(calibration_inputs);
+    if (opts_.mc.precision == Precision::Int8) {
+        if (Status status = tryQuantize(calibration_inputs);
+            !status.isOk()) {
+            fatal("%s", status.toString().c_str());
+        }
     }
 }
 
@@ -88,7 +101,9 @@ FastBcnnEngine::tryCalibrate(
                 net_.inputShape().toString().c_str());
         }
     }
-    calibrate(calibration_inputs);
+    calibrateThresholds(calibration_inputs);
+    if (opts_.mc.precision == Precision::Int8)
+        FASTBCNN_RETURN_IF_ERROR(tryQuantize(calibration_inputs));
     return Status::ok();
 }
 
@@ -164,16 +179,68 @@ FastBcnnEngine::tryInfer(const Tensor &input)
     return infer(input);
 }
 
+Status
+FastBcnnEngine::tryQuantize(const std::vector<Tensor> &calibration_inputs)
+{
+    Expected<quant::CalibrationProfile> profile =
+        quant::tryCalibrateActivations(net_, calibration_inputs);
+    if (!profile.hasValue()) {
+        return std::move(profile).takeError().withContext(
+            "quantizing engine");
+    }
+    Expected<quant::QuantizedNetwork> qnet =
+        quant::QuantizedNetwork::build(net_, profile.value());
+    if (!qnet.hasValue()) {
+        return std::move(qnet).takeError().withContext(
+            "quantizing engine");
+    }
+    quantNet_ = std::make_unique<quant::QuantizedNetwork>(
+        std::move(qnet.value()));
+    return Status::ok();
+}
+
+Status
+FastBcnnEngine::tryAdoptQuantRecords(
+    const std::vector<QuantRecord> &records)
+{
+    Expected<quant::QuantizedNetwork> qnet =
+        quant::QuantizedNetwork::fromRecords(net_, records);
+    if (!qnet.hasValue()) {
+        return std::move(qnet).takeError().withContext(
+            "adopting checkpointed quant records");
+    }
+    quantNet_ = std::make_unique<quant::QuantizedNetwork>(
+        std::move(qnet.value()));
+    return Status::ok();
+}
+
 Expected<McResult>
 FastBcnnEngine::tryMcReference(const Tensor &input) const
 {
-    return tryRunMcDropout(net_, input, opts_.mc);
+    return tryMcReference(input, opts_.mc);
 }
 
 Expected<McResult>
 FastBcnnEngine::tryMcReference(const Tensor &input,
                                const McOptions &mc) const
 {
+    if (mc.precision == Precision::Int8) {
+        if (!int8Available()) {
+            return errorf(ErrorCode::InvalidArgument,
+                          "int8 inference requested but engine '%s' "
+                          "has no quantized model; call tryQuantize() "
+                          "first", net_.name().c_str());
+        }
+        ForwardTarget target;
+        const quant::QuantizedNetwork *qnet = quantNet_.get();
+        target.forward = [qnet](const Tensor &in,
+                                ForwardHooks *hooks) {
+            return qnet->forward(in, hooks);
+        };
+        target.name = net_.name();
+        target.inputShape = net_.inputShape();
+        return tryRunMcDropoutWith(target, input, mc);
+    }
     return tryRunMcDropout(net_, input, mc);
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/error.hpp"
 #include "guard/guarded_runner.hpp"
+#include "quant/quantize.hpp"
 #include "sim/accelerator.hpp"
 
 namespace fastbcnn {
@@ -112,6 +113,35 @@ class FastBcnnEngine
     /** @return true once thresholds have been calibrated. */
     bool calibrated() const { return thresholds_.has_value(); }
 
+    /**
+     * Build the engine's int8 mirror: calibrate per-layer activation
+     * ranges on @p calibration_inputs and quantize the owned network
+     * (src/quant).  Called automatically by calibrate() when
+     * EngineOptions::mc.precision is Int8; callable directly to add
+     * int8 capability to a float-default engine.  On error the engine
+     * keeps its previous quantized model (if any).
+     */
+    [[nodiscard]] Status tryQuantize(
+        const std::vector<Tensor> &calibration_inputs);
+
+    /**
+     * Adopt quantized parameters from checkpointed QuantRecords
+     * (validated against the owned network's topology) — the load
+     * path mirror of tryQuantize(), used when a binary checkpoint
+     * already carries a quantized-weights section.
+     */
+    [[nodiscard]] Status tryAdoptQuantRecords(
+        const std::vector<QuantRecord> &records);
+
+    /** @return true when an int8 mirror is ready to serve. */
+    bool int8Available() const { return quantNet_ != nullptr; }
+
+    /** @return the int8 mirror, or nullptr before tryQuantize(). */
+    const quant::QuantizedNetwork *quantized() const
+    {
+        return quantNet_.get();
+    }
+
     /** Run the full pipeline on one input. */
     EngineResult infer(const Tensor &input);
 
@@ -206,6 +236,10 @@ class FastBcnnEngine
     }
 
   private:
+    /** Algorithm 1 + guard construction (shared calibration body). */
+    void calibrateThresholds(
+        const std::vector<Tensor> &calibration_inputs);
+
     Network net_;
     EngineOptions opts_;
     BcnnTopology topo_;
@@ -214,6 +248,8 @@ class FastBcnnEngine
     std::vector<BlockTuneReport> tuneReports_;
     /** Constructed by calibrate() when EngineOptions::guard.enabled. */
     std::unique_ptr<SkipGuard> guard_;
+    /** Int8 mirror; built by tryQuantize() / tryAdoptQuantRecords(). */
+    std::unique_ptr<quant::QuantizedNetwork> quantNet_;
 };
 
 } // namespace fastbcnn

@@ -20,9 +20,16 @@ constexpr std::uint32_t kFormatVersion = 1;
 constexpr std::size_t kAlign = 64;
 constexpr std::size_t kHeaderBytes = 64;
 
-/** Section kind codes (a subset of LayerKind with pinned values). */
+/** Section kind codes (a subset of LayerKind with pinned values).
+ *  Codes 3/4 mark quantized sections of the same layer kinds; their
+ *  payload layout differs (see quantSectionPayload). */
 constexpr std::uint32_t kKindConv2d = 1;
 constexpr std::uint32_t kKindLinear = 2;
+constexpr std::uint32_t kKindQuantConv2d = 3;
+constexpr std::uint32_t kKindQuantLinear = 4;
+
+/** Byte size of a quant section's scale/shift parameter block. */
+constexpr std::size_t kQuantParamBytes = 16;
 
 std::size_t
 alignUp(std::size_t n)
@@ -95,17 +102,36 @@ kindCode(LayerKind kind)
     return kind == LayerKind::Linear ? kKindLinear : kKindConv2d;
 }
 
+std::uint32_t
+quantKindCode(LayerKind kind)
+{
+    return kind == LayerKind::Linear ? kKindQuantLinear
+                                     : kKindQuantConv2d;
+}
+
 Status
 kindFromCode(std::uint32_t code, LayerKind &kind)
 {
     switch (code) {
-      case kKindConv2d: kind = LayerKind::Conv2d; return Status::ok();
-      case kKindLinear: kind = LayerKind::Linear; return Status::ok();
+      case kKindConv2d:
+      case kKindQuantConv2d:
+        kind = LayerKind::Conv2d;
+        return Status::ok();
+      case kKindLinear:
+      case kKindQuantLinear:
+        kind = LayerKind::Linear;
+        return Status::ok();
       default:
         return errorf(ErrorCode::ParseError,
                       "section kind code %u is not a checkpointable "
                       "layer kind", code);
     }
+}
+
+bool
+isQuantKindCode(std::uint32_t code)
+{
+    return code == kKindQuantConv2d || code == kKindQuantLinear;
 }
 
 /**
@@ -135,6 +161,32 @@ sectionPayload(const CheckpointRecord &rec)
         putF32(payload, v);
     for (float v : rec.bias)
         putF32(payload, v);
+    pad(payload, 0);
+    return payload;
+}
+
+/**
+ * One quant section's payload: name + pad, a 16-byte parameter block
+ * (wScale, inScale, outScale as f32 LE, shift as i32 LE), int8
+ * weights (one byte each), int32 bias (4 bytes LE each), pad.
+ */
+std::string
+quantSectionPayload(const QuantRecord &rec)
+{
+    std::string payload;
+    payload.reserve(alignUp(rec.name.size()) +
+                    alignUp(kQuantParamBytes + rec.weights.size() +
+                            4 * rec.bias.size()));
+    payload += rec.name;
+    pad(payload, 0);
+    putF32(payload, rec.wScale);
+    putF32(payload, rec.inScale);
+    putF32(payload, rec.outScale);
+    putU32(payload, static_cast<std::uint32_t>(rec.shift));
+    for (std::int8_t v : rec.weights)
+        payload.push_back(static_cast<char>(v));
+    for (std::int32_t v : rec.bias)
+        putU32(payload, static_cast<std::uint32_t>(v));
     pad(payload, 0);
     return payload;
 }
@@ -186,6 +238,21 @@ tryEmitBinaryCheckpoint(const CheckpointImage &image, std::ostream &os)
         sealHeader(body, fields);
         body += payload;
     }
+    // Quantized sections ride after the float ones; same header
+    // layout, distinct kind codes, int8/int32 payload encoding.
+    for (const QuantRecord &rec : image.quantRecords) {
+        const std::string payload = quantSectionPayload(rec);
+        std::string fields;
+        putU32(fields, quantKindCode(rec.kind));
+        putU32(fields, static_cast<std::uint32_t>(rec.name.size()));
+        putU64(fields, rec.weights.size());
+        putU64(fields, rec.bias.size());
+        putU64(fields, payload.size());
+        putU32(fields, crc32(payload));
+        fields.append(kHeaderBytes - 4 - fields.size(), '\0');
+        sealHeader(body, fields);
+        body += payload;
+    }
 
     std::string file;
     file.reserve(kHeaderBytes + body.size() + kHeaderBytes);
@@ -194,7 +261,8 @@ tryEmitBinaryCheckpoint(const CheckpointImage &image, std::ostream &os)
         fields.append(kFileMagic, sizeof(kFileMagic));
         putU32(fields, kFormatVersion);
         putU32(fields,
-               static_cast<std::uint32_t>(image.records.size()));
+               static_cast<std::uint32_t>(image.records.size() +
+                                          image.quantRecords.size()));
         putU64(fields, body.size());
         putU32(fields,
                static_cast<std::uint32_t>(image.modelName.size()));
@@ -347,10 +415,16 @@ tryParseBinaryCheckpoint(const std::string &bytes)
         }
         // The advertised element counts must reproduce the payload
         // size exactly; any disagreement means a rotted length field
-        // the CRCs happened to miss is caught structurally.
+        // the CRCs happened to miss is caught structurally.  Quant
+        // sections pack int8 weights + int32 bias behind a 16-byte
+        // parameter block; float sections are f32 throughout.
         const std::uint64_t wantPayload =
-            alignUp(nameBytes) +
-            alignUp(4 * (weightCount + biasCount));
+            isQuantKindCode(kind)
+                ? alignUp(nameBytes) +
+                      alignUp(kQuantParamBytes + weightCount +
+                              4 * biasCount)
+                : alignUp(nameBytes) +
+                      alignUp(4 * (weightCount + biasCount));
         if (wantPayload != secPayload) {
             return errorf(ErrorCode::ParseError,
                           "section %u claims %llu name bytes and "
@@ -369,18 +443,43 @@ tryParseBinaryCheckpoint(const std::string &bytes)
                           s);
         }
 
-        CheckpointRecord rec;
-        FASTBCNN_RETURN_IF_ERROR(kindFromCode(kind, rec.kind));
-        rec.name.assign(payload, nameBytes);
-        const char *values = payload + alignUp(nameBytes);
-        rec.weights.reserve(static_cast<std::size_t>(weightCount));
-        for (std::uint64_t i = 0; i < weightCount; ++i)
-            rec.weights.push_back(getF32(values + 4 * i));
-        values += 4 * weightCount;
-        rec.bias.reserve(static_cast<std::size_t>(biasCount));
-        for (std::uint64_t i = 0; i < biasCount; ++i)
-            rec.bias.push_back(getF32(values + 4 * i));
-        image.records.push_back(std::move(rec));
+        if (isQuantKindCode(kind)) {
+            QuantRecord rec;
+            FASTBCNN_RETURN_IF_ERROR(kindFromCode(kind, rec.kind));
+            rec.name.assign(payload, nameBytes);
+            const char *values = payload + alignUp(nameBytes);
+            rec.wScale = getF32(values);
+            rec.inScale = getF32(values + 4);
+            rec.outScale = getF32(values + 8);
+            rec.shift =
+                static_cast<std::int32_t>(getU32(values + 12));
+            values += kQuantParamBytes;
+            rec.weights.reserve(
+                static_cast<std::size_t>(weightCount));
+            for (std::uint64_t i = 0; i < weightCount; ++i)
+                rec.weights.push_back(
+                    static_cast<std::int8_t>(values[i]));
+            values += weightCount;
+            rec.bias.reserve(static_cast<std::size_t>(biasCount));
+            for (std::uint64_t i = 0; i < biasCount; ++i)
+                rec.bias.push_back(static_cast<std::int32_t>(
+                    getU32(values + 4 * i)));
+            image.quantRecords.push_back(std::move(rec));
+        } else {
+            CheckpointRecord rec;
+            FASTBCNN_RETURN_IF_ERROR(kindFromCode(kind, rec.kind));
+            rec.name.assign(payload, nameBytes);
+            const char *values = payload + alignUp(nameBytes);
+            rec.weights.reserve(
+                static_cast<std::size_t>(weightCount));
+            for (std::uint64_t i = 0; i < weightCount; ++i)
+                rec.weights.push_back(getF32(values + 4 * i));
+            values += 4 * weightCount;
+            rec.bias.reserve(static_cast<std::size_t>(biasCount));
+            for (std::uint64_t i = 0; i < biasCount; ++i)
+                rec.bias.push_back(getF32(values + 4 * i));
+            image.records.push_back(std::move(rec));
+        }
 
         at += kHeaderBytes + secPayload;
     }
@@ -443,8 +542,11 @@ tryAuditCheckpoint(const std::string &bytes, CheckpointImage *image)
     audit.format = format.value();
     audit.modelName = parsed.value().modelName;
     audit.sections = parsed.value().records.size();
+    audit.quantSections = parsed.value().quantRecords.size();
     audit.fileBytes = bytes.size();
     for (const CheckpointRecord &rec : parsed.value().records)
+        audit.totalValues += rec.weights.size() + rec.bias.size();
+    for (const QuantRecord &rec : parsed.value().quantRecords)
         audit.totalValues += rec.weights.size() + rec.bias.size();
     // Text checkpoints without a footer parse fine but carry no CRC;
     // binary files cannot parse without passing every CRC.
@@ -469,6 +571,23 @@ trySaveCheckpointFile(const Network &net, const std::string &path,
         .withContext(fastbcnn::format(
             "saving %s checkpoint of '%s'",
             checkpointFormatName(format), net.name().c_str()));
+}
+
+Status
+trySaveCheckpointImageFile(const CheckpointImage &image,
+                           const std::string &path,
+                           CheckpointFormat format,
+                           const AtomicWriteOptions &write_opts)
+{
+    std::ostringstream os;
+    FASTBCNN_RETURN_IF_ERROR(
+        format == CheckpointFormat::Binary
+            ? tryEmitBinaryCheckpoint(image, os)
+            : tryEmitTextCheckpoint(image, os));
+    return tryAtomicWriteFile(path, os.str(), write_opts)
+        .withContext(fastbcnn::format(
+            "saving %s checkpoint of '%s'",
+            checkpointFormatName(format), image.modelName.c_str()));
 }
 
 Expected<CheckpointFormat>

@@ -17,6 +17,14 @@
  *     payload             layer name (zero-padded to 64 B), weights
  *                         as f32 LE, bias as f32 LE, zero-padded to
  *                         64 B; the payload CRC covers all of it
+ *
+ * Quantized sections (kind codes 3 = quant Conv2d, 4 = quant Linear)
+ * share the SectionHeader layout but pack a different payload: layer
+ * name (zero-padded to 64 B), a 16-byte parameter block (wScale,
+ * inScale, outScale as f32 LE, requant shift as i32 LE), weights as
+ * int8 (one byte each), bias as i32 LE, zero-padded to 64 B.  They
+ * ride after the float sections and are counted in the header's
+ * section count; a checkpoint without them is simply float-only.
  *   FileFooter   (64 B)  magic "FBCNNFT1", byte count of everything
  *                        before the footer, whole-file CRC32 over
  *                        those bytes, footer CRC32
@@ -95,6 +103,7 @@ struct CheckpointAudit {
     CheckpointFormat format = CheckpointFormat::Text;
     std::string modelName;
     std::size_t sections = 0;       ///< parameterised-layer records
+    std::size_t quantSections = 0;  ///< quantized-layer records
     std::size_t totalValues = 0;    ///< weight + bias element count
     std::size_t fileBytes = 0;
     bool crcVerified = false;       ///< false only for legacy text
@@ -116,6 +125,17 @@ struct CheckpointAudit {
  */
 [[nodiscard]] Status trySaveCheckpointFile(
     const Network &net, const std::string &path,
+    CheckpointFormat format,
+    const AtomicWriteOptions &write_opts = {});
+
+/**
+ * Image overload of trySaveCheckpointFile(): atomically write an
+ * already-assembled image — the path that carries quant records
+ * (append QuantizedNetwork::records() to checkpointImageOf(net)).
+ * Text format refuses images with quant records.
+ */
+[[nodiscard]] Status trySaveCheckpointImageFile(
+    const CheckpointImage &image, const std::string &path,
     CheckpointFormat format,
     const AtomicWriteOptions &write_opts = {});
 

@@ -249,6 +249,14 @@ tryCommitCheckpointImage(Network &net, const CheckpointImage &image)
 Status
 tryEmitTextCheckpoint(const CheckpointImage &image, std::ostream &os)
 {
+    if (!image.quantRecords.empty()) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "the text checkpoint format has no section for "
+                      "quantized weights; save '%s' (%zu quant "
+                      "records) as a binary checkpoint instead",
+                      image.modelName.c_str(),
+                      image.quantRecords.size());
+    }
     // Records are built in memory first so the CRC footer can cover
     // the exact byte region the loader will re-hash.
     std::ostringstream records;

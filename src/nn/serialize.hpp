@@ -25,6 +25,7 @@
 #ifndef FASTBCNN_NN_SERIALIZE_HPP
 #define FASTBCNN_NN_SERIALIZE_HPP
 
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
@@ -43,6 +44,25 @@ struct CheckpointRecord {
 };
 
 /**
+ * One parameterised layer's quantized state: int8 weights, int32
+ * biases, and the symmetric per-layer scale chain (real ≈ q * scale,
+ * zero-point 0).  The requant invariant outScale == inScale * wScale *
+ * 2^shift holds exactly — QuantizedNetwork::fromRecords() verifies it.
+ * Only the binary checkpoint format carries quant records; the text
+ * format refuses them (it has no section for int8 payloads).
+ */
+struct QuantRecord {
+    std::string name;          ///< layer name (the matching key)
+    LayerKind kind = LayerKind::Conv2d;  ///< Conv2d or Linear
+    std::vector<std::int8_t> weights;
+    std::vector<std::int32_t> bias;
+    float wScale = 1.0f;       ///< weight scale (real w ≈ q * wScale)
+    float inScale = 1.0f;      ///< input activation scale
+    float outScale = 1.0f;     ///< output activation scale
+    std::int32_t shift = 0;    ///< requant right shift, in [0, 30]
+};
+
+/**
  * A parsed checkpoint, independent of any network: the format
  * converter (tools/fastbcnn_ckpt) round-trips images without ever
  * building a model, and both loaders commit through the same staged
@@ -51,6 +71,8 @@ struct CheckpointRecord {
 struct CheckpointImage {
     std::string modelName;
     std::vector<CheckpointRecord> records;
+    /** Quantized sections (binary format only; may be empty). */
+    std::vector<QuantRecord> quantRecords;
 };
 
 /** Snapshot every Conv2d / Linear layer of @p net into an image. */
@@ -61,7 +83,9 @@ CheckpointImage checkpointImageOf(const Network &net);
  * every record first — unknown layer names (NotFound), layers without
  * parameters or element-count disagreements (Mismatch) — and only
  * then writes, so on any error the network's weights are left exactly
- * as they were.
+ * as they were.  Quant records are not committed here — a float
+ * Network has nowhere to put them; the engine adopts them via
+ * FastBcnnEngine::tryAdoptQuantRecords().
  */
 [[nodiscard]] Status tryCommitCheckpointImage(Network &net,
                                               const CheckpointImage &image);
@@ -75,7 +99,11 @@ CheckpointImage checkpointImageOf(const Network &net);
 [[nodiscard]] Expected<CheckpointImage> tryParseTextCheckpoint(
     std::istream &is);
 
-/** Serialise @p image in the text format (with CRC footer). */
+/**
+ * Serialise @p image in the text format (with CRC footer).  Refuses
+ * (InvalidArgument) an image carrying quant records — only the binary
+ * format has a section for them.
+ */
 [[nodiscard]] Status tryEmitTextCheckpoint(const CheckpointImage &image,
                                            std::ostream &os);
 

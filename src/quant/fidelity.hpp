@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Uncertainty-fidelity instrumentation for the int8 engine: does the
+ * quantized network preserve what the Bayesian machinery actually
+ * consumes?  Two things matter (DESIGN.md §15):
+ *
+ *  - skip-decision agreement: the Eq. 5 predictor is driven by the
+ *    pre-inference zero maps; if quantization flips zero neurons the
+ *    skip engine skips different neurons.  We compare predictions bit
+ *    by bit under identical dropout masks, counts and thresholds, so
+ *    the only varying term is the zero map itself.
+ *  - posterior moments: the MC mean / variance over T samples must
+ *    stay within tolerance of the float run.
+ */
+
+#ifndef FASTBCNN_QUANT_FIDELITY_HPP
+#define FASTBCNN_QUANT_FIDELITY_HPP
+
+#include <cstdint>
+
+#include "bayes/topology.hpp"
+#include "bayes/uncertainty.hpp"
+#include "quant/quantize.hpp"
+
+namespace fastbcnn::quant {
+
+/** Bitwise agreement between float- and int8-driven skip predictions. */
+struct SkipAgreement {
+    std::size_t compared = 0;  ///< prediction bits compared
+    std::size_t matched = 0;   ///< bits where both paths agree
+
+    /** @return matched / compared (1.0 when nothing was compared). */
+    double agreement() const
+    {
+        return compared == 0
+                   ? 1.0
+                   : static_cast<double>(matched) /
+                         static_cast<double>(compared);
+    }
+};
+
+/**
+ * Measure skip-decision agreement on one input.
+ *
+ * Both paths share everything except the zero map: the same Bernoulli
+ * masks (drawn once per sample from an LFSR BRNG over each conv's
+ * *input* volume — the quantity Eq. 5 counts), the same dropped-nw
+ * counts, the same thresholds.  Each of @p mask_samples rounds draws
+ * fresh masks for every block, so the agreement is averaged over many
+ * skip decisions, not one lucky draw.
+ *
+ * @param topo         analysed float BCNN
+ * @param qnet         its quantized mirror
+ * @param input        the image driving both pre-inferences
+ * @param threshold    per-kernel α for the shared ThresholdSet
+ * @param drop_rate    Bernoulli rate of the synthetic masks
+ * @param seed         BRNG seed (deterministic)
+ * @param mask_samples mask draws per conv block
+ */
+SkipAgreement compareSkipPredictions(const BcnnTopology &topo,
+                                     const QuantizedNetwork &qnet,
+                                     const Tensor &input,
+                                     double threshold, double drop_rate,
+                                     std::uint64_t seed,
+                                     std::size_t mask_samples);
+
+/** Elementwise distance between two MC summaries. */
+struct MomentFidelity {
+    double maxMeanDiff = 0.0;  ///< max |mean_f[c] - mean_q[c]|
+    double maxVarDiff = 0.0;   ///< max |var_f[c] - var_q[c]|
+    bool argmaxMatch = false;  ///< same predicted class
+};
+
+/**
+ * Compare the float and int8 MC summaries of the same run
+ * configuration.  fatal()s when the shapes disagree (caller bug).
+ */
+MomentFidelity compareSummaries(const UncertaintySummary &ref,
+                                const UncertaintySummary &quant);
+
+} // namespace fastbcnn::quant
+
+#endif // FASTBCNN_QUANT_FIDELITY_HPP

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Numeric precision selector for the inference engine.  Dependency-free
+ * so that the MC runner, engine options and serve request types can all
+ * name a precision without pulling in the quantization subsystem.
+ */
+
+#ifndef FASTBCNN_QUANT_PRECISION_HPP
+#define FASTBCNN_QUANT_PRECISION_HPP
+
+namespace fastbcnn {
+
+/** Arithmetic used for the MC predictive forward passes. */
+enum class Precision {
+    Float32, ///< reference f32 path (SIMD float kernels)
+    Int8,    ///< quantized path: int8 weights/activations, i32 accumulators
+};
+
+/** @return stable lowercase name ("f32" / "int8") of @p precision. */
+inline const char *precisionName(Precision precision)
+{
+    return precision == Precision::Int8 ? "int8" : "f32";
+}
+
+/**
+ * Parse a precision name as accepted on CLI flags and config files.
+ *
+ * @param name "f32", "float32", "fp32" or "int8", "i8"
+ * @param out  parsed value, untouched on failure
+ * @return true iff @p name named a precision
+ */
+inline bool precisionFromName(const char *name, Precision *out)
+{
+    const auto is = [name](const char *want) {
+        const char *a = name;
+        const char *b = want;
+        while (*a != '\0' && *a == *b) {
+            ++a;
+            ++b;
+        }
+        return *a == '\0' && *b == '\0';
+    };
+    if (is("f32") || is("float32") || is("fp32")) {
+        *out = Precision::Float32;
+        return true;
+    }
+    if (is("int8") || is("i8")) {
+        *out = Precision::Int8;
+        return true;
+    }
+    return false;
+}
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_QUANT_PRECISION_HPP

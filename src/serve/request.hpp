@@ -97,6 +97,13 @@ struct McOverrides {
     std::optional<std::size_t> threads;   ///< intra-request MC workers
     std::optional<std::uint64_t> seed;    ///< pin for reproducibility
     /**
+     * Numeric path override (unset = replica default).  Int8 requires
+     * the served model's engines to carry a quantized mirror —
+     * admission rejects otherwise (see ModelInfo::int8Available).
+     * Ignored by the guarded-skip path, which is float-only.
+     */
+    std::optional<Precision> precision;
+    /**
      * Per-request fault-injection plan (not owned; may be nullptr =
      * inherit the replica default).  Must outlive the request — the
      * soak tests use this to fault individual requests on a healthy
@@ -180,6 +187,12 @@ struct InferResponse {
      * same value — the hot-swap atomicity the RegistrySwap tests pin.
      */
     std::uint64_t modelVersion = 0;
+    /**
+     * Numeric path the request actually ran on (replica default
+     * merged with any McOverrides::precision; always Float32 on the
+     * guarded-skip path).  Meaningless unless dispatched.
+     */
+    Precision precision = Precision::Float32;
 
     /** @return true when the request was served. */
     bool ok() const { return outcome == Outcome::Ok; }

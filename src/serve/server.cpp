@@ -93,6 +93,7 @@ InferenceServer::create(std::vector<ModelSpec> models,
         info.inputShape = replica0->engine->network().inputShape();
         info.mcDefaults = replica0->engine->options().mc;
         info.guardEnabled = replica0->engine->guard() != nullptr;
+        info.int8Available = replica0->engine->int8Available();
         server->models_.emplace(spec.id, std::move(info));
         server->breakers_.emplace(
             spec.id, std::make_unique<CircuitBreaker>(opts.breaker));
@@ -184,11 +185,22 @@ InferenceServer::submit(InferRequest request)
             merged.threads = *over.threads;
         if (over.seed.has_value())
             merged.seed = *over.seed;
+        if (over.precision.has_value())
+            merged.precision = *over.precision;
         Status valid = validateMcOptions(merged);
         if (!valid.isOk()) {
             stats_.add("rejected_invalid");
             return std::move(valid).withContext(
                 "per-request MC overrides");
+        }
+        if (merged.precision == Precision::Int8 &&
+            !info.int8Available) {
+            stats_.add("rejected_invalid");
+            return errorf(ErrorCode::InvalidArgument,
+                          "model '%s' is served without an int8 "
+                          "mirror; Precision::Int8 needs engines "
+                          "quantized at build time",
+                          request.modelId.c_str());
         }
     }
     if (request.useGuardedSkip && !info.guardEnabled) {
@@ -380,6 +392,8 @@ InferenceServer::onSwapSuccess(const std::string &model_id,
             it->second.mcDefaults = replica0.engine->options().mc;
             it->second.guardEnabled =
                 replica0.engine->guard() != nullptr;
+            it->second.int8Available =
+                replica0.engine->int8Available();
         }
     }
     // Failures accumulated against the old version say nothing about
@@ -445,6 +459,7 @@ InferenceServer::health() const
         ModelHealth model;
         model.id = id;
         model.guardEnabled = info.guardEnabled;
+        model.int8Available = info.int8Available;
         auto breaker = breakers_.find(id);
         if (breaker != breakers_.end()) {
             model.breakerState = breaker->second->state();

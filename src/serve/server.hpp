@@ -78,6 +78,8 @@ struct ModelHealth {
     std::string id;
     /** True when the model's engines run with a skip guard. */
     bool guardEnabled = false;
+    /** True when the model's engines carry an int8 mirror. */
+    bool int8Available = false;
     BreakerState breakerState = BreakerState::Closed;
     std::uint64_t breakerOpens = 0;
     std::uint64_t breakerRejections = 0;
@@ -216,6 +218,9 @@ class InferenceServer
         McOptions mcDefaults;
         /** True when the model's engines carry a skip guard. */
         bool guardEnabled = false;
+        /** True when the model's engines carry an int8 mirror —
+         *  admission rejects Precision::Int8 requests otherwise. */
+        bool int8Available = false;
     };
 
     explicit InferenceServer(ServerOptions opts);

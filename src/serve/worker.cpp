@@ -38,6 +38,8 @@ EngineWorker::effectiveOptions(const FastBcnnEngine &engine,
         mc.threads = *over.threads;
     if (over.seed.has_value())
         mc.seed = *over.seed;
+    if (over.precision.has_value())
+        mc.precision = *over.precision;
     if (over.faults != nullptr)
         mc.faults = over.faults;
     if (pending.hasDeadline) {
@@ -101,6 +103,11 @@ EngineWorker::runBatch(std::vector<PendingRequest> &&batch,
         }
 
         const McOptions mc = effectiveOptions(*engine, pending, now);
+        // The guarded predictive path is float-only; the exact path
+        // runs whatever the merged options selected.
+        response.precision = pending.request.useGuardedSkip
+                                 ? Precision::Float32
+                                 : mc.precision;
         const ServeClock::time_point begin = ServeClock::now();
         if (pending.request.useGuardedSkip) {
             // Guarded predictive path: same sampling knobs, but no

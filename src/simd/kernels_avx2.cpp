@@ -419,6 +419,354 @@ avx2CountKernelPlane(const std::uint64_t *mask_words,
                              s, p);
 }
 
+/*
+ * int8 quant kernels.  Integer arithmetic is exact (simd.hpp), so
+ * these may vectorize across reductions freely; only saturation and
+ * the requantSat convention are pinned, both shared from
+ * kernels_internal.hpp.
+ */
+
+/** Pack an (i16, i16) weight pair into the i32 operand of madd_epi16:
+ *  low word multiplies the even (channel n) lanes, high word the odd
+ *  (channel n+1) lanes of the interleaved activation vector. */
+FASTBCNN_HOT inline std::int32_t
+packWeightPair(std::int32_t w0, std::int32_t w1)
+{
+    return static_cast<std::int32_t>(
+        (static_cast<std::uint32_t>(w0) & 0xffffu) |
+        (static_cast<std::uint32_t>(w1) << 16));
+}
+
+/*
+ * Register-resident int8 conv: one 16- or 8-column output block stays
+ * in accumulator registers across the whole (n, i, j) tap loop, and
+ * input channels are consumed in PAIRS so each madd_epi16 retires two
+ * MACs per i32 lane — double the ALU density of the float path.
+ * Products |w*x| <= 16129 fit i16, so the madd pair-sum is exact; the
+ * per-lane summation order differs from scalar but integer addition is
+ * associative, so the result is bit-identical (simd.hpp).
+ *
+ * Requires stride 1 and padding 0 (callers pre-pad activations into
+ * the conv input, which also makes every block load in-range:
+ * c0 + 15 + j <= out_w - 1 + kernel - 1 = in_w - 1).  Everything else
+ * falls back to the scalar reference.
+ */
+
+/** 16-column block: cols [c0, c0+16) of output row r, channel m. */
+FASTBCNN_HOT inline void
+avx2QuantConvBlock16(const std::int8_t *in_data,
+                     const std::int8_t *w_base, std::int32_t b,
+                     std::int8_t *out_row, std::size_t c0,
+                     std::size_t r, std::size_t in_channels,
+                     std::size_t in_h, std::size_t in_w, std::size_t k,
+                     std::int32_t shift)
+{
+    // A = cols (0..3, 8..11), B = cols (4..7, 12..15) of the block —
+    // the natural unpacklo/unpackhi + madd lane layout.
+    __m256i acc_a = _mm256_set1_epi32(b);
+    __m256i acc_b = _mm256_set1_epi32(b);
+    std::size_t n = 0;
+    for (; n + 2 <= in_channels; n += 2) {
+        const std::int8_t *p0 = in_data + n * in_h * in_w;
+        const std::int8_t *p1 = p0 + in_h * in_w;
+        const std::int8_t *wk0 = w_base + n * k * k;
+        const std::int8_t *wk1 = wk0 + k * k;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t row = (r + i) * in_w + c0;
+            for (std::size_t j = 0; j < k; ++j) {
+                const std::int32_t w0 = wk0[i * k + j];
+                const std::int32_t w1 = wk1[i * k + j];
+                if ((w0 | w1) == 0)
+                    continue;
+                const __m256i wp =
+                    _mm256_set1_epi32(packWeightPair(w0, w1));
+                const __m256i a16 =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(p0 + row +
+                                                          j)));
+                const __m256i b16 =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(p1 + row +
+                                                          j)));
+                acc_a = _mm256_add_epi32(
+                    acc_a,
+                    _mm256_madd_epi16(_mm256_unpacklo_epi16(a16, b16),
+                                      wp));
+                acc_b = _mm256_add_epi32(
+                    acc_b,
+                    _mm256_madd_epi16(_mm256_unpackhi_epi16(a16, b16),
+                                      wp));
+            }
+        }
+    }
+    if (n < in_channels) {
+        const std::int8_t *p0 = in_data + n * in_h * in_w;
+        const std::int8_t *wk0 = w_base + n * k * k;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t row = (r + i) * in_w + c0;
+            for (std::size_t j = 0; j < k; ++j) {
+                const std::int32_t w0 = wk0[i * k + j];
+                if (w0 == 0)
+                    continue;
+                const __m256i wp =
+                    _mm256_set1_epi32(packWeightPair(w0, 0));
+                const __m256i a16 =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(p0 + row +
+                                                          j)));
+                acc_a = _mm256_add_epi32(
+                    acc_a,
+                    _mm256_madd_epi16(_mm256_unpacklo_epi16(a16, a16),
+                                      wp));
+                acc_b = _mm256_add_epi32(
+                    acc_b,
+                    _mm256_madd_epi16(_mm256_unpackhi_epi16(a16, a16),
+                                      wp));
+            }
+        }
+    }
+    alignas(32) std::int32_t tmp[16];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(tmp),
+                       _mm256_permute2x128_si256(acc_a, acc_b, 0x20));
+    _mm256_store_si256(reinterpret_cast<__m256i *>(tmp + 8),
+                       _mm256_permute2x128_si256(acc_a, acc_b, 0x31));
+    for (std::size_t t = 0; t < 16; ++t)
+        out_row[c0 + t] = requantSat(tmp[t], shift);
+}
+
+/** 8-column block (same scheme at SSE width, for narrow planes). */
+FASTBCNN_HOT inline void
+avx2QuantConvBlock8(const std::int8_t *in_data, const std::int8_t *w_base,
+                    std::int32_t b, std::int8_t *out_row,
+                    std::size_t c0, std::size_t r,
+                    std::size_t in_channels, std::size_t in_h,
+                    std::size_t in_w, std::size_t k, std::int32_t shift)
+{
+    __m128i acc_a = _mm_set1_epi32(b); // cols 0..3
+    __m128i acc_b = _mm_set1_epi32(b); // cols 4..7
+    std::size_t n = 0;
+    for (; n + 2 <= in_channels; n += 2) {
+        const std::int8_t *p0 = in_data + n * in_h * in_w;
+        const std::int8_t *p1 = p0 + in_h * in_w;
+        const std::int8_t *wk0 = w_base + n * k * k;
+        const std::int8_t *wk1 = wk0 + k * k;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t row = (r + i) * in_w + c0;
+            for (std::size_t j = 0; j < k; ++j) {
+                const std::int32_t w0 = wk0[i * k + j];
+                const std::int32_t w1 = wk1[i * k + j];
+                if ((w0 | w1) == 0)
+                    continue;
+                const __m128i wp =
+                    _mm_set1_epi32(packWeightPair(w0, w1));
+                const __m128i a16 = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(p0 + row + j)));
+                const __m128i b16 = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(p1 + row + j)));
+                acc_a = _mm_add_epi32(
+                    acc_a,
+                    _mm_madd_epi16(_mm_unpacklo_epi16(a16, b16), wp));
+                acc_b = _mm_add_epi32(
+                    acc_b,
+                    _mm_madd_epi16(_mm_unpackhi_epi16(a16, b16), wp));
+            }
+        }
+    }
+    if (n < in_channels) {
+        const std::int8_t *p0 = in_data + n * in_h * in_w;
+        const std::int8_t *wk0 = w_base + n * k * k;
+        for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t row = (r + i) * in_w + c0;
+            for (std::size_t j = 0; j < k; ++j) {
+                const std::int32_t w0 = wk0[i * k + j];
+                if (w0 == 0)
+                    continue;
+                const __m128i wp =
+                    _mm_set1_epi32(packWeightPair(w0, 0));
+                const __m128i a16 = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+                    reinterpret_cast<const __m128i *>(p0 + row + j)));
+                acc_a = _mm_add_epi32(
+                    acc_a,
+                    _mm_madd_epi16(_mm_unpacklo_epi16(a16, a16), wp));
+                acc_b = _mm_add_epi32(
+                    acc_b,
+                    _mm_madd_epi16(_mm_unpackhi_epi16(a16, a16), wp));
+            }
+        }
+    }
+    alignas(16) std::int32_t tmp[8];
+    _mm_store_si128(reinterpret_cast<__m128i *>(tmp), acc_a);
+    _mm_store_si128(reinterpret_cast<__m128i *>(tmp + 4), acc_b);
+    for (std::size_t t = 0; t < 8; ++t)
+        out_row[c0 + t] = requantSat(tmp[t], shift);
+}
+
+FASTBCNN_HOT void
+avx2QuantConvForward(const std::int8_t *in_data, const std::int8_t *w_data,
+                     const std::int32_t *bias, std::int8_t *out_data,
+                     std::int32_t *acc, std::size_t in_channels,
+                     std::size_t out_channels, std::size_t in_h,
+                     std::size_t in_w, std::size_t out_h,
+                     std::size_t out_w, std::size_t kernel,
+                     std::size_t stride, std::size_t padding,
+                     std::int32_t shift)
+{
+    if (stride != 1 || padding != 0) {
+        scalarQuantConvForward(in_data, w_data, bias, out_data, acc,
+                               in_channels, out_channels, in_h, in_w,
+                               out_h, out_w, kernel, stride, padding,
+                               shift);
+        return;
+    }
+    for (std::size_t m = 0; m < out_channels; ++m) {
+        const std::int8_t *w_base =
+            w_data + m * in_channels * kernel * kernel;
+        const std::int32_t b = bias[m];
+        for (std::size_t r = 0; r < out_h; ++r) {
+            std::int8_t *out_row = out_data + (m * out_h + r) * out_w;
+            std::size_t c0 = 0;
+            for (; c0 + 16 <= out_w; c0 += 16) {
+                avx2QuantConvBlock16(in_data, w_base, b, out_row, c0,
+                                     r, in_channels, in_h, in_w,
+                                     kernel, shift);
+            }
+            for (; c0 + 8 <= out_w; c0 += 8) {
+                avx2QuantConvBlock8(in_data, w_base, b, out_row, c0, r,
+                                    in_channels, in_h, in_w, kernel,
+                                    shift);
+            }
+            for (; c0 < out_w; ++c0) {
+                std::int32_t a = b;
+                for (std::size_t n = 0; n < in_channels; ++n) {
+                    const std::int8_t *p0 = in_data + n * in_h * in_w;
+                    const std::int8_t *wk = w_base + n * kernel * kernel;
+                    for (std::size_t i = 0; i < kernel; ++i) {
+                        const std::int8_t *in_row =
+                            p0 + (r + i) * in_w + c0;
+                        for (std::size_t j = 0; j < kernel; ++j) {
+                            a += static_cast<std::int32_t>(
+                                     wk[i * kernel + j]) *
+                                 static_cast<std::int32_t>(in_row[j]);
+                        }
+                    }
+                }
+                out_row[c0] = requantSat(a, shift);
+            }
+        }
+    }
+}
+
+FASTBCNN_HOT void
+avx2QuantDenseAccum(const std::int8_t *w, const std::int32_t *bias,
+                    const std::int8_t *x, std::int32_t *acc,
+                    std::size_t out_features, std::size_t in_features)
+{
+    for (std::size_t o = 0; o < out_features; ++o) {
+        const std::int8_t *row = w + o * in_features;
+        __m256i acc8 = _mm256_setzero_si256();
+        std::size_t i = 0;
+        for (; i + 16 <= in_features; i += 16) {
+            const __m256i w16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + i)));
+            const __m256i x16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(x + i)));
+            acc8 = _mm256_add_epi32(acc8,
+                                    _mm256_madd_epi16(w16, x16));
+        }
+        std::int32_t lanes[8];
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc8);
+        std::int32_t sum = bias[o];
+        for (std::size_t l = 0; l < 8; ++l)
+            sum += lanes[l];
+        for (; i < in_features; ++i) {
+            sum += static_cast<std::int32_t>(row[i]) *
+                   static_cast<std::int32_t>(x[i]);
+        }
+        acc[o] = sum;
+    }
+}
+
+FASTBCNN_HOT void
+avx2QuantRelu(const std::int8_t *in, std::int8_t *out, std::size_t n)
+{
+    const __m256i zero32 = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 32 <= n; i += 32) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + i),
+            _mm256_and_si256(v, _mm256_cmpgt_epi8(v, zero32)));
+    }
+    for (; i < n; ++i)
+        out[i] = in[i] > 0 ? in[i] : std::int8_t{0};
+}
+
+FASTBCNN_HOT void
+avx2QuantPoolMax(const std::int8_t *in, std::int8_t *out,
+                 std::size_t channels, std::size_t in_h,
+                 std::size_t in_w, std::size_t out_h, std::size_t out_w,
+                 std::size_t k, std::size_t s, std::size_t p,
+                 std::int8_t init)
+{
+    if (s != 1) {
+        scalarQuantPoolMax(in, out, channels, in_h, in_w, out_h, out_w,
+                           k, s, p, init);
+        return;
+    }
+    const __m256i init32 = _mm256_set1_epi8(static_cast<char>(init));
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+        const std::int8_t *in_plane = in + ch * in_h * in_w;
+        std::int8_t *out_plane = out + ch * out_h * out_w;
+        std::size_t z = 0;
+        for (; z + 32 <= out_h * out_w; z += 32) {
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(out_plane + z), init32);
+        }
+        for (; z < out_h * out_w; ++z)
+            out_plane[z] = init;
+        for (std::size_t r = 0; r < out_h; ++r) {
+            std::int8_t *out_row = out_plane + r * out_w;
+            for (std::size_t i = 0; i < k; ++i) {
+                const std::ptrdiff_t in_r =
+                    static_cast<std::ptrdiff_t>(r + i) -
+                    static_cast<std::ptrdiff_t>(p);
+                if (in_r < 0 ||
+                    in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                    continue;
+                }
+                const std::int8_t *in_row =
+                    in_plane + in_r * static_cast<std::ptrdiff_t>(in_w);
+                for (std::size_t j = 0; j < k; ++j) {
+                    const std::ptrdiff_t d =
+                        static_cast<std::ptrdiff_t>(j) -
+                        static_cast<std::ptrdiff_t>(p);
+                    std::size_t c0, c1;
+                    validRangeS1(d, out_w, in_w, c0, c1);
+                    std::size_t c = c0;
+                    for (; c + 32 <= c1; c += 32) {
+                        const __m256i v = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(
+                                in_row +
+                                (static_cast<std::ptrdiff_t>(c) + d)));
+                        __m256i *op =
+                            reinterpret_cast<__m256i *>(out_row + c);
+                        _mm256_storeu_si256(
+                            op,
+                            _mm256_max_epi8(_mm256_loadu_si256(op), v));
+                    }
+                    for (; c < c1; ++c) {
+                        const std::int8_t v =
+                            in_row[static_cast<std::ptrdiff_t>(c) + d];
+                        const std::int8_t a = out_row[c];
+                        out_row[c] = (a < v) ? v : a;
+                    }
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 
 const SimdKernels *
@@ -429,7 +777,9 @@ avx2TableOrNull()
         &avx2PoolMax,           &avx2PoolAvg,
         &avx2Relu,              &avx2PopcountWords,
         &avx2PopcountBits,      &avx2AndPopcountWords,
-        &avx2CountKernelPlane,
+        &avx2CountKernelPlane,  &avx2QuantConvForward,
+        &avx2QuantDenseAccum,   &avx2QuantRelu,
+        &avx2QuantPoolMax,
     };
     return &table;
 }

@@ -324,6 +324,165 @@ scalarCountKernelPlane(const std::uint64_t *mask_words,
     }
 }
 
+// ------------------------------------ scalar int8 quant references
+
+/** Saturate an int32 accumulator to the int8 range. */
+FASTBCNN_HOT inline std::int8_t
+sat8(std::int32_t v)
+{
+    if (v > 127)
+        return 127;
+    if (v < -128)
+        return -128;
+    return static_cast<std::int8_t>(v);
+}
+
+/**
+ * The pinned requantization convention (see simd.hpp): round-half-up
+ * right shift, then saturate.  shift == 0 is a plain saturation.
+ * Shared by every level — integer arithmetic is exact, so there is
+ * nothing level-specific to reimplement.
+ */
+FASTBCNN_HOT inline std::int8_t
+requantSat(std::int32_t acc, std::int32_t shift)
+{
+    if (shift > 0)
+        acc = (acc + (std::int32_t{1} << (shift - 1))) >> shift;
+    return sat8(acc);
+}
+
+/**
+ * Scalar quantized conv forward: int32 accumulation into @p acc
+ * (out_h * out_w caller scratch) per output channel, then one
+ * requantization pass.  Mirrors scalarConvForward's tap order and
+ * zero-weight skip.
+ */
+FASTBCNN_HOT inline void
+scalarQuantConvForward(const std::int8_t *in_data,
+                       const std::int8_t *w_data,
+                       const std::int32_t *bias, std::int8_t *out_data,
+                       std::int32_t *acc, std::size_t in_channels,
+                       std::size_t out_channels, std::size_t in_h,
+                       std::size_t in_w, std::size_t out_h,
+                       std::size_t out_w, std::size_t kernel,
+                       std::size_t stride, std::size_t padding,
+                       std::int32_t shift)
+{
+    for (std::size_t m = 0; m < out_channels; ++m) {
+        const std::int32_t b = bias[m];
+        for (std::size_t z = 0; z < out_h * out_w; ++z)
+            acc[z] = b;
+        for (std::size_t n = 0; n < in_channels; ++n) {
+            const std::int8_t *in_plane = in_data + n * in_h * in_w;
+            const std::int8_t *w_kernel =
+                w_data + (m * in_channels + n) * kernel * kernel;
+            for (std::size_t i = 0; i < kernel; ++i) {
+                for (std::size_t j = 0; j < kernel; ++j) {
+                    const std::int32_t wv = w_kernel[i * kernel + j];
+                    if (wv == 0)
+                        continue;
+                    for (std::size_t r = 0; r < out_h; ++r) {
+                        const std::ptrdiff_t in_r =
+                            static_cast<std::ptrdiff_t>(r * stride + i)
+                            - static_cast<std::ptrdiff_t>(padding);
+                        if (in_r < 0 ||
+                            in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                            continue;
+                        }
+                        const std::int8_t *in_row =
+                            in_plane + in_r * static_cast<std::ptrdiff_t>(
+                                                  in_w);
+                        std::int32_t *acc_row = acc + r * out_w;
+                        for (std::size_t c = 0; c < out_w; ++c) {
+                            const std::ptrdiff_t in_c =
+                                static_cast<std::ptrdiff_t>(
+                                    c * stride + j) -
+                                static_cast<std::ptrdiff_t>(padding);
+                            if (in_c < 0 ||
+                                in_c >=
+                                    static_cast<std::ptrdiff_t>(in_w)) {
+                                continue;
+                            }
+                            acc_row[c] += wv * in_row[in_c];
+                        }
+                    }
+                }
+            }
+        }
+        std::int8_t *out_plane = out_data + m * out_h * out_w;
+        for (std::size_t z = 0; z < out_h * out_w; ++z)
+            out_plane[z] = requantSat(acc[z], shift);
+    }
+}
+
+/** Scalar quantized dense accumulation (raw int32, no requant). */
+FASTBCNN_HOT inline void
+scalarQuantDenseAccum(const std::int8_t *w, const std::int32_t *bias,
+                      const std::int8_t *x, std::int32_t *acc,
+                      std::size_t out_features, std::size_t in_features)
+{
+    for (std::size_t o = 0; o < out_features; ++o) {
+        const std::int8_t *row = w + o * in_features;
+        std::int32_t sum = bias[o];
+        for (std::size_t i = 0; i < in_features; ++i) {
+            sum += static_cast<std::int32_t>(row[i]) *
+                   static_cast<std::int32_t>(x[i]);
+        }
+        acc[o] = sum;
+    }
+}
+
+/** Scalar int8 ReLU. */
+FASTBCNN_HOT inline void
+scalarQuantRelu(const std::int8_t *in, std::int8_t *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = in[i] > 0 ? in[i] : std::int8_t{0};
+}
+
+/** Scalar int8 windowed max-pool: acc = (acc < v) ? v : acc. */
+FASTBCNN_HOT inline void
+scalarQuantPoolMax(const std::int8_t *in, std::int8_t *out,
+                   std::size_t channels, std::size_t in_h,
+                   std::size_t in_w, std::size_t out_h,
+                   std::size_t out_w, std::size_t k, std::size_t s,
+                   std::size_t p, std::int8_t init)
+{
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+        const std::int8_t *in_plane = in + ch * in_h * in_w;
+        std::int8_t *out_plane = out + ch * out_h * out_w;
+        for (std::size_t r = 0; r < out_h; ++r) {
+            for (std::size_t c = 0; c < out_w; ++c) {
+                std::int8_t acc = init;
+                for (std::size_t i = 0; i < k; ++i) {
+                    const std::ptrdiff_t in_r =
+                        static_cast<std::ptrdiff_t>(r * s + i) -
+                        static_cast<std::ptrdiff_t>(p);
+                    if (in_r < 0 ||
+                        in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                        continue;
+                    }
+                    for (std::size_t j = 0; j < k; ++j) {
+                        const std::ptrdiff_t in_c =
+                            static_cast<std::ptrdiff_t>(c * s + j) -
+                            static_cast<std::ptrdiff_t>(p);
+                        if (in_c < 0 ||
+                            in_c >= static_cast<std::ptrdiff_t>(in_w)) {
+                            continue;
+                        }
+                        const std::int8_t v =
+                            in_plane[static_cast<std::size_t>(in_r) *
+                                         in_w +
+                                     static_cast<std::size_t>(in_c)];
+                        acc = (acc < v) ? v : acc;
+                    }
+                }
+                out_plane[r * out_w + c] = acc;
+            }
+        }
+    }
+}
+
 // --------------------------------------- shared word-parallel Eq. 5
 
 /**

@@ -17,7 +17,9 @@ scalarTable()
         &scalarPoolMax,           &scalarPoolAvg,
         &scalarRelu,              &scalarPopcountWords,
         &scalarPopcountBits,      &scalarAndPopcountWords,
-        &scalarCountKernelPlane,
+        &scalarCountKernelPlane,  &scalarQuantConvForward,
+        &scalarQuantDenseAccum,   &scalarQuantRelu,
+        &scalarQuantPoolMax,
     };
     return table;
 }

@@ -412,6 +412,223 @@ sse4CountKernelPlane(const std::uint64_t *mask_words,
                              s, p);
 }
 
+/*
+ * int8 quant kernels.  Integer arithmetic is exact (simd.hpp), so
+ * these may vectorize across reductions freely; only saturation and
+ * the requantSat convention are pinned, both shared from
+ * kernels_internal.hpp.
+ */
+
+FASTBCNN_HOT void
+sse4QuantConvForward(const std::int8_t *in_data, const std::int8_t *w_data,
+                     const std::int32_t *bias, std::int8_t *out_data,
+                     std::int32_t *acc, std::size_t in_channels,
+                     std::size_t out_channels, std::size_t in_h,
+                     std::size_t in_w, std::size_t out_h,
+                     std::size_t out_w, std::size_t kernel,
+                     std::size_t stride, std::size_t padding,
+                     std::int32_t shift)
+{
+    if (stride != 1) {
+        scalarQuantConvForward(in_data, w_data, bias, out_data, acc,
+                               in_channels, out_channels, in_h, in_w,
+                               out_h, out_w, kernel, stride, padding,
+                               shift);
+        return;
+    }
+    for (std::size_t m = 0; m < out_channels; ++m) {
+        const std::int32_t b = bias[m];
+        const __m128i b4 = _mm_set1_epi32(b);
+        std::size_t z = 0;
+        for (; z + 4 <= out_h * out_w; z += 4) {
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(acc + z), b4);
+        }
+        for (; z < out_h * out_w; ++z)
+            acc[z] = b;
+        for (std::size_t n = 0; n < in_channels; ++n) {
+            const std::int8_t *in_plane = in_data + n * in_h * in_w;
+            const std::int8_t *w_kernel =
+                w_data + (m * in_channels + n) * kernel * kernel;
+            for (std::size_t i = 0; i < kernel; ++i) {
+                for (std::size_t j = 0; j < kernel; ++j) {
+                    const std::int32_t wv = w_kernel[i * kernel + j];
+                    if (wv == 0)
+                        continue;
+                    const std::ptrdiff_t d =
+                        static_cast<std::ptrdiff_t>(j) -
+                        static_cast<std::ptrdiff_t>(padding);
+                    std::size_t c0, c1;
+                    validRangeS1(d, out_w, in_w, c0, c1);
+                    const __m128i wv8 = _mm_set1_epi16(
+                        static_cast<short>(wv));
+                    for (std::size_t r = 0; r < out_h; ++r) {
+                        const std::ptrdiff_t in_r =
+                            static_cast<std::ptrdiff_t>(r + i) -
+                            static_cast<std::ptrdiff_t>(padding);
+                        if (in_r < 0 ||
+                            in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                            continue;
+                        }
+                        const std::int8_t *in_row =
+                            in_plane +
+                            in_r * static_cast<std::ptrdiff_t>(in_w);
+                        std::int32_t *acc_row = acc + r * out_w;
+                        std::size_t c = c0;
+                        for (; c + 8 <= c1; c += 8) {
+                            const __m128i v8 = _mm_loadl_epi64(
+                                reinterpret_cast<const __m128i *>(
+                                    in_row +
+                                    (static_cast<std::ptrdiff_t>(c) +
+                                     d)));
+                            // i8*i8 fits i16 (|w*x| <= 16129), so the
+                            // widened mullo_epi16 product is exact.
+                            const __m128i prod = _mm_mullo_epi16(
+                                _mm_cvtepi8_epi16(v8), wv8);
+                            const __m128i lo =
+                                _mm_cvtepi16_epi32(prod);
+                            const __m128i hi = _mm_cvtepi16_epi32(
+                                _mm_srli_si128(prod, 8));
+                            __m128i *alo = reinterpret_cast<__m128i *>(
+                                acc_row + c);
+                            __m128i *ahi = reinterpret_cast<__m128i *>(
+                                acc_row + c + 4);
+                            _mm_storeu_si128(
+                                alo, _mm_add_epi32(
+                                         _mm_loadu_si128(alo), lo));
+                            _mm_storeu_si128(
+                                ahi, _mm_add_epi32(
+                                         _mm_loadu_si128(ahi), hi));
+                        }
+                        for (; c < c1; ++c) {
+                            acc_row[c] +=
+                                wv *
+                                in_row[static_cast<std::ptrdiff_t>(c) +
+                                       d];
+                        }
+                    }
+                }
+            }
+        }
+        std::int8_t *out_plane = out_data + m * out_h * out_w;
+        for (std::size_t q = 0; q < out_h * out_w; ++q)
+            out_plane[q] = requantSat(acc[q], shift);
+    }
+}
+
+FASTBCNN_HOT void
+sse4QuantDenseAccum(const std::int8_t *w, const std::int32_t *bias,
+                    const std::int8_t *x, std::int32_t *acc,
+                    std::size_t out_features, std::size_t in_features)
+{
+    for (std::size_t o = 0; o < out_features; ++o) {
+        const std::int8_t *row = w + o * in_features;
+        __m128i acc4 = _mm_setzero_si128();
+        std::size_t i = 0;
+        for (; i + 16 <= in_features; i += 16) {
+            const __m128i wv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + i));
+            const __m128i xv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(x + i));
+            acc4 = _mm_add_epi32(
+                acc4, _mm_madd_epi16(_mm_cvtepi8_epi16(wv),
+                                     _mm_cvtepi8_epi16(xv)));
+            acc4 = _mm_add_epi32(
+                acc4,
+                _mm_madd_epi16(
+                    _mm_cvtepi8_epi16(_mm_srli_si128(wv, 8)),
+                    _mm_cvtepi8_epi16(_mm_srli_si128(xv, 8))));
+        }
+        std::int32_t lanes[4];
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(lanes), acc4);
+        std::int32_t sum =
+            bias[o] + lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        for (; i < in_features; ++i) {
+            sum += static_cast<std::int32_t>(row[i]) *
+                   static_cast<std::int32_t>(x[i]);
+        }
+        acc[o] = sum;
+    }
+}
+
+FASTBCNN_HOT void
+sse4QuantRelu(const std::int8_t *in, std::int8_t *out, std::size_t n)
+{
+    const __m128i zero16 = _mm_setzero_si128();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         _mm_and_si128(v, _mm_cmpgt_epi8(v, zero16)));
+    }
+    for (; i < n; ++i)
+        out[i] = in[i] > 0 ? in[i] : std::int8_t{0};
+}
+
+FASTBCNN_HOT void
+sse4QuantPoolMax(const std::int8_t *in, std::int8_t *out,
+                 std::size_t channels, std::size_t in_h,
+                 std::size_t in_w, std::size_t out_h, std::size_t out_w,
+                 std::size_t k, std::size_t s, std::size_t p,
+                 std::int8_t init)
+{
+    if (s != 1) {
+        scalarQuantPoolMax(in, out, channels, in_h, in_w, out_h, out_w,
+                           k, s, p, init);
+        return;
+    }
+    const __m128i init16 = _mm_set1_epi8(static_cast<char>(init));
+    for (std::size_t ch = 0; ch < channels; ++ch) {
+        const std::int8_t *in_plane = in + ch * in_h * in_w;
+        std::int8_t *out_plane = out + ch * out_h * out_w;
+        std::size_t z = 0;
+        for (; z + 16 <= out_h * out_w; z += 16) {
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(out_plane + z),
+                             init16);
+        }
+        for (; z < out_h * out_w; ++z)
+            out_plane[z] = init;
+        for (std::size_t r = 0; r < out_h; ++r) {
+            std::int8_t *out_row = out_plane + r * out_w;
+            for (std::size_t i = 0; i < k; ++i) {
+                const std::ptrdiff_t in_r =
+                    static_cast<std::ptrdiff_t>(r + i) -
+                    static_cast<std::ptrdiff_t>(p);
+                if (in_r < 0 ||
+                    in_r >= static_cast<std::ptrdiff_t>(in_h)) {
+                    continue;
+                }
+                const std::int8_t *in_row =
+                    in_plane + in_r * static_cast<std::ptrdiff_t>(in_w);
+                for (std::size_t j = 0; j < k; ++j) {
+                    const std::ptrdiff_t d =
+                        static_cast<std::ptrdiff_t>(j) -
+                        static_cast<std::ptrdiff_t>(p);
+                    std::size_t c0, c1;
+                    validRangeS1(d, out_w, in_w, c0, c1);
+                    std::size_t c = c0;
+                    for (; c + 16 <= c1; c += 16) {
+                        const __m128i v = _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(
+                                in_row +
+                                (static_cast<std::ptrdiff_t>(c) + d)));
+                        __m128i *op =
+                            reinterpret_cast<__m128i *>(out_row + c);
+                        _mm_storeu_si128(
+                            op, _mm_max_epi8(_mm_loadu_si128(op), v));
+                    }
+                    for (; c < c1; ++c) {
+                        const std::int8_t v =
+                            in_row[static_cast<std::ptrdiff_t>(c) + d];
+                        const std::int8_t a = out_row[c];
+                        out_row[c] = (a < v) ? v : a;
+                    }
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 
 const SimdKernels *
@@ -422,7 +639,9 @@ sse4TableOrNull()
         &sse4PoolMax,           &sse4PoolAvg,
         &sse4Relu,              &sse4PopcountWords,
         &sse4PopcountBits,      &sse4AndPopcountWords,
-        &sse4CountKernelPlane,
+        &sse4CountKernelPlane,  &sse4QuantConvForward,
+        &sse4QuantDenseAccum,   &sse4QuantRelu,
+        &sse4QuantPoolMax,
     };
     return &table;
 }

@@ -139,6 +139,63 @@ struct SimdKernels {
                              std::size_t in_w, std::size_t out_h,
                              std::size_t out_w, std::size_t k,
                              std::size_t s, std::size_t p);
+
+    /*
+     * Quantized int8 kernels.  Integer arithmetic is exact and
+     * associative, so — unlike the float kernels above — the vector
+     * variants MAY reorder and vectorise across a single output's
+     * reduction: any summation order of the int32 partial products
+     * yields the same accumulator, and the bit-identity contract holds
+     * for free.  The only pinned conventions are saturation to
+     * [-128, 127] and round-half-up requantization:
+     * shift > 0: out = sat8((acc + (1 << (shift-1))) >> shift);
+     * shift == 0: out = sat8(acc).
+     */
+
+    /**
+     * Quantized convolution forward: for each output channel m,
+     * acc(r, c) = bias[m] + sum over (n, i, j) of w(m,n,i,j) *
+     * in(n, r*s+i-p, c*s+j-p) in int32, then out(m,r,c) =
+     * requantized acc (per-layer right shift, see above).  Zero
+     * quantized weights are skipped like the float kernel.
+     * @p acc_scratch is caller-provided storage of out_h * out_w
+     * int32 entries (contents undefined before and after).
+     */
+    void (*quantConvForward)(const std::int8_t *in, const std::int8_t *w,
+                             const std::int32_t *bias, std::int8_t *out,
+                             std::int32_t *acc_scratch,
+                             std::size_t in_channels,
+                             std::size_t out_channels, std::size_t in_h,
+                             std::size_t in_w, std::size_t out_h,
+                             std::size_t out_w, std::size_t kernel,
+                             std::size_t stride, std::size_t padding,
+                             std::int32_t shift);
+
+    /**
+     * Quantized dense accumulation: acc[o] = bias[o] + sum over i of
+     * w[o*in+i] * x[i], all int32, written WITHOUT requantization —
+     * the head layer dequantizes raw accumulators straight to float
+     * logits; hidden layers requantize in the caller.
+     */
+    void (*quantDenseAccum)(const std::int8_t *w, const std::int32_t *bias,
+                            const std::int8_t *x, std::int32_t *acc,
+                            std::size_t out_features,
+                            std::size_t in_features);
+
+    /** Elementwise int8 ReLU: out[i] = in[i] > 0 ? in[i] : 0. */
+    void (*quantRelu)(const std::int8_t *in, std::int8_t *out,
+                      std::size_t n);
+
+    /**
+     * Quantized windowed max-pool: integer max over in-window taps
+     * starting from @p init (0 for padded pools, -128 otherwise).
+     * Quantization is monotone, so this commutes with the float pool.
+     */
+    void (*quantPoolMax)(const std::int8_t *in, std::int8_t *out,
+                         std::size_t channels, std::size_t in_h,
+                         std::size_t in_w, std::size_t out_h,
+                         std::size_t out_w, std::size_t k, std::size_t s,
+                         std::size_t p, std::int8_t init);
 };
 
 /**

@@ -37,6 +37,31 @@ hotDirty(std::vector<float> &v, std::mutex &m)
     FASTBCNN_CHECK(v.size() > 0, "grew");  // hot-path (always-on check)
 }
 
+// Quant-kernel shape: int32 accumulate + shift requant over raw int8
+// pointers, the discipline the int8 inference kernels live under.
+// Integer-only arithmetic is fine; scratch must be caller-provided.
+FASTBCNN_HOT void
+hotQuantClean(const signed char *w, const int *bias, signed char *out,
+              std::size_t n, int shift)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        int acc = bias[i] + 3 * static_cast<int>(w[i]);
+        acc += 1 << (shift - 1);
+        acc >>= shift;
+        out[i] = static_cast<signed char>(
+            acc < -128 ? -128 : acc > 127 ? 127 : acc);
+    }
+}
+
+FASTBCNN_HOT void
+hotQuantDirty(const signed char *w, signed char *out, std::size_t n)
+{
+    std::vector<int> acc(n, 0);  // hot-path (allocating scratch)
+    for (std::size_t i = 0; i < n; ++i)
+        acc[i] = w[i];
+    out[0] = static_cast<signed char>(acc[0]);
+}
+
 void
 coldIsFine(std::vector<float> &v)
 {

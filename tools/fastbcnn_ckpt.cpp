@@ -43,10 +43,11 @@ void
 printAudit(const std::string &path, const CheckpointAudit &audit)
 {
     std::cout << format(
-        "%s: %s checkpoint of model '%s' — %zu sections, %zu values, "
-        "%zu bytes, CRC %s\n", path.c_str(),
+        "%s: %s checkpoint of model '%s' — %zu sections (%zu quant), "
+        "%zu values, %zu bytes, CRC %s\n", path.c_str(),
         checkpointFormatName(audit.format), audit.modelName.c_str(),
-        audit.sections, audit.totalValues, audit.fileBytes,
+        audit.sections + audit.quantSections, audit.quantSections,
+        audit.totalValues, audit.fileBytes,
         audit.crcVerified ? "verified" : "absent (legacy text)");
 }
 
