@@ -11,7 +11,10 @@
  *  - open loop: requests arrive at a target offered rate regardless of
  *    completions (each carries a deadline), so overload shows up as
  *    shed and rejected requests instead of coordinated-omission-style
- *    flattering latencies.
+ *    flattering latencies.  The 2x overload point runs twice — once
+ *    fixed-T and once with the brownout ladder on — and every open
+ *    record carries mean effective T, the converged fraction and the
+ *    highest brownout rung seen.
  *
  * Emits a JSON document (stdout, and FASTBCNN_SERVE_JSON=path for a
  * file copy that CI uploads as an artifact) with one record per
@@ -22,6 +25,7 @@
  * seconds-long smoke pass; FASTBCNN_BENCH_FULL=1 lengthens the runs.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -138,6 +142,11 @@ struct RunRecord {
     double p95Ms = 0.0;
     double p99Ms = 0.0;
     double meanBatch = 0.0;
+    /** Brownout annotations (open loop only; defaults when off). */
+    bool brownout = false;
+    double meanEffectiveT = 0.0;
+    double convergedFraction = 0.0;
+    BrownoutLevel maxLevel = BrownoutLevel::Normal;
 };
 
 void
@@ -227,6 +236,7 @@ runOpenLoop(const ServerOptions &sopts, const LoadScale &scale,
     record.workers = sopts.workers;
     record.maxBatch = sopts.maxBatch;
     record.offeredRps = offered_rps;
+    record.brownout = sopts.brownout.enabled;
 
     auto server = InferenceServer::create({servedSpec()}, sopts);
     if (!server.hasValue()) {
@@ -261,8 +271,25 @@ runOpenLoop(const ServerOptions &sopts, const LoadScale &scale,
         handles.push_back(std::move(handle).value());
     }
     srv.drain();
-    for (RequestHandle &h : handles)
-        h.response.wait();
+    std::uint64_t sumEffective = 0, okSeen = 0, converged = 0;
+    for (RequestHandle &h : handles) {
+        const InferResponse response = h.response.get();
+        record.maxLevel =
+            std::max(record.maxLevel, response.brownoutLevel);
+        if (response.outcome != Outcome::Ok)
+            continue;
+        ++okSeen;
+        sumEffective += response.effectiveSamples;
+        if (response.result.has_value() &&
+            response.result->census.converged)
+            ++converged;
+    }
+    if (okSeen > 0) {
+        record.meanEffectiveT = static_cast<double>(sumEffective) /
+                                static_cast<double>(okSeen);
+        record.convergedFraction = static_cast<double>(converged) /
+                                   static_cast<double>(okSeen);
+    }
     const double duration =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       begin)
@@ -297,7 +324,16 @@ appendJson(std::ostringstream &os, const RunRecord &r, bool last)
        << "      \"p95_ms\": " << format("%.3f", r.p95Ms) << ",\n"
        << "      \"p99_ms\": " << format("%.3f", r.p99Ms) << ",\n"
        << "      \"mean_batch\": " << format("%.2f", r.meanBatch)
-       << "\n    }" << (last ? "\n" : ",\n");
+       << ",\n"
+       << "      \"brownout\": " << (r.brownout ? "true" : "false")
+       << ",\n"
+       << "      \"mean_effective_t\": "
+       << format("%.2f", r.meanEffectiveT) << ",\n"
+       << "      \"converged_fraction\": "
+       << format("%.3f", r.convergedFraction) << ",\n"
+       << "      \"max_brownout_level\": \""
+       << brownoutLevelName(r.maxLevel) << "\"\n    }"
+       << (last ? "\n" : ",\n");
 }
 
 } // namespace
@@ -340,6 +376,23 @@ main()
         records.push_back(
             runOpenLoop(openConfig, scale, offered,
                         /*deadline_ms=*/1000.0 / ceiling * 8.0));
+    }
+    // The 2x overload point again with the brownout ladder on: the
+    // record's mean_effective_t / converged_fraction / max level show
+    // what the controller traded for the shed-rate drop (the hard A/B
+    // gate lives in bench_serve_soak).
+    {
+        ServerOptions browned = openConfig;
+        browned.brownout.enabled = true;
+        browned.brownout.tickIntervalMs = 25.0;
+        const double deadlineMs = 1000.0 / ceiling * 8.0;
+        browned.brownout.queueDelayHighMs = deadlineMs * 0.5;
+        browned.brownout.queueDelayLowMs = deadlineMs * 0.2;
+        std::cerr << "  open loop (brownout), workers = "
+                  << browned.workers << ", offered = "
+                  << format("%.0f", ceiling * 2.0) << " rps...\n";
+        records.push_back(runOpenLoop(browned, scale, ceiling * 2.0,
+                                      deadlineMs));
     }
 
     std::ostringstream json;

@@ -16,15 +16,25 @@
  *     0.3D, attempts the corrupt v3 at 0.5D (must fail and roll back
  *     with the circuit breaker still closed), and swaps zoo-b to v2
  *     at 0.7D.
- *  4. Emit per-second trajectories (throughput, p50/p95/p99, shed,
+ *  4. Brownout A/B: drive a T=32 model at 2x its own ceiling twice —
+ *     once fixed-T (controller off) and once with the brownout ladder
+ *     on — at the identical offered rate and deadline, and emit both
+ *     per-second trajectories (ok/shed/rejected, mean effective T,
+ *     converged fraction, ladder rung, p99).
+ *  5. Emit per-second trajectories (throughput, p50/p95/p99, shed,
  *     per-version service counts) and the swap log as JSON to stdout
  *     and BENCH_serve_soak.json (FASTBCNN_SOAK_JSON overrides the
  *     path).
  *
  * Exit is nonzero when any request is lost or double-completed, when
- * a good swap fails, when the corrupt swap is NOT rejected, or when
- * the rollback leaves the model unserved — the CI wiring treats this
- * binary as a pass/fail robustness gate, not just a meter.
+ * a good swap fails, when the corrupt swap is NOT rejected, when the
+ * rollback leaves the model unserved, or when the brownout phase
+ * fails its gates — the controller must cut the shed+rejected rate at
+ * least 2x versus fixed-T, keep served p99 within
+ * max(1.25 * fixed-T p99, the deadline), engage the ladder under the
+ * overload and walk it back to Normal afterwards — the CI wiring
+ * treats this binary as a pass/fail robustness gate, not just a
+ * meter.
  */
 
 #include <algorithm>
@@ -247,6 +257,400 @@ measureCeiling(InferenceServer &srv)
             .count();
     return duration > 0.0 ? static_cast<double>(ok.load()) / duration
                           : 100.0;
+}
+
+// --- Brownout A/B overload comparison --------------------------------
+//
+// Phase A serves a T=12 model at 2x its ceiling with the brownout
+// controller off (fixed-T baseline); phase B repeats the identical
+// offered load with the controller on.  The gate: brownout must cut
+// the shed+rejected rate at least 2x without regressing served p99
+// past max(1.25 * fixed-T p99, the deadline), the ladder must engage,
+// and it must walk back to Normal once the overload ends.
+
+/** The brown model's sample count (heavy enough that MC compute, not
+ *  per-request overhead, is what the server runs out of). */
+constexpr std::size_t kBrownSamples = 32;
+
+Tensor
+brownInput()
+{
+    Tensor t(Shape({1, 16, 16}));
+    t.fill(0.5f);
+    return t;
+}
+
+/** The brownout-phase model: a wider net on a 16x16 input at T=32, so
+ *  sample degradation is a real capacity lever. */
+ModelSpec
+brownSpec()
+{
+    ModelSpec spec;
+    spec.id = "brown";
+    spec.factory = []() -> Expected<std::unique_ptr<FastBcnnEngine>> {
+        Network net("brown", Shape({1, 16, 16}));
+        net.add(std::make_unique<Conv2d>("c1", 1, 8, 3, 1, 1));
+        net.add(std::make_unique<ReLU>("r1"));
+        net.add(std::make_unique<Dropout>("d1", 0.3));
+        net.add(std::make_unique<Conv2d>("c2", 8, 8, 3, 1, 1));
+        net.add(std::make_unique<ReLU>("r2"));
+        net.add(std::make_unique<Dropout>("d2", 0.3));
+        InitOptions init;
+        init.seed = 23;
+        init.biasShift = 0.0;
+        initializeWeights(net, init);
+        EngineOptions eopts;
+        eopts.mc.samples = kBrownSamples;
+        eopts.mc.quorum = 2;
+        eopts.mc.seed = 17;
+        eopts.mc.recordMasks = false;
+        eopts.optimizer.samples = 2;
+        Expected<std::unique_ptr<FastBcnnEngine>> engine =
+            FastBcnnEngine::create(std::move(net), eopts);
+        if (!engine.hasValue())
+            return engine;
+        Status calibrated =
+            engine.value()->tryCalibrate({brownInput()});
+        if (!calibrated.isOk())
+            return Expected<std::unique_ptr<FastBcnnEngine>>(
+                std::move(calibrated));
+        return engine;
+    };
+    return spec;
+}
+
+/** One second of a brownout phase. */
+struct BrownWindow {
+    std::size_t ok = 0;
+    std::size_t shed = 0;
+    std::size_t rejected = 0;
+    std::size_t converged = 0;
+    std::uint64_t sumEffective = 0;
+    int maxLevel = 0;
+    LatencyHistogram okLatency;
+};
+
+/** One brownout phase's measurements. */
+struct BrownoutPhase {
+    bool valid = false;
+    bool controllerOn = false;
+    double durationS = 0.0;
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    double p99Ms = 0.0;
+    /** (shed + rejected + failed) / submitted: the fraction of
+     *  offered work the server dropped instead of serving (failed
+     *  here is overload too — deadlines expiring mid-run). */
+    double degradeRate = 0.0;
+    double meanEffectiveT = 0.0;
+    double convergedFraction = 0.0;
+    int maxLevel = 0;
+    bool recoveredToNormal = true;
+    std::vector<BrownWindow> windows;
+};
+
+BrownoutPhase
+runBrownoutPhase(bool controller_on, double phase_s, double offered,
+                 double deadline_ms)
+{
+    BrownoutPhase phase;
+    phase.controllerOn = controller_on;
+    phase.durationS = phase_s;
+
+    ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.queueCapacity = 128;
+    sopts.maxBatch = 4;
+    if (controller_on) {
+        sopts.brownout.enabled = true;
+        sopts.brownout.tickIntervalMs = 25.0;
+        sopts.brownout.queueDelayHighMs = deadline_ms * 0.5;
+        sopts.brownout.queueDelayLowMs = deadline_ms * 0.2;
+        // Overload-bench posture: clamp hard (16/8/4 of T=32) so the
+        // BudgetClamp rung alone more than doubles capacity, and let
+        // runs whose predictive CI tightens early stop even sooner.
+        sopts.brownout.budgetFraction = {0.5, 0.25, 0.125};
+        sopts.brownout.targetCiWidth = 0.6;
+        sopts.brownout.minSamples = 4;
+    }
+    auto created = InferenceServer::create({brownSpec()}, sopts);
+    if (!created.hasValue()) {
+        std::cerr << "brownout phase server creation failed: "
+                  << created.error().toString() << "\n";
+        return phase;
+    }
+    InferenceServer &srv = *created.value();
+
+    struct Done {
+        double atS = 0.0;
+        double totalMs = 0.0;
+        Outcome outcome = Outcome::Failed;
+        int level = 0;
+        std::size_t effective = 0;
+        bool converged = false;
+    };
+    std::mutex handlesMutex;
+    std::deque<RequestHandle> handles;
+    std::atomic<bool> producing{true};
+    std::vector<double> rejectedAt;
+    std::uint64_t submitted = 0, accepted = 0;
+
+    const auto begin = std::chrono::steady_clock::now();
+    std::thread submitter([&]() {
+        const auto interval = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(1.0 / offered));
+        const auto end =
+            begin + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(phase_s));
+        auto nextFire = begin;
+        std::uint64_t i = 0;
+        while (std::chrono::steady_clock::now() < end) {
+            std::this_thread::sleep_until(nextFire);
+            nextFire += interval;
+            InferRequest req;
+            req.modelId = "brown";
+            req.input = brownInput();
+            req.mc.seed = i;
+            req.deadlineMs = deadline_ms;
+            req.priority = static_cast<Priority>(i % kPriorityLevels);
+            ++i;
+            ++submitted;
+            auto handle = srv.submit(std::move(req));
+            if (!handle.hasValue()) {
+                rejectedAt.push_back(
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count());
+                continue;
+            }
+            ++accepted;
+            const std::lock_guard<std::mutex> lock(handlesMutex);
+            handles.push_back(std::move(handle).value());
+        }
+    });
+
+    constexpr std::size_t collectors = 2;
+    std::vector<std::vector<Done>> collected(collectors);
+    std::vector<std::thread> collectorPool;
+    collectorPool.reserve(collectors);
+    for (std::size_t c = 0; c < collectors; ++c) {
+        collectorPool.emplace_back([&, c]() {
+            std::vector<Done> &mine = collected[c];
+            for (;;) {
+                RequestHandle handle;
+                {
+                    const std::lock_guard<std::mutex> lock(
+                        handlesMutex);
+                    if (handles.empty()) {
+                        if (!producing.load(std::memory_order_acquire))
+                            return;
+                    } else {
+                        handle = std::move(handles.front());
+                        handles.pop_front();
+                    }
+                }
+                if (!handle.response.valid()) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                    continue;
+                }
+                const InferResponse response = handle.response.get();
+                Done done;
+                done.atS = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - begin)
+                               .count();
+                done.totalMs = response.totalMs;
+                done.outcome = response.outcome;
+                done.level = static_cast<int>(response.brownoutLevel);
+                done.effective = response.effectiveSamples;
+                done.converged = response.result.has_value() &&
+                                 response.result->census.converged;
+                mine.push_back(done);
+            }
+        });
+    }
+
+    submitter.join();
+    // Release the collectors only after the submitter's final push is
+    // visible, so no handle can slip in behind their exit check.
+    producing.store(false, std::memory_order_release);
+    for (std::thread &t : collectorPool)
+        t.join();
+
+    if (controller_on) {
+        // The overload is over: give the tick thread time to walk the
+        // ladder back down (idle ticks with an empty queue count as
+        // healthy), then check it actually recovered.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2500));
+        phase.recoveredToNormal =
+            srv.health().brownout.level == BrownoutLevel::Normal;
+    }
+    srv.drain();
+
+    // --- Aggregate -----------------------------------------------------
+    phase.valid = true;
+    phase.submitted = submitted;
+    phase.accepted = accepted;
+    phase.rejected = rejectedAt.size();
+    const std::size_t windowCount =
+        static_cast<std::size_t>(phase_s) + 2;
+    phase.windows.resize(windowCount);
+    const auto windowAt = [&](double at_s) -> BrownWindow & {
+        return phase.windows[std::min(
+            windowCount - 1,
+            static_cast<std::size_t>(std::max(0.0, at_s)))];
+    };
+    for (double at : rejectedAt)
+        ++windowAt(at).rejected;
+    LatencyHistogram okLatency;
+    std::uint64_t sumEffective = 0, convergedCount = 0;
+    for (const std::vector<Done> &part : collected) {
+        for (const Done &done : part) {
+            BrownWindow &w = windowAt(done.atS);
+            w.maxLevel = std::max(w.maxLevel, done.level);
+            phase.maxLevel = std::max(phase.maxLevel, done.level);
+            switch (done.outcome) {
+            case Outcome::Ok:
+                ++phase.ok;
+                ++w.ok;
+                w.okLatency.record(done.totalMs);
+                okLatency.record(done.totalMs);
+                w.sumEffective += done.effective;
+                sumEffective += done.effective;
+                if (done.converged) {
+                    ++w.converged;
+                    ++convergedCount;
+                }
+                break;
+            case Outcome::Shed:
+                ++phase.shed;
+                ++w.shed;
+                break;
+            case Outcome::Failed: ++phase.failed; break;
+            case Outcome::Cancelled: ++phase.cancelled; break;
+            }
+        }
+    }
+    phase.p99Ms = okLatency.p99Ms();
+    phase.degradeRate =
+        phase.submitted > 0
+            ? static_cast<double>(phase.shed + phase.rejected +
+                                  phase.failed) /
+                  static_cast<double>(phase.submitted)
+            : 0.0;
+    phase.meanEffectiveT =
+        phase.ok > 0 ? static_cast<double>(sumEffective) /
+                           static_cast<double>(phase.ok)
+                     : 0.0;
+    phase.convergedFraction =
+        phase.ok > 0 ? static_cast<double>(convergedCount) /
+                           static_cast<double>(phase.ok)
+                     : 0.0;
+    return phase;
+}
+
+void
+appendBrownoutPhaseJson(std::ostringstream &os,
+                        const BrownoutPhase &phase)
+{
+    os << "{\"controller\": "
+       << (phase.controllerOn ? "true" : "false")
+       << ", \"submitted\": " << phase.submitted
+       << ", \"accepted\": " << phase.accepted
+       << ", \"rejected\": " << phase.rejected
+       << ", \"ok\": " << phase.ok << ", \"shed\": " << phase.shed
+       << ", \"failed\": " << phase.failed
+       << ", \"degrade_rate\": "
+       << format("%.4f", phase.degradeRate)
+       << ", \"p99_ms\": " << format("%.3f", phase.p99Ms)
+       << ", \"mean_effective_t\": "
+       << format("%.2f", phase.meanEffectiveT)
+       << ", \"converged_fraction\": "
+       << format("%.3f", phase.convergedFraction)
+       << ", \"max_level\": \""
+       << brownoutLevelName(
+              static_cast<BrownoutLevel>(phase.maxLevel))
+       << "\", \"recovered_to_normal\": "
+       << (phase.recoveredToNormal ? "true" : "false")
+       << ",\n      \"windows\": [\n";
+    for (std::size_t i = 0; i < phase.windows.size(); ++i) {
+        const BrownWindow &w = phase.windows[i];
+        const double meanT =
+            w.ok > 0 ? static_cast<double>(w.sumEffective) /
+                           static_cast<double>(w.ok)
+                     : 0.0;
+        const double convergedFrac =
+            w.ok > 0 ? static_cast<double>(w.converged) /
+                           static_cast<double>(w.ok)
+                     : 0.0;
+        os << "        {\"t_s\": " << i << ", \"ok\": " << w.ok
+           << ", \"shed\": " << w.shed
+           << ", \"rejected\": " << w.rejected
+           << ", \"mean_effective_t\": " << format("%.2f", meanT)
+           << ", \"converged_fraction\": "
+           << format("%.3f", convergedFrac) << ", \"max_level\": \""
+           << brownoutLevelName(static_cast<BrownoutLevel>(w.maxLevel))
+           << "\", \"p99_ms\": "
+           << format("%.3f", w.okLatency.p99Ms()) << "}"
+           << (i + 1 == phase.windows.size() ? "\n" : ",\n");
+    }
+    os << "      ]}";
+}
+
+/** Closed-loop ceiling of the brown model on a throwaway server. */
+double
+measureBrownCeiling()
+{
+    auto created = InferenceServer::create({brownSpec()}, [] {
+        ServerOptions sopts;
+        sopts.workers = 2;
+        sopts.queueCapacity = 128;
+        sopts.maxBatch = 4;
+        return sopts;
+    }());
+    if (!created.hasValue()) {
+        std::cerr << "ceiling server creation failed: "
+                  << created.error().toString() << "\n";
+        return 0.0;
+    }
+    InferenceServer &srv = *created.value();
+    constexpr std::size_t clients = 4;
+    constexpr std::size_t perClient = 25;
+    std::atomic<std::uint64_t> ok{0};
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c]() {
+            for (std::size_t i = 0; i < perClient; ++i) {
+                InferRequest req;
+                req.modelId = "brown";
+                req.input = brownInput();
+                req.mc.seed = c * 10000 + i;
+                auto handle = srv.submit(std::move(req));
+                if (!handle.hasValue())
+                    continue;
+                if (handle.value().response.get().ok())
+                    ok.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    const double duration =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      begin)
+            .count();
+    srv.drain();
+    return duration > 0.0 ? static_cast<double>(ok.load()) / duration
+                          : 0.0;
 }
 
 void
@@ -555,6 +959,79 @@ main()
         }
     }
 
+    // --- Brownout A/B overload comparison ----------------------------
+    // Same offered rate (2x the brown model's ceiling), same deadline,
+    // only the controller differs.  Gates: brownout cuts the
+    // shed+rejected rate >= 2x, served p99 does not regress past
+    // max(1.25 * fixed-T p99, the deadline), the ladder engages, and
+    // it recovers to Normal after the load stops.
+    std::cerr << "bench_serve_soak: brownout A/B comparison...\n";
+    const double brownCeiling = measureBrownCeiling();
+    const double brownOffered = 2.0 * brownCeiling;
+    const double brownDeadlineMs = 1000.0 / brownCeiling * 8.0;
+    const double brownPhaseS =
+        std::min(12.0, std::max(5.0, durationS / 4.0));
+    BrownoutPhase fixedT;
+    BrownoutPhase adaptive;
+    if (brownCeiling <= 0.0) {
+        std::cerr << "FAIL: cannot measure the brown model ceiling\n";
+        ++failures;
+    } else {
+        std::cerr << format(
+            "bench_serve_soak: brown ceiling %.0f rps; 2 phases of "
+            "%.0f s at %.0f rps, deadline %.1f ms\n", brownCeiling,
+            brownPhaseS, brownOffered, brownDeadlineMs);
+        fixedT = runBrownoutPhase(/*controller_on=*/false, brownPhaseS,
+                                  brownOffered, brownDeadlineMs);
+        adaptive = runBrownoutPhase(/*controller_on=*/true, brownPhaseS,
+                                    brownOffered, brownDeadlineMs);
+        if (!fixedT.valid || !adaptive.valid) {
+            std::cerr << "FAIL: brownout phase did not run\n";
+            ++failures;
+        } else {
+            std::cerr << format(
+                "bench_serve_soak: fixed-T degrade rate %.3f "
+                "(p99 %.1f ms); brownout %.3f (p99 %.1f ms, mean "
+                "effective T %.1f, max rung %s)\n", fixedT.degradeRate,
+                fixedT.p99Ms, adaptive.degradeRate, adaptive.p99Ms,
+                adaptive.meanEffectiveT,
+                brownoutLevelName(
+                    static_cast<BrownoutLevel>(adaptive.maxLevel)));
+            if (fixedT.degradeRate <= 0.0) {
+                std::cerr << "FAIL: 2x overload shed nothing under "
+                             "fixed-T — the baseline did not "
+                             "saturate\n";
+                ++failures;
+            } else if (adaptive.degradeRate * 2.0 >
+                       fixedT.degradeRate) {
+                std::cerr << format(
+                    "FAIL: brownout degrade rate %.3f is not a 2x "
+                    "improvement on fixed-T %.3f\n",
+                    adaptive.degradeRate, fixedT.degradeRate);
+                ++failures;
+            }
+            if (adaptive.p99Ms >
+                std::max(fixedT.p99Ms * 1.25, brownDeadlineMs)) {
+                std::cerr << format(
+                    "FAIL: brownout p99 %.1f ms regressed past "
+                    "max(1.25 * %.1f, %.1f)\n", adaptive.p99Ms,
+                    fixedT.p99Ms, brownDeadlineMs);
+                ++failures;
+            }
+            if (adaptive.maxLevel <
+                static_cast<int>(BrownoutLevel::AdaptiveExit)) {
+                std::cerr << "FAIL: the brownout ladder never left "
+                             "Normal under 2x overload\n";
+                ++failures;
+            }
+            if (!adaptive.recoveredToNormal) {
+                std::cerr << "FAIL: the ladder did not recover to "
+                             "Normal after the overload ended\n";
+                ++failures;
+            }
+        }
+    }
+
     const StatGroup &stats = srv.stats();
     std::ostringstream json;
     json << "{\n  \"bench\": \"serve_soak\",\n"
@@ -587,7 +1064,21 @@ main()
     for (std::size_t i = 0; i < windows.size(); ++i)
         appendWindowJson(json, windows[i], i,
                          i + 1 == windows.size());
-    json << "  ],\n  \"verdict\": \""
+    json << "  ],\n  \"brownout_overload\": {\n"
+         << "    \"t_samples\": " << kBrownSamples << ",\n"
+         << "    \"phase_s\": " << format("%.1f", brownPhaseS)
+         << ",\n"
+         << "    \"ceiling_rps\": " << format("%.1f", brownCeiling)
+         << ",\n"
+         << "    \"offered_rps\": " << format("%.1f", brownOffered)
+         << ",\n"
+         << "    \"deadline_ms\": "
+         << format("%.2f", brownDeadlineMs) << ",\n"
+         << "    \"fixed\": ";
+    appendBrownoutPhaseJson(json, fixedT);
+    json << ",\n    \"adaptive\": ";
+    appendBrownoutPhaseJson(json, adaptive);
+    json << "\n  },\n  \"verdict\": \""
          << (failures == 0 ? "pass" : "fail") << "\"\n}\n";
 
     std::cout << json.str();

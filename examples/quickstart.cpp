@@ -27,6 +27,13 @@
  *                     the engine's quantized mirror during calibration
  *                     and prints a side-by-side f32-vs-int8 comparison
  *                     (posterior mean/variance, zero/skip rates)
+ *   --target-ci-width W
+ *                     adaptive early exit: stop sampling once the
+ *                     predictive-mean 95 % CI is narrower than W
+ *                     (deterministic checkpoints; 0 = fixed T)
+ *   --min-samples M   floor on samples before the early exit may stop
+ *   --sample-budget B hard clamp on samples launched (the serving
+ *                     brownout's lever; 0 = no clamp)
  */
 
 #include <cmath>
@@ -56,6 +63,9 @@ struct CliOptions {
     std::string checkpointFormat;  // empty = skip the demo
     std::string simdLevel;    // empty = strongest available
     Precision precision = Precision::Float32;
+    double targetCiWidth = 0.0;   // 0 = fixed-T sampling
+    std::size_t minSamples = 0;   // adaptive floor
+    std::size_t sampleBudget = 0; // 0 = no clamp
 };
 
 CliOptions
@@ -105,13 +115,21 @@ parseArgs(int argc, char **argv)
                 // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI arg-parse exit
                 std::exit(2);
             }
+        } else if (flag == "--target-ci-width") {
+            cli.targetCiWidth = std::stod(value());
+        } else if (flag == "--min-samples") {
+            cli.minSamples = std::stoul(value());
+        } else if (flag == "--sample-budget") {
+            cli.sampleBudget = std::stoul(value());
         } else {
             std::cerr << "usage: quickstart [--threads N] "
                          "[--deadline-ms D] [--quorum Q] "
                          "[--audit-rate R] "
                          "[--checkpoint-format text|binary] "
                          "[--simd scalar|sse4|avx2] "
-                         "[--precision f32|int8]\n";
+                         "[--precision f32|int8] "
+                         "[--target-ci-width W] [--min-samples M] "
+                         "[--sample-budget B]\n";
             // NOLINTNEXTLINE-FASTBCNN(error-discipline): CLI usage exit
             std::exit(flag == "--help" ? 0 : 2);
         }
@@ -191,6 +209,9 @@ main(int argc, char **argv)
     eopts.mc.threads = cli.threads;
     eopts.mc.deadlineMs = cli.deadlineMs;
     eopts.mc.quorum = cli.quorum;
+    eopts.mc.targetCiWidth = cli.targetCiWidth;
+    eopts.mc.minSamples = cli.minSamples;
+    eopts.mc.sampleBudget = cli.sampleBudget;
     // int8 makes calibrate() also build the quantized mirror.
     eopts.mc.precision = cli.precision;
     eopts.optimizer.confidence = 0.68;
@@ -205,6 +226,13 @@ main(int argc, char **argv)
         std::cout << format(", deadline %.1f ms", cli.deadlineMs);
     if (cli.quorum > 0)
         std::cout << format(", quorum %zu", cli.quorum);
+    if (cli.targetCiWidth > 0.0)
+        std::cout << format(", target CI width %.4g",
+                            cli.targetCiWidth);
+    if (cli.minSamples > 0)
+        std::cout << format(", min samples %zu", cli.minSamples);
+    if (cli.sampleBudget > 0)
+        std::cout << format(", sample budget %zu", cli.sampleBudget);
     std::cout << "\n";
 
     // 3. Offline stage: Algorithm 1 on a small calibration set.
@@ -285,6 +313,24 @@ main(int argc, char **argv)
               << (census2.degraded ? " (degraded by the deadline)"
                                    : "")
               << "\n";
+    if (census2.converged) {
+        std::cout << format(
+            "Adaptive early exit: converged at T' = %zu of %zu "
+            "(95%% CI width %.4g <= target %.4g)\n",
+            census2.convergedAt, census2.requested, census2.ciWidth,
+            cli.targetCiWidth);
+    } else if (cli.targetCiWidth > 0.0) {
+        std::cout << format(
+            "Adaptive early exit: never converged (CI width %.4g > "
+            "target %.4g at the final checkpoint); ran the full "
+            "budget of %zu\n",
+            census2.ciWidth, cli.targetCiWidth, census2.budget);
+    }
+    if (census2.budget < census2.requested) {
+        std::cout << format(
+            "Sample budget clamped the run to %zu of %zu samples\n",
+            census2.budget, census2.requested);
+    }
 
     // 5b. With --precision int8: the same MC reference on both
     //     numeric paths, side by side.  The masks are identical

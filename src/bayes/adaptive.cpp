@@ -1,0 +1,65 @@
+#include "adaptive.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace fastbcnn {
+
+std::size_t
+firstConvergenceCheckpoint(std::size_t min_samples, std::size_t quorum)
+{
+    std::size_t first = 2;
+    if (min_samples > first)
+        first = min_samples;
+    if (quorum > first)
+        first = quorum;
+    return first;
+}
+
+std::size_t
+nextConvergenceCheckpoint(std::size_t current, std::size_t budget)
+{
+    const std::size_t next = current + kAdaptiveCheckStride;
+    return next < budget ? next : budget;
+}
+
+double
+predictiveCiWidth(const std::vector<const Tensor *> &outputs)
+{
+    const std::size_t n = outputs.size();
+    if (n < 2)
+        return std::numeric_limits<double>::infinity();
+    const std::size_t numel = outputs[0]->numel();
+
+    // Two-pass per-element mean/variance, serial over samples in
+    // ascending order and over elements in ascending flat index —
+    // the accumulation order is fixed, so the result is a pure
+    // function of the sample outputs.
+    double maxWidth = 0.0;
+    for (std::size_t c = 0; c < numel; ++c) {
+        double mean = 0.0;
+        for (std::size_t t = 0; t < n; ++t) {
+            FASTBCNN_DCHECK(outputs[t]->numel() == numel,
+                            "CI criterion over mismatched outputs");
+            mean += static_cast<double>(outputs[t]->at(c));
+        }
+        mean /= static_cast<double>(n);
+        double m2 = 0.0;
+        for (std::size_t t = 0; t < n; ++t) {
+            const double d =
+                static_cast<double>(outputs[t]->at(c)) - mean;
+            m2 += d * d;
+        }
+        const double var = m2 / static_cast<double>(n - 1);
+        const double width =
+            2.0 * kAdaptiveCiZ *
+            std::sqrt(var / static_cast<double>(n));
+        if (width > maxWidth)
+            maxWidth = width;
+    }
+    return maxWidth;
+}
+
+} // namespace fastbcnn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Adaptive-sample early exit ("enough Monte Carlo") for MC-dropout
+ * inference, following the multi-exit MC-dropout line (arXiv
+ * 2308.06849): most inputs converge long before the configured T, so
+ * the runner may stop sampling once the running predictive mean has
+ * tightened past a target confidence-interval width.
+ *
+ * Determinism contract: convergence is only ever evaluated at *fixed
+ * sample-count checkpoints* — after samples [0, c) have all been
+ * produced, for checkpoint counts c that are a pure function of the
+ * options — and the criterion itself is computed serially, in
+ * ascending sample order, in double precision, outside the SIMD
+ * dispatch layer.  Because per-sample outputs are already
+ * bit-identical across thread counts and SIMD levels (and exactly
+ * reproducible per precision), the stop decision — and therefore the
+ * entire result — is bit-identical across threads × SIMD levels for
+ * each numeric path.
+ */
+
+#ifndef FASTBCNN_BAYES_ADAPTIVE_HPP
+#define FASTBCNN_BAYES_ADAPTIVE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fastbcnn {
+
+/**
+ * Samples between consecutive convergence checkpoints.  Checking
+ * after every single sample would serialize the threaded runner;
+ * a stride of 4 keeps worker lanes busy between checks while bounding
+ * overshoot past the true convergence point to at most 3 samples.
+ */
+inline constexpr std::size_t kAdaptiveCheckStride = 4;
+
+/** z-score of the two-sided 95 % confidence interval the criterion
+ *  uses (the standard choice in the multi-exit MC-dropout work). */
+inline constexpr double kAdaptiveCiZ = 1.959963984540054;
+
+/**
+ * The first sample count at which convergence may be evaluated:
+ * at least two samples (a variance needs two data points), and never
+ * before @p min_samples or @p quorum samples exist.
+ */
+std::size_t firstConvergenceCheckpoint(std::size_t min_samples,
+                                       std::size_t quorum);
+
+/**
+ * The checkpoint after @p current, clamped to @p budget (the
+ * effective sample budget; the final "checkpoint" is simply the end
+ * of the run).
+ */
+std::size_t nextConvergenceCheckpoint(std::size_t current,
+                                      std::size_t budget);
+
+/**
+ * Width of the 95 % confidence interval of the predictive mean,
+ * maximised over output elements: max_c 2·z·sqrt(s²_c / n) for the
+ * per-element sample variance s²_c over the @p outputs produced so
+ * far.  Deterministic by construction: a serial double-precision
+ * two-pass reduction in ascending sample order.
+ *
+ * @param outputs surviving sample outputs, ascending sample order;
+ *        all sharing one shape.  Fewer than two outputs cannot be
+ *        assessed and return an infinite width (never converged).
+ */
+double predictiveCiWidth(const std::vector<const Tensor *> &outputs);
+
+} // namespace fastbcnn
+
+#endif // FASTBCNN_BAYES_ADAPTIVE_HPP

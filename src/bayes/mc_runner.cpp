@@ -1,5 +1,7 @@
 #include "mc_runner.hpp"
 
+#include "adaptive.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -137,6 +139,25 @@ validateMcOptions(const McOptions &opts)
                       "McOptions::deadlineMs %g must be >= 0 and "
                       "finite", opts.deadlineMs);
     }
+    if (!(opts.targetCiWidth >= 0.0) ||
+        !std::isfinite(opts.targetCiWidth)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "McOptions::targetCiWidth %g must be >= 0 and "
+                      "finite", opts.targetCiWidth);
+    }
+    if (opts.minSamples > opts.samples) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "McOptions::minSamples %zu exceeds samples %zu",
+                      opts.minSamples, opts.samples);
+    }
+    const std::size_t quorumFloor =
+        opts.quorum > 0 ? opts.quorum : std::size_t{1};
+    if (opts.sampleBudget > 0 && opts.sampleBudget < quorumFloor) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "McOptions::sampleBudget %zu below the quorum "
+                      "floor %zu (no clamped run could ever succeed)",
+                      opts.sampleBudget, quorumFloor);
+    }
     return Status::ok();
 }
 
@@ -211,12 +232,20 @@ tryRunMcDropoutWith(const ForwardTarget &target, const Tensor &input,
         }
     }
 
+    // The effective sample budget: the brownout clamp trades samples
+    // in [budget, requested) away administratively — they are never
+    // slotted, never launched, and never counted as failures.
+    const std::size_t effectiveT =
+        (opts.sampleBudget > 0 && opts.sampleBudget < opts.samples)
+            ? opts.sampleBudget
+            : opts.samples;
+
     // Every sample t owns slot t and a private BRNG seeded by
     // sampleSeed(seed, t): workers never share mutable state and the
     // result is identical for any thread count.  Failed samples leave
     // their slot's fate code set; survivors are compacted afterwards
     // in ascending sample order.
-    std::vector<SampleSlot> slots(opts.samples);
+    std::vector<SampleSlot> slots(effectiveT);
     const auto expired = [&]() {
         // NOLINTNEXTLINE-FASTBCNN(determinism): deadline check
         return haveDeadline && Clock::now() >= deadline;
@@ -227,41 +256,99 @@ tryRunMcDropoutWith(const ForwardTarget &target, const Tensor &input,
                              opts.deadlineMs);
     };
 
-    const std::size_t workers =
-        resolveMcThreads(opts.threads, opts.samples);
-    if (workers <= 1) {
-        for (std::size_t t = 0; t < opts.samples; ++t) {
-            // Sample 0 always launches: a partial average needs at
-            // least one term no matter how tight the deadline.
-            if (t > 0 && expired()) {
-                markSkipped(slots[t]);
-                continue;
-            }
-            runGuardedSample(target, input, opts, t, slots[t]);
-        }
-    } else {
-        std::atomic<std::size_t> next{0};
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (std::size_t w = 0; w < workers; ++w) {
-            pool.emplace_back([&]() {
-                for (std::size_t t = next.fetch_add(1);
-                     t < opts.samples; t = next.fetch_add(1)) {
-                    if (t > 0 && expired()) {
-                        markSkipped(slots[t]);
-                        continue;
-                    }
-                    runGuardedSample(target, input, opts, t, slots[t]);
+    // Produce samples [lo, hi), serially or on the worker pool.  Both
+    // the adaptive and the fixed-T paths run entirely through here, so
+    // a non-adaptive run is exactly one block [0, effectiveT) — the
+    // pre-existing behaviour, unchanged.
+    const auto runBlock = [&](std::size_t lo, std::size_t hi) {
+        const std::size_t workers =
+            resolveMcThreads(opts.threads, hi - lo);
+        if (workers <= 1) {
+            for (std::size_t t = lo; t < hi; ++t) {
+                // Sample 0 always launches: a partial average needs
+                // at least one term no matter how tight the deadline.
+                if (t > 0 && expired()) {
+                    markSkipped(slots[t]);
+                    continue;
                 }
-            });
+                runGuardedSample(target, input, opts, t, slots[t]);
+            }
+        } else {
+            std::atomic<std::size_t> next{lo};
+            std::vector<std::thread> pool;
+            pool.reserve(workers);
+            for (std::size_t w = 0; w < workers; ++w) {
+                pool.emplace_back([&, hi]() {
+                    for (std::size_t t = next.fetch_add(1); t < hi;
+                         t = next.fetch_add(1)) {
+                        if (t > 0 && expired()) {
+                            markSkipped(slots[t]);
+                            continue;
+                        }
+                        runGuardedSample(target, input, opts, t,
+                                         slots[t]);
+                    }
+                });
+            }
+            for (std::thread &worker : pool)
+                worker.join();
         }
-        for (std::thread &worker : pool)
-            worker.join();
+    };
+
+    result.census.requested = opts.samples;
+    result.census.budget = effectiveT;
+
+    // How many samples were actually launched (or deadline-marked):
+    // the compaction below only walks [0, launched), so samples the
+    // adaptive exit never reached leave no trace in the census.
+    std::size_t launched = 0;
+    if (opts.targetCiWidth <= 0.0) {
+        runBlock(0, effectiveT);
+        launched = effectiveT;
+    } else {
+        // Adaptive early exit: run to fixed sample-count checkpoints
+        // and evaluate the CI-width criterion over the survivors so
+        // far.  Checkpoint counts and the criterion are pure functions
+        // of the options and the sample outputs — bit-identical across
+        // thread counts and SIMD levels (see bayes/adaptive.hpp).
+        const std::size_t minFloor =
+            opts.minSamples < effectiveT ? opts.minSamples
+                                         : effectiveT;
+        const std::size_t needed =
+            firstConvergenceCheckpoint(minFloor, opts.quorum);
+        std::size_t checkpoint =
+            needed < effectiveT ? needed : effectiveT;
+        std::vector<const Tensor *> survivors;
+        for (;;) {
+            runBlock(launched, checkpoint);
+            launched = checkpoint;
+            survivors.clear();
+            for (std::size_t t = 0; t < launched; ++t) {
+                if (slots[t].code == ErrorCode::Ok)
+                    survivors.push_back(&slots[t].output);
+            }
+            // Casualties push the evaluation out: the criterion needs
+            // the same floor in *survivors* that the first checkpoint
+            // guarantees in launches, or a lucky tight pair could
+            // stop a run below its minSamples/quorum floor.
+            if (survivors.size() >= needed) {
+                const double width = predictiveCiWidth(survivors);
+                result.census.ciWidth = width;
+                if (width <= opts.targetCiWidth) {
+                    result.census.converged = true;
+                    result.census.convergedAt = launched;
+                    break;
+                }
+            }
+            if (launched >= effectiveT)
+                break;
+            checkpoint = nextConvergenceCheckpoint(launched,
+                                                   effectiveT);
+        }
     }
 
     // Compact survivors and build the census, both in sample order.
-    result.census.requested = opts.samples;
-    for (std::size_t t = 0; t < opts.samples; ++t) {
+    for (std::size_t t = 0; t < launched; ++t) {
         SampleSlot &slot = slots[t];
         if (slot.code == ErrorCode::Ok) {
             result.outputs.push_back(std::move(slot.output));
@@ -274,8 +361,10 @@ tryRunMcDropoutWith(const ForwardTarget &target, const Tensor &input,
         }
     }
     result.census.survived = result.outputs.size();
-    result.census.degraded =
-        result.census.survived < result.census.requested;
+    // Degradation means something *died*: converged-early and
+    // budget-clamped samples were traded away on purpose and leave no
+    // failure record, so survived < requested alone is not degraded.
+    result.census.degraded = !result.census.failures.empty();
 
     const std::size_t quorum =
         opts.quorum > 0 ? opts.quorum : std::size_t{1};

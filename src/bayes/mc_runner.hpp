@@ -91,6 +91,36 @@ struct McOptions {
     double deadlineMs = 0.0;
 
     /**
+     * Adaptive early exit ("enough Monte Carlo"; bayes/adaptive.hpp):
+     * when > 0, the runner evaluates the predictive-mean 95 %
+     * confidence-interval width at fixed sample-count checkpoints and
+     * stops launching samples once it falls to this target.  The stop
+     * decision is a pure function of the sample outputs, so adaptive
+     * runs stay bit-identical across thread counts and SIMD levels.
+     * 0 disables (every run uses the full budget).
+     */
+    double targetCiWidth = 0.0;
+
+    /**
+     * Floor on the samples produced before adaptive early exit may
+     * stop the run (the criterion additionally needs >= 2 survivors
+     * and never stops below quorum).  Ignored when targetCiWidth is
+     * 0.  Clamped to the effective budget.
+     */
+    std::size_t minSamples = 0;
+
+    /**
+     * Hard clamp on the samples this run may launch: the effective
+     * budget is min(samples, sampleBudget) when > 0.  This is the
+     * serving brownout's lever — a controller trades samples for
+     * deadline headroom per priority class without touching the
+     * configured T.  Clamped-away samples are reported in the census
+     * (budget < requested) but are neither failures nor degradation.
+     * Must be >= quorum when both are set.  0 disables.
+     */
+    std::size_t sampleBudget = 0;
+
+    /**
      * Fault-injection plan (not owned; may be nullptr).  Must outlive
      * the run.  See fault/fault.hpp for the plan format.
      */

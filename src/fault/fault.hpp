@@ -229,9 +229,35 @@ struct SampleFailure {
  * (degradationTable / degradationSummary in sim/report.hpp).
  */
 struct DegradationCensus {
-    std::size_t requested = 0;  ///< T
-    std::size_t survived = 0;   ///< T' <= T
-    bool degraded = false;      ///< T' < T
+    std::size_t requested = 0;  ///< T, as configured
+    /**
+     * Effective sample budget: T after any McOptions::sampleBudget
+     * clamp (== requested when unclamped).  Samples in
+     * [budget, requested) were administratively traded away — a
+     * serving brownout, not a fault — and appear in no failure list.
+     */
+    std::size_t budget = 0;
+    std::size_t survived = 0;   ///< healthy samples actually produced
+    /**
+     * True iff any *launched or deadline-starved* sample was lost —
+     * i.e. failures is non-empty.  Samples never launched because the
+     * run converged early (converged below) or because the budget was
+     * clamped do NOT count as degradation: the estimate met its
+     * target, nothing died.
+     */
+    bool degraded = false;
+    /**
+     * Adaptive early exit (bayes/adaptive.hpp): true when the run
+     * stopped at a convergence checkpoint because the predictive-mean
+     * confidence interval tightened past McOptions::targetCiWidth.
+     */
+    bool converged = false;
+    /** Samples launched when the criterion stopped the run (0 when
+     *  converged is false). */
+    std::size_t convergedAt = 0;
+    /** CI width at the last convergence checkpoint evaluated (0 when
+     *  no checkpoint was ever evaluated). */
+    double ciWidth = 0.0;
     std::vector<SampleFailure> failures;  ///< ascending sample index
 };
 

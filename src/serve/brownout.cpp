@@ -1,0 +1,208 @@
+#include "brownout.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fastbcnn::serve {
+
+Status
+validateBrownoutOptions(const BrownoutOptions &opts)
+{
+    if (!(opts.tickIntervalMs > 0.0) ||
+        !std::isfinite(opts.tickIntervalMs)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BrownoutOptions::tickIntervalMs %g must be > 0 "
+                      "and finite", opts.tickIntervalMs);
+    }
+    if (!(opts.queueDelayLowMs >= 0.0) ||
+        !(opts.queueDelayHighMs >= opts.queueDelayLowMs) ||
+        !std::isfinite(opts.queueDelayHighMs)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BrownoutOptions queue-delay thresholds need "
+                      "0 <= low (%g) <= high (%g) < inf",
+                      opts.queueDelayLowMs, opts.queueDelayHighMs);
+    }
+    if (!(opts.missRateLow >= 0.0) ||
+        !(opts.missRateHigh >= opts.missRateLow) ||
+        !(opts.missRateHigh <= 1.0)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BrownoutOptions miss-rate thresholds need "
+                      "0 <= low (%g) <= high (%g) <= 1",
+                      opts.missRateLow, opts.missRateHigh);
+    }
+    if (!(opts.ewmaAlpha > 0.0) || !(opts.ewmaAlpha <= 1.0)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BrownoutOptions::ewmaAlpha %g outside (0, 1]",
+                      opts.ewmaAlpha);
+    }
+    if (opts.recoverTicks == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BrownoutOptions::recoverTicks must be >= 1");
+    }
+    if (!(opts.targetCiWidth > 0.0) ||
+        !std::isfinite(opts.targetCiWidth)) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BrownoutOptions::targetCiWidth %g must be > 0 "
+                      "and finite (the AdaptiveExit rung needs a "
+                      "criterion)", opts.targetCiWidth);
+    }
+    for (std::size_t p = 0; p < kPriorityLevels; ++p) {
+        const double f = opts.budgetFraction[p];
+        if (!(f > 0.0) || !(f <= 1.0)) {
+            return errorf(ErrorCode::InvalidArgument,
+                          "BrownoutOptions::budgetFraction[%s] %g "
+                          "outside (0, 1]",
+                          priorityName(static_cast<Priority>(p)), f);
+        }
+    }
+    if (opts.budgetFloor == 0) {
+        return errorf(ErrorCode::InvalidArgument,
+                      "BrownoutOptions::budgetFloor must be >= 1 "
+                      "(an average needs at least one sample)");
+    }
+    return Status::ok();
+}
+
+BrownoutController::BrownoutController(BrownoutOptions opts)
+    : opts_(opts)
+{
+    FASTBCNN_CHECK(validateBrownoutOptions(opts_).isOk(),
+                   "BrownoutController built from invalid options");
+}
+
+void
+BrownoutController::recordCompletion(double queue_ms, bool missed,
+                                     bool converged)
+{
+    if (converged)
+        converged_.fetch_add(1, std::memory_order_relaxed);
+    if (!opts_.enabled)
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const double a = opts_.ewmaAlpha;
+    queueDelayEwmaMs_ = (1.0 - a) * queueDelayEwmaMs_ + a * queue_ms;
+    missRateEwma_ =
+        (1.0 - a) * missRateEwma_ + a * (missed ? 1.0 : 0.0);
+    ++completionsSinceTick_;
+}
+
+void
+BrownoutController::tick(std::size_t queue_depth)
+{
+    if (!opts_.enabled)
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++ticks_;
+    bool pressured = false;
+    bool healthy = false;
+    if (completionsSinceTick_ == 0) {
+        // Nothing completed since the last tick: the EWMAs are stale.
+        // An empty queue means nothing is flowing and nothing is
+        // hurting — count it toward recovery; a non-empty one holds.
+        healthy = queue_depth == 0;
+    } else {
+        pressured = queueDelayEwmaMs_ > opts_.queueDelayHighMs ||
+                    missRateEwma_ > opts_.missRateHigh;
+        healthy = queueDelayEwmaMs_ < opts_.queueDelayLowMs &&
+                  missRateEwma_ < opts_.missRateLow;
+    }
+    completionsSinceTick_ = 0;
+
+    const int level = level_.load(std::memory_order_relaxed);
+    if (pressured) {
+        healthyTicks_ = 0;
+        if (level + 1 < static_cast<int>(kBrownoutLevels)) {
+            level_.store(level + 1, std::memory_order_relaxed);
+            ++escalations_;
+        }
+        return;
+    }
+    if (!healthy) {
+        // Hysteresis band: hold the rung, forfeit recovery credit.
+        healthyTicks_ = 0;
+        return;
+    }
+    if (level > 0 && ++healthyTicks_ >= opts_.recoverTicks) {
+        level_.store(level - 1, std::memory_order_relaxed);
+        ++recoveries_;
+        healthyTicks_ = 0;
+    }
+}
+
+BrownoutLevel
+BrownoutController::apply(McOptions &mc, Priority priority) const
+{
+    const BrownoutLevel rung = opts_.enabled ? level()
+                                             : BrownoutLevel::Normal;
+    if (rung == BrownoutLevel::Normal)
+        return rung;
+
+    // AdaptiveExit and every rung above it force the CI early exit.
+    // A request that asked for a *tighter* width keeps its own (the
+    // ladder degrades toward the caller's floor, never past it).
+    if (!(mc.targetCiWidth > 0.0 &&
+          mc.targetCiWidth < opts_.targetCiWidth)) {
+        mc.targetCiWidth = opts_.targetCiWidth;
+    }
+    if (opts_.minSamples > mc.minSamples)
+        mc.minSamples = opts_.minSamples;
+    if (mc.minSamples > mc.samples)
+        mc.minSamples = mc.samples;
+
+    if (rung >= BrownoutLevel::BudgetClamp) {
+        const std::size_t budget =
+            effectiveSamples(mc.samples, priority, mc.quorum);
+        if (!(mc.sampleBudget > 0 && mc.sampleBudget < budget))
+            mc.sampleBudget = budget;
+    }
+    return rung;
+}
+
+std::size_t
+BrownoutController::effectiveSamples(std::size_t samples,
+                                     Priority priority,
+                                     std::size_t quorum) const
+{
+    if (!opts_.enabled || level() < BrownoutLevel::BudgetClamp)
+        return samples;
+    const double fraction =
+        opts_.budgetFraction[static_cast<std::size_t>(priority)];
+    std::size_t budget = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(samples)));
+    if (budget < opts_.budgetFloor)
+        budget = opts_.budgetFloor;
+    if (budget < quorum)
+        budget = quorum;
+    if (budget < 1)
+        budget = 1;
+    return budget < samples ? budget : samples;
+}
+
+void
+BrownoutController::forceLevel(BrownoutLevel level)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+    healthyTicks_ = 0;
+}
+
+BrownoutState
+BrownoutController::state() const
+{
+    BrownoutState out;
+    out.enabled = opts_.enabled;
+    out.level = level();
+    out.brownoutSheds =
+        brownoutSheds_.load(std::memory_order_relaxed);
+    out.converged = converged_.load(std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.queueDelayEwmaMs = queueDelayEwmaMs_;
+    out.missRateEwma = missRateEwma_;
+    out.ticks = ticks_;
+    out.escalations = escalations_;
+    out.recoveries = recoveries_;
+    return out;
+}
+
+} // namespace fastbcnn::serve

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Overload brownout: degrade samples, not requests.
+ *
+ * Under sustained queue pressure a fixed-T MC-dropout server has only
+ * one safety valve — shedding whole requests.  But T is a *quality*
+ * knob: a posterior mean over fewer samples is a wider-variance answer,
+ * not a dropped one.  The BrownoutController watches two pressure
+ * signals — an EWMA of queue delay and an EWMA of the deadline-miss
+ * rate, both fed from request completions — and walks a pressure
+ * ladder (BrownoutLevel in request.hpp):
+ *
+ *   Normal       → full configured T, no interference
+ *   AdaptiveExit → force the adaptive CI early exit on every run, so
+ *                  easy inputs finish at T' << T (bayes/adaptive.hpp)
+ *   BudgetClamp  → additionally clamp each class's sample budget to a
+ *                  per-priority fraction of T (Interactive keeps the
+ *                  most), never below the quorum or the budget floor
+ *   Shed         → last resort: Background traffic is shed
+ *                  pre-dispatch; paying classes keep their clamped T
+ *
+ * Escalation is immediate (one rung per pressured tick — the
+ * multiplicative-decrease analog); recovery is additive: one rung down
+ * only after recoverTicks consecutive healthy ticks, with a hysteresis
+ * band between the high and low thresholds where the level holds.
+ *
+ * Brownout is never a failure signal: a browned-out response is still
+ * Outcome::Ok, the circuit breaker sees Success, and clamped or
+ * converged-away samples appear in no failure census.
+ */
+
+#ifndef FASTBCNN_SERVE_BROWNOUT_HPP
+#define FASTBCNN_SERVE_BROWNOUT_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "bayes/mc_runner.hpp"
+#include "serve/request.hpp"
+
+namespace fastbcnn::serve {
+
+/** Brownout policy knobs. */
+struct BrownoutOptions {
+    /** Master switch; a disabled controller never leaves Normal. */
+    bool enabled = false;
+
+    /** Controller tick period in ms (pressure is evaluated per tick,
+     *  not per completion, so one hot burst cannot slam the ladder
+     *  through several rungs). */
+    double tickIntervalMs = 50.0;
+
+    /** Queue-delay EWMA above this escalates one rung. */
+    double queueDelayHighMs = 50.0;
+    /** Queue-delay EWMA below this counts toward recovery.  The band
+     *  between low and high is hysteresis: the level holds. */
+    double queueDelayLowMs = 20.0;
+
+    /** Deadline-miss-rate EWMA above this escalates one rung. */
+    double missRateHigh = 0.10;
+    /** Deadline-miss-rate EWMA below this counts toward recovery. */
+    double missRateLow = 0.02;
+
+    /** Per-completion EWMA weight in (0, 1]. */
+    double ewmaAlpha = 0.2;
+
+    /** Consecutive healthy ticks required per rung of recovery (the
+     *  additive-increase half of AIMD). */
+    std::size_t recoverTicks = 4;
+
+    /** CI width forced on runs at AdaptiveExit and above.  A request
+     *  that asked for a *tighter* width keeps its own. */
+    double targetCiWidth = 0.05;
+    /** Adaptive floor forced alongside targetCiWidth (a request's own
+     *  higher floor wins). */
+    std::size_t minSamples = 2;
+
+    /** Per-priority-class sample-budget fraction of T applied at
+     *  BudgetClamp and above (Interactive, Standard, Background). */
+    std::array<double, kPriorityLevels> budgetFraction = {0.75, 0.50,
+                                                          0.25};
+    /** No class's budget is ever clamped below this (nor below the
+     *  run's quorum — quality degrades, correctness floors hold). */
+    std::size_t budgetFloor = 2;
+};
+
+/**
+ * Validate @p opts at the API boundary.
+ * @return ok, or an InvalidArgument error naming the bad value.
+ */
+[[nodiscard]] Status validateBrownoutOptions(const BrownoutOptions &opts);
+
+/** Point-in-time controller snapshot (InferenceServer::health()). */
+struct BrownoutState {
+    bool enabled = false;
+    BrownoutLevel level = BrownoutLevel::Normal;
+    double queueDelayEwmaMs = 0.0;
+    double missRateEwma = 0.0;
+    std::uint64_t ticks = 0;
+    std::uint64_t escalations = 0;  ///< rungs climbed, total
+    std::uint64_t recoveries = 0;   ///< rungs descended, total
+    /** Background requests shed by the Shed rung (distinct from
+     *  deadline-expiry sheds). */
+    std::uint64_t brownoutSheds = 0;
+    /** Served responses whose run converged early (census.converged). */
+    std::uint64_t converged = 0;
+};
+
+/**
+ * The brownout state machine.  Thread-safe: workers call level() /
+ * apply() lock-free on their hot path; the server's completion path
+ * calls recordCompletion(); a dedicated timer thread calls tick().
+ */
+class BrownoutController
+{
+  public:
+    /** @p opts must already have passed validateBrownoutOptions(). */
+    explicit BrownoutController(BrownoutOptions opts);
+
+    BrownoutController(const BrownoutController &) = delete;
+    BrownoutController &operator=(const BrownoutController &) = delete;
+
+    /** @return the current ladder rung (Normal when disabled). */
+    BrownoutLevel level() const
+    {
+        return static_cast<BrownoutLevel>(
+            level_.load(std::memory_order_relaxed));
+    }
+
+    /** @return the policy knobs. */
+    const BrownoutOptions &options() const { return opts_; }
+
+    /**
+     * Feed one completed request into the pressure EWMAs.
+     * @param queue_ms submit-to-dispatch wait (or total wait, for a
+     *                 request that never dispatched)
+     * @param missed   the request missed its deadline (shed, or failed
+     *                 with DeadlineExceeded)
+     * @param converged the served run converged early
+     */
+    void recordCompletion(double queue_ms, bool missed, bool converged);
+
+    /**
+     * Evaluate pressure and move the ladder (timer thread).  With no
+     * completions since the last tick, an empty queue reads as healthy
+     * (the EWMAs are stale — nothing is flowing, nothing is hurting)
+     * and a non-empty one holds the level.
+     * @param queue_depth current admission-queue depth
+     */
+    void tick(std::size_t queue_depth);
+
+    /**
+     * Apply the current rung's quality levers to @p mc for a request
+     * of @p priority, and return the rung applied (recorded in the
+     * response).  Never loosens what the caller asked for: a tighter
+     * per-request CI width, a higher minSamples floor, or a smaller
+     * sampleBudget all win; the result always still satisfies
+     * validateMcOptions() if @p mc did.
+     */
+    BrownoutLevel apply(McOptions &mc, Priority priority) const;
+
+    /**
+     * The sample budget a class gets at the current rung for a run of
+     * @p samples with @p quorum: samples itself below BudgetClamp,
+     * else ceil(budgetFraction[class] · samples) floored at
+     * max(budgetFloor, quorum, 1) and capped at samples.
+     */
+    std::size_t effectiveSamples(std::size_t samples,
+                                 Priority priority,
+                                 std::size_t quorum) const;
+
+    /** @return true when the Shed rung wants Background traffic
+     *  dropped pre-dispatch. */
+    bool shedBackground() const
+    {
+        return opts_.enabled && level() == BrownoutLevel::Shed;
+    }
+
+    /** Count one Background request shed by the Shed rung. */
+    void noteShed()
+    {
+        brownoutSheds_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Pin the ladder to @p level (tests; resets recovery credit). */
+    void forceLevel(BrownoutLevel level);
+
+    /** @return a consistent snapshot of the controller. */
+    BrownoutState state() const;
+
+  private:
+    BrownoutOptions opts_;
+    std::atomic<int> level_{0};
+    std::atomic<std::uint64_t> brownoutSheds_{0};
+    std::atomic<std::uint64_t> converged_{0};
+
+    mutable std::mutex mutex_;  ///< guards the EWMAs + tick state
+    double queueDelayEwmaMs_ = 0.0;
+    double missRateEwma_ = 0.0;
+    std::uint64_t completionsSinceTick_ = 0;
+    std::size_t healthyTicks_ = 0;
+    std::uint64_t ticks_ = 0;
+    std::uint64_t escalations_ = 0;
+    std::uint64_t recoveries_ = 0;
+};
+
+} // namespace fastbcnn::serve
+
+#endif // FASTBCNN_SERVE_BROWNOUT_HPP

@@ -16,6 +16,18 @@ priorityName(Priority priority)
 }
 
 const char *
+brownoutLevelName(BrownoutLevel level)
+{
+    switch (level) {
+      case BrownoutLevel::Normal: return "Normal";
+      case BrownoutLevel::AdaptiveExit: return "AdaptiveExit";
+      case BrownoutLevel::BudgetClamp: return "BudgetClamp";
+      case BrownoutLevel::Shed: return "Shed";
+    }
+    panic("unknown BrownoutLevel %d", static_cast<int>(level));
+}
+
+const char *
 outcomeName(Outcome outcome)
 {
     switch (outcome) {

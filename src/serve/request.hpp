@@ -57,6 +57,25 @@ inline constexpr std::size_t kPriorityLevels = 3;
 const char *priorityName(Priority priority);
 
 /**
+ * Rung of the overload-brownout pressure ladder (brownout.hpp).  Under
+ * sustained queue pressure the controller escalates one rung at a time
+ * — degrading *samples* (the quality knob) long before it sheds
+ * *requests* — and recovers additively once the queue drains.
+ */
+enum class BrownoutLevel {
+    Normal = 0,       ///< full configured T, no interference
+    AdaptiveExit = 1, ///< adaptive CI early exit forced on
+    BudgetClamp = 2,  ///< per-class sample budgets clamped below T
+    Shed = 3          ///< Background traffic shed pre-dispatch
+};
+
+/** Number of BrownoutLevel rungs (array sizing). */
+inline constexpr std::size_t kBrownoutLevels = 4;
+
+/** @return a stable human-readable name for @p level. */
+const char *brownoutLevelName(BrownoutLevel level);
+
+/**
  * A shared cancellation flag.  Copies observe the same flag, so the
  * caller keeps one copy (in the RequestHandle) and the request carries
  * another; cancel() is sticky and thread-safe.  A cancelled request
@@ -103,6 +122,19 @@ struct McOverrides {
      * Ignored by the guarded-skip path, which is float-only.
      */
     std::optional<Precision> precision;
+    /**
+     * Adaptive early-exit target CI width (McOptions::targetCiWidth;
+     * 0 disables).  Note the brownout controller may force adaptive
+     * exit on a request that did not ask for it — the per-request
+     * value, when set, still wins if it is *tighter* than the
+     * brownout's (the controller never degrades below what the caller
+     * explicitly requested).
+     */
+    std::optional<double> targetCiWidth;
+    /** Adaptive early-exit floor (McOptions::minSamples). */
+    std::optional<std::size_t> minSamples;
+    /** Hard sample-budget clamp (McOptions::sampleBudget; 0 off). */
+    std::optional<std::size_t> sampleBudget;
     /**
      * Per-request fault-injection plan (not owned; may be nullptr =
      * inherit the replica default).  Must outlive the request — the
@@ -193,6 +225,20 @@ struct InferResponse {
      * guarded-skip path).  Meaningless unless dispatched.
      */
     Precision precision = Precision::Float32;
+    /**
+     * Brownout rung in force when this request dispatched (Normal
+     * when the controller is disabled or the request never
+     * dispatched).  A browned-out response is still Outcome::Ok —
+     * quality degradation is never a failure signal; the circuit
+     * breaker and guard ignore it.
+     */
+    BrownoutLevel brownoutLevel = BrownoutLevel::Normal;
+    /**
+     * Samples the run actually averaged over (census.survived), i.e.
+     * the effective T' after adaptive exit, budget clamps and fault
+     * casualties.  0 when never dispatched or on the guarded path.
+     */
+    std::size_t effectiveSamples = 0;
 
     /** @return true when the request was served. */
     bool ok() const { return outcome == Outcome::Ok; }

@@ -5,13 +5,28 @@
 namespace fastbcnn::serve {
 
 BatchScheduler::BatchScheduler(BoundedRequestQueue &queue,
-                               SchedulerOptions opts, ShedFn shed)
-    : queue_(queue), opts_(opts), shed_(std::move(shed))
+                               SchedulerOptions opts, ShedFn shed,
+                               const BrownoutController *brownout,
+                               ShedFn brownout_shed)
+    : queue_(queue), opts_(opts), shed_(std::move(shed)),
+      brownout_(brownout), brownoutShed_(std::move(brownout_shed))
 {
     FASTBCNN_CHECK(opts_.maxBatch > 0,
                    "SchedulerOptions::maxBatch must be >= 1");
     FASTBCNN_CHECK(shed_ != nullptr,
                    "BatchScheduler needs a shed callback");
+}
+
+bool
+BatchScheduler::brownoutSheds(PendingRequest &pending)
+{
+    if (brownout_ == nullptr || !brownout_->shedBackground() ||
+        pending.request.priority != Priority::Background) {
+        return false;
+    }
+    (brownoutShed_ != nullptr ? brownoutShed_ : shed_)(
+        std::move(pending));
+    return true;
 }
 
 std::optional<std::vector<PendingRequest>>
@@ -25,6 +40,11 @@ BatchScheduler::nextBatch()
             shed_(std::move(*head));
             continue;
         }
+        // The brownout ladder's last rung: Background traffic is
+        // dropped pre-dispatch so the paying classes keep their
+        // (already clamped) sample budgets.
+        if (brownoutSheds(*head))
+            continue;
 
         std::vector<PendingRequest> batch;
         batch.reserve(opts_.maxBatch);
@@ -43,6 +63,8 @@ BatchScheduler::nextBatch()
                 shed_(std::move(*next));
                 continue;
             }
+            if (brownoutSheds(*next))
+                continue;
             batch.push_back(std::move(*next));
         }
         return batch;

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "serve/brownout.hpp"
 #include "serve/queue.hpp"
 
 namespace fastbcnn::serve {
@@ -44,9 +45,18 @@ class BatchScheduler
      * @param shed  called with every load-shed request; must complete
      *              its promise (the server wires this to its
      *              completion path)
+     * @param brownout optional brownout controller (not owned; must
+     *              outlive this).  At the Shed rung the scheduler
+     *              drops Background requests pre-dispatch through
+     *              @p brownout_shed.
+     * @param brownout_shed disposal of a browned-out Background
+     *              request; must complete its promise.  Falls back to
+     *              @p shed when null.
      */
     BatchScheduler(BoundedRequestQueue &queue, SchedulerOptions opts,
-                   ShedFn shed);
+                   ShedFn shed,
+                   const BrownoutController *brownout = nullptr,
+                   ShedFn brownout_shed = nullptr);
 
     BatchScheduler(const BatchScheduler &) = delete;
     BatchScheduler &operator=(const BatchScheduler &) = delete;
@@ -60,9 +70,15 @@ class BatchScheduler
     std::optional<std::vector<PendingRequest>> nextBatch();
 
   private:
+    /** @return true when the Shed rung drops @p pending (Background
+     *  only); completes its promise through the brownout-shed path. */
+    bool brownoutSheds(PendingRequest &pending);
+
     BoundedRequestQueue &queue_;
     SchedulerOptions opts_;
     ShedFn shed_;
+    const BrownoutController *brownout_;
+    ShedFn brownoutShed_;
 };
 
 } // namespace fastbcnn::serve

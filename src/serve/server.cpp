@@ -29,6 +29,9 @@ validateServerOptions(const ServerOptions &opts)
     FASTBCNN_RETURN_IF_ERROR(
         validateRegistryOptions(opts.registry)
             .withContext("ServerOptions::registry"));
+    FASTBCNN_RETURN_IF_ERROR(
+        validateBrownoutOptions(opts.brownout)
+            .withContext("ServerOptions::brownout"));
     return Status::ok();
 }
 
@@ -107,20 +110,29 @@ InferenceServer::create(std::vector<ModelSpec> models,
             raw0->onSwapSuccess(model_id, replica0);
         });
 
+    server->brownout_ =
+        std::make_unique<BrownoutController>(opts.brownout);
     for (std::size_t w = 0; w < opts.workers; ++w) {
         server->workers_.push_back(std::make_unique<EngineWorker>(
-            w, server->registry_.get()));
+            w, server->registry_.get(), server->brownout_.get()));
     }
     InferenceServer *raw = server.get();
     server->scheduler_ = std::make_unique<BatchScheduler>(
         server->queue_, SchedulerOptions{opts.maxBatch},
         [raw](PendingRequest &&pending) {
             raw->shed(std::move(pending));
+        },
+        server->brownout_.get(),
+        [raw](PendingRequest &&pending) {
+            raw->brownoutShed(std::move(pending));
         });
     server->threads_.reserve(opts.workers);
     for (std::size_t w = 0; w < opts.workers; ++w)
         server->threads_.emplace_back(
             [raw, w]() { raw->workerLoop(w); });
+    if (opts.brownout.enabled)
+        server->brownoutThread_ =
+            std::thread([raw]() { raw->brownoutLoop(); });
     return server;
 }
 
@@ -187,6 +199,12 @@ InferenceServer::submit(InferRequest request)
             merged.seed = *over.seed;
         if (over.precision.has_value())
             merged.precision = *over.precision;
+        if (over.targetCiWidth.has_value())
+            merged.targetCiWidth = *over.targetCiWidth;
+        if (over.minSamples.has_value())
+            merged.minSamples = *over.minSamples;
+        if (over.sampleBudget.has_value())
+            merged.sampleBudget = *over.sampleBudget;
         Status valid = validateMcOptions(merged);
         if (!valid.isOk()) {
             stats_.add("rejected_invalid");
@@ -290,8 +308,26 @@ InferenceServer::complete(PendingRequest &&pending,
     stats_.add(outcomeStatKey(response.outcome));
     if (response.degraded())
         stats_.add("degraded");
+    const bool converged = response.result.has_value() &&
+                           response.result->census.converged;
+    if (converged)
+        stats_.add("converged");
     latency_[static_cast<std::size_t>(response.outcome)].record(
         response.totalMs);
+
+    // Feed the brownout controller's pressure EWMAs: queue delay from
+    // every completion, deadline misses from expiry sheds and
+    // DeadlineExceeded failures.  Brownout sheds (ResourceExhausted)
+    // are the ladder's own output, not a pressure signal — counting
+    // them would wedge the Shed rung against its own recovery.
+    if (brownout_ != nullptr) {
+        const bool missed =
+            (response.outcome == Outcome::Shed ||
+             response.outcome == Outcome::Failed) &&
+            response.error.code() == ErrorCode::DeadlineExceeded;
+        brownout_->recordCompletion(response.queueMs, missed,
+                                    converged);
+    }
 
     // Feed the model's breaker.  A served response still counts as a
     // failure when the guard tripped mid-request (the output stands,
@@ -327,6 +363,39 @@ InferenceServer::shed(PendingRequest &&pending)
 }
 
 void
+InferenceServer::brownoutShed(PendingRequest &&pending)
+{
+    brownout_->noteShed();
+    stats_.add("brownout_shed");
+    InferResponse response;
+    response.id = pending.id;
+    response.outcome = Outcome::Shed;
+    response.brownoutLevel = BrownoutLevel::Shed;
+    response.error =
+        errorf(ErrorCode::ResourceExhausted,
+               "browned out: overload shed of Background traffic");
+    complete(std::move(pending), std::move(response));
+}
+
+void
+InferenceServer::brownoutLoop()
+{
+    const auto interval =
+        std::chrono::duration_cast<ServeClock::duration>(
+            std::chrono::duration<double, std::milli>(
+                opts_.brownout.tickIntervalMs));
+    std::unique_lock<std::mutex> lock(brownoutMutex_);
+    while (!brownoutStop_) {
+        if (brownoutCv_.wait_for(lock, interval,
+                                 [this]() { return brownoutStop_; }))
+            break;
+        lock.unlock();
+        brownout_->tick(queue_.size());
+        lock.lock();
+    }
+}
+
+void
 InferenceServer::stop(bool drain_queue)
 {
     {
@@ -335,6 +404,13 @@ InferenceServer::stop(bool drain_queue)
             return;
         stopped_ = true;
     }
+    {
+        const std::lock_guard<std::mutex> lock(brownoutMutex_);
+        brownoutStop_ = true;
+    }
+    brownoutCv_.notify_all();
+    if (brownoutThread_.joinable())
+        brownoutThread_.join();
     queue_.close(drain_queue);
     for (std::thread &thread : threads_)
         thread.join();
@@ -446,6 +522,7 @@ InferenceServer::health() const
     report.p50Ms = served.p50Ms();
     report.p95Ms = served.p95Ms();
     report.p99Ms = served.p99Ms();
+    report.brownout = brownout_->state();
 
     // Copy the model map out so guard / registry snapshots (which
     // take other locks) run without holding modelsMutex_.
@@ -460,6 +537,11 @@ InferenceServer::health() const
         model.id = id;
         model.guardEnabled = info.guardEnabled;
         model.int8Available = info.int8Available;
+        for (std::size_t p = 0; p < kPriorityLevels; ++p) {
+            model.effectiveSamples[p] = brownout_->effectiveSamples(
+                info.mcDefaults.samples, static_cast<Priority>(p),
+                info.mcDefaults.quorum);
+        }
         auto breaker = breakers_.find(id);
         if (breaker != breakers_.end()) {
             model.breakerState = breaker->second->state();
@@ -487,6 +569,57 @@ InferenceServer::health() const
         report.models.push_back(std::move(model));
     }
     return report;
+}
+
+std::string
+healthJson(const HealthReport &report)
+{
+    std::string out = format(
+        "{\"accepting\":%s,\"queue_depth\":%zu,"
+        "\"submitted\":%llu,\"accepted\":%llu,\"ok\":%llu,"
+        "\"failed\":%llu,\"shed\":%llu,\"cancelled\":%llu,"
+        "\"rejected_breaker\":%llu,"
+        "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f",
+        report.accepting ? "true" : "false", report.queueDepth,
+        static_cast<unsigned long long>(report.submitted),
+        static_cast<unsigned long long>(report.accepted),
+        static_cast<unsigned long long>(report.ok),
+        static_cast<unsigned long long>(report.failed),
+        static_cast<unsigned long long>(report.shed),
+        static_cast<unsigned long long>(report.cancelled),
+        static_cast<unsigned long long>(report.rejectedBreaker),
+        report.p50Ms, report.p95Ms, report.p99Ms);
+    const BrownoutState &bo = report.brownout;
+    out += format(
+        ",\"brownout\":{\"enabled\":%s,\"level\":\"%s\","
+        "\"queue_delay_ewma_ms\":%.3f,\"miss_rate_ewma\":%.4f,"
+        "\"ticks\":%llu,\"escalations\":%llu,\"recoveries\":%llu,"
+        "\"brownout_sheds\":%llu,\"converged\":%llu}",
+        bo.enabled ? "true" : "false", brownoutLevelName(bo.level),
+        bo.queueDelayEwmaMs, bo.missRateEwma,
+        static_cast<unsigned long long>(bo.ticks),
+        static_cast<unsigned long long>(bo.escalations),
+        static_cast<unsigned long long>(bo.recoveries),
+        static_cast<unsigned long long>(bo.brownoutSheds),
+        static_cast<unsigned long long>(bo.converged));
+    out += ",\"models\":[";
+    for (std::size_t i = 0; i < report.models.size(); ++i) {
+        const ModelHealth &m = report.models[i];
+        if (i > 0)
+            out += ",";
+        out += format(
+            "{\"id\":\"%s\",\"breaker\":\"%s\","
+            "\"effective_samples\":[", m.id.c_str(),
+            breakerStateName(m.breakerState));
+        for (std::size_t p = 0; p < kPriorityLevels; ++p) {
+            if (p > 0)
+                out += ",";
+            out += format("%zu", m.effectiveSamples[p]);
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
 }
 
 const CircuitBreaker *

@@ -21,6 +21,7 @@
 #define FASTBCNN_SERVE_SERVER_HPP
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -30,6 +31,7 @@
 
 #include "common/stats.hpp"
 #include "serve/breaker.hpp"
+#include "serve/brownout.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
 #include "serve/scheduler.hpp"
@@ -65,6 +67,8 @@ struct ServerOptions {
     BreakerOptions breaker;
     /** Model-registry policy (hot-swap backoff). */
     RegistryOptions registry;
+    /** Overload brownout controller (disabled by default). */
+    BrownoutOptions brownout;
 };
 
 /**
@@ -90,6 +94,12 @@ struct ModelHealth {
      * rollback counts, failure backoff, last lifecycle event.
      */
     RegistryModelHealth registry;
+    /**
+     * Sample budget each priority class gets for this model at the
+     * current brownout rung (== the model's default T everywhere when
+     * the ladder is at Normal or the controller is disabled).
+     */
+    std::array<std::size_t, kPriorityLevels> effectiveSamples{};
 };
 
 /** Point-in-time health of the whole server (health()). */
@@ -113,8 +123,17 @@ struct HealthReport {
     double p50Ms = 0.0;
     double p95Ms = 0.0;
     double p99Ms = 0.0;
+    /** Brownout controller snapshot (enabled == false when off). */
+    BrownoutState brownout;
     std::vector<ModelHealth> models;
 };
+
+/**
+ * Render @p report as a single JSON object on one line.  Additive
+ * over time: existing keys keep their names and types (bench and soak
+ * consumers parse this), new subsystems append new keys.
+ */
+std::string healthJson(const HealthReport &report);
 
 class InferenceServer
 {
@@ -211,6 +230,10 @@ class InferenceServer
     /** @return the model registry (for tests / direct inspection). */
     const ModelRegistry &registry() const { return *registry_; }
 
+    /** @return the brownout controller (for tests / benches). */
+    BrownoutController &brownout() { return *brownout_; }
+    const BrownoutController &brownout() const { return *brownout_; }
+
   private:
     /** Admission-time knowledge about one served model. */
     struct ModelInfo {
@@ -234,6 +257,10 @@ class InferenceServer
     void complete(PendingRequest &&pending, InferResponse &&response);
     /** complete() for a load-shed request. */
     void shed(PendingRequest &&pending);
+    /** complete() for a Background request the Shed rung dropped. */
+    void brownoutShed(PendingRequest &&pending);
+    /** Brownout tick thread body (runs only when brownout.enabled). */
+    void brownoutLoop();
     void stop(bool drain_queue);
 
     ServerOptions opts_;
@@ -243,9 +270,17 @@ class InferenceServer
     /** Per-model breakers (stable addresses; created at create()). */
     std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
     BoundedRequestQueue queue_;
+    /** Built before the scheduler / workers (both hold pointers). */
+    std::unique_ptr<BrownoutController> brownout_;
     std::unique_ptr<BatchScheduler> scheduler_;
     std::vector<std::unique_ptr<EngineWorker>> workers_;
     std::vector<std::thread> threads_;
+
+    /** Brownout tick thread (joined by stop()). */
+    std::thread brownoutThread_;
+    std::mutex brownoutMutex_;
+    std::condition_variable brownoutCv_;
+    bool brownoutStop_ = false;
 
     StatGroup stats_{"serve"};
     std::array<LatencyHistogram, kOutcomeCount> latency_;

@@ -8,8 +8,9 @@
 namespace fastbcnn::serve {
 
 EngineWorker::EngineWorker(std::size_t index,
-                           const ModelRegistry *registry)
-    : index_(index), registry_(registry)
+                           const ModelRegistry *registry,
+                           const BrownoutController *brownout)
+    : index_(index), registry_(registry), brownout_(brownout)
 {
     FASTBCNN_CHECK(registry_ != nullptr,
                    "EngineWorker needs a model registry");
@@ -40,6 +41,12 @@ EngineWorker::effectiveOptions(const FastBcnnEngine &engine,
         mc.seed = *over.seed;
     if (over.precision.has_value())
         mc.precision = *over.precision;
+    if (over.targetCiWidth.has_value())
+        mc.targetCiWidth = *over.targetCiWidth;
+    if (over.minSamples.has_value())
+        mc.minSamples = *over.minSamples;
+    if (over.sampleBudget.has_value())
+        mc.sampleBudget = *over.sampleBudget;
     if (over.faults != nullptr)
         mc.faults = over.faults;
     if (pending.hasDeadline) {
@@ -102,7 +109,16 @@ EngineWorker::runBatch(std::vector<PendingRequest> &&batch,
             continue;
         }
 
-        const McOptions mc = effectiveOptions(*engine, pending, now);
+        McOptions mc = effectiveOptions(*engine, pending, now);
+        // Brownout rides on top of the merged options: the ladder's
+        // quality levers (adaptive exit, sample-budget clamp) degrade
+        // the run, never past what the caller explicitly asked for.
+        // The guarded path has no sample census to degrade, so the
+        // ladder leaves it alone.
+        if (brownout_ != nullptr && !pending.request.useGuardedSkip) {
+            response.brownoutLevel =
+                brownout_->apply(mc, pending.request.priority);
+        }
         // The guarded predictive path is float-only; the exact path
         // runs whatever the merged options selected.
         response.precision = pending.request.useGuardedSkip
@@ -141,6 +157,8 @@ EngineWorker::runBatch(std::vector<PendingRequest> &&batch,
         if (run.hasValue()) {
             response.outcome = Outcome::Ok;
             response.result = std::move(run).value();
+            response.effectiveSamples =
+                response.result->census.survived;
         } else {
             response.outcome = Outcome::Failed;
             response.error = std::move(run).takeError().withContext(

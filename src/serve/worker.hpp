@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "serve/brownout.hpp"
 #include "serve/registry.hpp"
 #include "serve/request.hpp"
 
@@ -46,8 +47,13 @@ class EngineWorker
      *                 responses)
      * @param registry the replica source (not owned; must outlive the
      *                 worker)
+     * @param brownout optional brownout controller (not owned; must
+     *                 outlive the worker).  Its current rung's quality
+     *                 levers are applied to every exact-path dispatch
+     *                 after the per-request override merge.
      */
-    EngineWorker(std::size_t index, const ModelRegistry *registry);
+    EngineWorker(std::size_t index, const ModelRegistry *registry,
+                 const BrownoutController *brownout = nullptr);
 
     EngineWorker(const EngineWorker &) = delete;
     EngineWorker &operator=(const EngineWorker &) = delete;
@@ -82,6 +88,7 @@ class EngineWorker
   private:
     std::size_t index_;
     const ModelRegistry *registry_;
+    const BrownoutController *brownout_;
 };
 
 } // namespace fastbcnn::serve

@@ -12,6 +12,12 @@ degradationSummary(const DegradationCensus &census)
 {
     std::string out = format("%zu/%zu samples survived",
                              census.survived, census.requested);
+    if (census.budget > 0 && census.budget < census.requested)
+        out += format(" (budget clamped to %zu)", census.budget);
+    if (census.converged) {
+        out += format(" (converged at T'=%zu, CI width %.4g)",
+                      census.convergedAt, census.ciWidth);
+    }
     if (!census.degraded)
         return out;
     // Aggregate casualties by error code, in code order.

@@ -76,7 +76,10 @@ struct SimReport {
 /**
  * One-line rendering of a degradation census, e.g.
  * "47/50 samples survived (degraded; 2 FaultInjected, 1 NonFinite)"
- * or "50/50 samples survived" for a clean run.
+ * or "50/50 samples survived" for a clean run.  Brownout budget
+ * clamps and adaptive convergence are annotated but are not
+ * degradation: "12/50 samples survived (converged at T'=12,
+ * CI width 0.018)".
  */
 std::string degradationSummary(const DegradationCensus &census);
 

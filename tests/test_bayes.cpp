@@ -1,19 +1,27 @@
 /**
  * @file
  * Unit tests for the Bayesian layer: hooks, uncertainty statistics,
- * topology analysis and the MC-dropout runner.
+ * topology analysis, the MC-dropout runner, and the adaptive-sample
+ * early exit (convergence criterion, budget clamps, and the
+ * bit-identity contract across threads x SIMD levels x precision).
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
+#include "bayes/adaptive.hpp"
 #include "bayes/mc_runner.hpp"
 #include "bayes/topology.hpp"
+#include "core/engine.hpp"
 #include "models/zoo.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
 #include "nn/dropout.hpp"
+#include "nn/pooling.hpp"
+#include "simd/simd.hpp"
 
 using namespace fastbcnn;
 
@@ -262,4 +270,346 @@ TEST(McRunner, MaskRecordingOptional)
     opts.recordMasks = false;
     McResult res = runMcDropout(net, ones(Shape({1, 6, 6})), opts);
     EXPECT_TRUE(res.masks.empty());
+}
+
+namespace {
+
+/** Run one adaptive/fixed MC config on the tiny BCNN. */
+Expected<McResult>
+runTiny(const McOptions &opts, double drop_rate = 0.3)
+{
+    Network net = tinyBcnn(drop_rate);
+    return tryRunMcDropout(net, ones(Shape({1, 6, 6})), opts);
+}
+
+/** EXPECT bit-identical outputs, order and summary between runs. */
+void
+expectBitIdentical(const McResult &a, const McResult &b)
+{
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    ASSERT_EQ(a.sampleIndices, b.sampleIndices);
+    for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+        const auto da = a.outputs[i].data();
+        const auto db = b.outputs[i].data();
+        ASSERT_EQ(da.size(), db.size());
+        for (std::size_t j = 0; j < da.size(); ++j)
+            ASSERT_EQ(da[j], db[j]) << "output " << i << "[" << j
+                                    << "]";
+    }
+    const auto ma = a.summary.mean.data();
+    const auto mb = b.summary.mean.data();
+    ASSERT_EQ(ma.size(), mb.size());
+    for (std::size_t j = 0; j < ma.size(); ++j)
+        ASSERT_EQ(ma[j], mb[j]);
+    EXPECT_EQ(a.census.converged, b.census.converged);
+    EXPECT_EQ(a.census.convergedAt, b.census.convergedAt);
+    EXPECT_EQ(a.census.ciWidth, b.census.ciWidth);
+    EXPECT_EQ(a.census.survived, b.census.survived);
+}
+
+} // namespace
+
+TEST(AdaptiveMc, CheckpointScheduleIsPure)
+{
+    // The first checkpoint needs two samples for a variance and never
+    // undercuts the caller's floors.
+    EXPECT_EQ(firstConvergenceCheckpoint(0, 0), 2u);
+    EXPECT_EQ(firstConvergenceCheckpoint(7, 0), 7u);
+    EXPECT_EQ(firstConvergenceCheckpoint(3, 9), 9u);
+    // Subsequent checkpoints stride by kAdaptiveCheckStride, clamped
+    // to the budget (the final checkpoint is the end of the run).
+    EXPECT_EQ(nextConvergenceCheckpoint(2, 50), 2 + kAdaptiveCheckStride);
+    EXPECT_EQ(nextConvergenceCheckpoint(48, 50), 50u);
+    EXPECT_EQ(nextConvergenceCheckpoint(50, 50), 50u);
+}
+
+TEST(AdaptiveMc, CiWidthCriterion)
+{
+    // Fewer than two samples cannot be assessed.
+    Tensor one(Shape({2}));
+    one.fill(1.0f);
+    EXPECT_TRUE(std::isinf(predictiveCiWidth({&one})));
+    // Identical samples have zero variance, zero width.
+    Tensor two = one;
+    EXPECT_EQ(predictiveCiWidth({&one, &two}), 0.0);
+    // Known case: elements {0, 1} over two samples in one cell ->
+    // var 0.5, width 2 * z * sqrt(0.5 / 2) = 2 * z * 0.5.
+    Tensor lo(Shape({2})), hi(Shape({2}));
+    lo.fill(0.0f);
+    hi.fill(1.0f);
+    const double width = predictiveCiWidth({&lo, &hi});
+    EXPECT_NEAR(width, 2.0 * kAdaptiveCiZ * 0.5, 1e-12);
+}
+
+TEST(AdaptiveMc, ConvergesBeforeBudget)
+{
+    McOptions opts;
+    opts.samples = 50;
+    opts.targetCiWidth = 10.0;  // loose: first checkpoint converges
+    Expected<McResult> run = runTiny(opts);
+    ASSERT_TRUE(run.hasValue()) << run.error().toString();
+    const DegradationCensus &census = run.value().census;
+    EXPECT_TRUE(census.converged);
+    EXPECT_EQ(census.convergedAt, 2u);
+    EXPECT_EQ(census.requested, 50u);
+    EXPECT_EQ(census.budget, 50u);
+    EXPECT_EQ(census.survived, 2u);
+    EXPECT_FALSE(census.degraded);
+    EXPECT_TRUE(census.failures.empty());
+    EXPECT_LE(census.ciWidth, 10.0);
+    EXPECT_EQ(run.value().outputs.size(), 2u);
+}
+
+TEST(AdaptiveMc, NeverStopsBelowMinSamplesOrQuorum)
+{
+    McOptions opts;
+    opts.samples = 50;
+    opts.targetCiWidth = 10.0;
+    opts.minSamples = 12;
+    Expected<McResult> run = runTiny(opts);
+    ASSERT_TRUE(run.hasValue());
+    EXPECT_TRUE(run.value().census.converged);
+    EXPECT_GE(run.value().census.convergedAt, 12u);
+
+    McOptions qopts;
+    qopts.samples = 50;
+    qopts.targetCiWidth = 10.0;
+    qopts.quorum = 9;
+    Expected<McResult> qrun = runTiny(qopts);
+    ASSERT_TRUE(qrun.hasValue());
+    EXPECT_TRUE(qrun.value().census.converged);
+    EXPECT_GE(qrun.value().census.convergedAt, 9u);
+    EXPECT_GE(qrun.value().census.survived, 9u);
+}
+
+TEST(AdaptiveMc, TightTargetRunsFullBudget)
+{
+    McOptions opts;
+    opts.samples = 10;
+    opts.dropRate = 0.5;
+    opts.targetCiWidth = 1e-12;  // unreachably tight under dropout
+    Expected<McResult> run = runTiny(opts, 0.5);
+    ASSERT_TRUE(run.hasValue());
+    const DegradationCensus &census = run.value().census;
+    EXPECT_FALSE(census.converged);
+    EXPECT_EQ(census.convergedAt, 0u);
+    EXPECT_EQ(census.survived, 10u);
+    EXPECT_GT(census.ciWidth, 1e-12);
+    EXPECT_FALSE(census.degraded);
+}
+
+TEST(AdaptiveMc, EarlyExitPrefixMatchesFixedRun)
+{
+    // Per-sample seeding means an adaptive run's survivors are the
+    // bit-exact prefix of the fixed-T run's outputs.
+    McOptions fixed;
+    fixed.samples = 50;
+    Expected<McResult> full = runTiny(fixed);
+    ASSERT_TRUE(full.hasValue());
+
+    McOptions adaptive = fixed;
+    adaptive.targetCiWidth = 10.0;
+    Expected<McResult> early = runTiny(adaptive);
+    ASSERT_TRUE(early.hasValue());
+    ASSERT_TRUE(early.value().census.converged);
+    ASSERT_LT(early.value().outputs.size(),
+              full.value().outputs.size());
+    for (std::size_t i = 0; i < early.value().outputs.size(); ++i) {
+        const auto de = early.value().outputs[i].data();
+        const auto df = full.value().outputs[i].data();
+        ASSERT_EQ(de.size(), df.size());
+        for (std::size_t j = 0; j < de.size(); ++j)
+            ASSERT_EQ(de[j], df[j]);
+    }
+}
+
+TEST(AdaptiveMc, BudgetClampIsNotDegradation)
+{
+    McOptions opts;
+    opts.samples = 50;
+    opts.sampleBudget = 10;
+    opts.quorum = 4;
+    Expected<McResult> run = runTiny(opts);
+    ASSERT_TRUE(run.hasValue());
+    const DegradationCensus &census = run.value().census;
+    EXPECT_EQ(census.requested, 50u);
+    EXPECT_EQ(census.budget, 10u);
+    EXPECT_EQ(census.survived, 10u);
+    EXPECT_FALSE(census.degraded);
+    EXPECT_FALSE(census.converged);
+    EXPECT_TRUE(census.failures.empty());
+    EXPECT_EQ(run.value().outputs.size(), 10u);
+}
+
+TEST(AdaptiveMc, CensusSeparatesConvergedFromDegraded)
+{
+    // A fault casualty inside the launched prefix is degradation even
+    // when the run also converges: something genuinely died.
+    FaultPlan plan;
+    FaultSpec kill;
+    kill.kind = FaultKind::SampleKill;
+    kill.sample = 1;
+    plan.add(kill);
+
+    McOptions opts;
+    opts.samples = 50;
+    opts.targetCiWidth = 10.0;
+    opts.minSamples = 6;
+    opts.faults = &plan;
+    Expected<McResult> run = runTiny(opts);
+    ASSERT_TRUE(run.hasValue());
+    const DegradationCensus &census = run.value().census;
+    EXPECT_TRUE(census.converged);
+    EXPECT_TRUE(census.degraded);
+    ASSERT_EQ(census.failures.size(), 1u);
+    EXPECT_EQ(census.failures[0].sample, 1u);
+    EXPECT_EQ(census.failures[0].code, ErrorCode::FaultInjected);
+    // Survivors = launched minus the casualty.
+    EXPECT_EQ(census.survived, census.convergedAt - 1);
+}
+
+TEST(AdaptiveMc, ValidationRejectsBadKnobs)
+{
+    McOptions opts;
+    opts.samples = 10;
+    opts.minSamples = 11;
+    EXPECT_FALSE(validateMcOptions(opts).isOk());
+
+    opts = McOptions{};
+    opts.samples = 10;
+    opts.targetCiWidth = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(validateMcOptions(opts).isOk());
+    opts.targetCiWidth = -0.5;
+    EXPECT_FALSE(validateMcOptions(opts).isOk());
+
+    opts = McOptions{};
+    opts.samples = 10;
+    opts.quorum = 5;
+    opts.sampleBudget = 4;  // below the quorum floor
+    EXPECT_FALSE(validateMcOptions(opts).isOk());
+    opts.sampleBudget = 5;
+    EXPECT_TRUE(validateMcOptions(opts).isOk());
+}
+
+TEST(AdaptiveMcDeterminism, BitIdenticalAcrossThreadsAndSimdF32)
+{
+    McOptions base;
+    base.samples = 32;
+    base.targetCiWidth = 0.5;
+    base.minSamples = 6;
+    base.recordMasks = false;
+
+    McOptions t1 = base;
+    t1.threads = 1;
+    simd::setLevel(simd::SimdLevel::Scalar);
+    Expected<McResult> reference = runTiny(t1);
+    simd::setLevel(simd::detectedLevel());
+    ASSERT_TRUE(reference.hasValue());
+
+    for (int l = 0; l < simd::kSimdLevelCount; ++l) {
+        const auto level = static_cast<simd::SimdLevel>(l);
+        if (!simd::levelAvailable(level))
+            continue;
+        simd::setLevel(level);
+        for (const std::size_t threads : {1u, 4u}) {
+            McOptions opts = base;
+            opts.threads = threads;
+            Expected<McResult> run = runTiny(opts);
+            ASSERT_TRUE(run.hasValue())
+                << simd::simdLevelName(level) << " x " << threads;
+            expectBitIdentical(reference.value(), run.value());
+        }
+        simd::setLevel(simd::detectedLevel());
+    }
+}
+
+namespace {
+
+/** A quantizable BCNN: conv blocks into a Linear + Softmax head (the
+ *  topology class the int8 engine covers). */
+Network
+quantizableBcnn()
+{
+    Network net("qtiny", Shape({1, 6, 6}));
+    net.add(std::make_unique<Conv2d>("c1", 1, 4, 3, 1, 1));
+    net.add(std::make_unique<ReLU>("r1"));
+    net.add(std::make_unique<Dropout>("d1", 0.3));
+    net.add(std::make_unique<MaxPool2d>("p1", 2, 2));
+    net.add(std::make_unique<Conv2d>("c2", 4, 6, 3, 1, 0));
+    net.add(std::make_unique<ReLU>("r2"));
+    net.add(std::make_unique<Dropout>("d2", 0.3));
+    net.add(std::make_unique<Flatten>("f"));
+    net.add(std::make_unique<Linear>("fc", 6, 4));
+    net.add(std::make_unique<Softmax>("sm"));
+    InitOptions init;
+    init.seed = 5;
+    initializeWeights(net, init);
+    return net;
+}
+
+} // namespace
+
+TEST(AdaptiveMcDeterminism, BitIdenticalAcrossThreadsAndSimdInt8)
+{
+    EngineOptions eopts;
+    eopts.mc.samples = 32;
+    eopts.mc.recordMasks = false;
+    eopts.optimizer.samples = 2;
+    Expected<std::unique_ptr<FastBcnnEngine>> engine =
+        FastBcnnEngine::create(quantizableBcnn(), eopts);
+    ASSERT_TRUE(engine.hasValue()) << engine.error().toString();
+    const std::vector<Tensor> calib = {ones(Shape({1, 6, 6}))};
+    ASSERT_TRUE(engine.value()->tryCalibrate(calib).isOk());
+    ASSERT_TRUE(engine.value()->tryQuantize(calib).isOk());
+
+    McOptions mc = eopts.mc;
+    mc.precision = Precision::Int8;
+    mc.targetCiWidth = 0.5;
+    mc.minSamples = 6;
+
+    std::optional<McResult> reference;
+    for (int l = 0; l < simd::kSimdLevelCount; ++l) {
+        const auto level = static_cast<simd::SimdLevel>(l);
+        if (!simd::levelAvailable(level))
+            continue;
+        simd::setLevel(level);
+        for (const std::size_t threads : {1u, 4u}) {
+            McOptions opts = mc;
+            opts.threads = threads;
+            Expected<McResult> run = engine.value()->tryMcReference(
+                ones(Shape({1, 6, 6})), opts);
+            ASSERT_TRUE(run.hasValue())
+                << simd::simdLevelName(level) << " x " << threads
+                << ": " << run.error().toString();
+            if (!reference.has_value())
+                reference = std::move(run).value();
+            else
+                expectBitIdentical(*reference, run.value());
+        }
+        simd::setLevel(simd::detectedLevel());
+    }
+    ASSERT_TRUE(reference.has_value());
+    EXPECT_TRUE(reference->census.converged);
+}
+
+TEST(AdaptiveMcConcurrency, ThreadedAdaptiveRunWithFaults)
+{
+    // TSan exercise: adaptive checkpoints interleaved with worker
+    // lanes and fault casualties must stay race-free.
+    FaultPlan plan(11);
+    plan.killRandomSamples(3, 32);
+    McOptions opts;
+    opts.samples = 32;
+    opts.threads = 4;
+    opts.targetCiWidth = 0.05;
+    opts.minSamples = 8;
+    opts.quorum = 4;
+    opts.faults = &plan;
+    opts.recordMasks = false;
+    Expected<McResult> run = runTiny(opts);
+    ASSERT_TRUE(run.hasValue()) << run.error().toString();
+    EXPECT_GE(run.value().census.survived, 4u);
+    Expected<McResult> again = runTiny(opts);
+    ASSERT_TRUE(again.hasValue());
+    expectBitIdentical(run.value(), again.value());
 }

@@ -1362,3 +1362,395 @@ TEST(RegistrySwap, HealthReportsRegistryAndLegacyLoadState)
               report.legacyTextLoads);
     srv.drain();
 }
+
+// ---------------------------------------------------------------------------
+// Brownout: the overload ladder that degrades samples, not requests.
+
+namespace {
+
+/** Brownout options tuned so unit tests drive the ladder directly:
+ *  alpha 1 makes the EWMAs track the last completion exactly. */
+BrownoutOptions
+testBrownout()
+{
+    BrownoutOptions opts;
+    opts.enabled = true;
+    opts.tickIntervalMs = 5.0;
+    opts.queueDelayHighMs = 50.0;
+    opts.queueDelayLowMs = 20.0;
+    opts.missRateHigh = 0.5;
+    opts.missRateLow = 0.1;
+    opts.ewmaAlpha = 1.0;
+    opts.recoverTicks = 2;
+    return opts;
+}
+
+} // namespace
+
+TEST(Brownout, ValidationRejectsBadOptions)
+{
+    BrownoutOptions opts = testBrownout();
+    opts.queueDelayLowMs = 60.0;  // low > high
+    EXPECT_FALSE(validateBrownoutOptions(opts).isOk());
+    opts = testBrownout();
+    opts.missRateHigh = 1.5;
+    EXPECT_FALSE(validateBrownoutOptions(opts).isOk());
+    opts = testBrownout();
+    opts.ewmaAlpha = 0.0;
+    EXPECT_FALSE(validateBrownoutOptions(opts).isOk());
+    opts = testBrownout();
+    opts.recoverTicks = 0;
+    EXPECT_FALSE(validateBrownoutOptions(opts).isOk());
+    opts = testBrownout();
+    opts.targetCiWidth = 0.0;
+    EXPECT_FALSE(validateBrownoutOptions(opts).isOk());
+    opts = testBrownout();
+    opts.budgetFraction[1] = 0.0;
+    EXPECT_FALSE(validateBrownoutOptions(opts).isOk());
+    opts = testBrownout();
+    opts.budgetFloor = 0;
+    EXPECT_FALSE(validateBrownoutOptions(opts).isOk());
+    EXPECT_TRUE(validateBrownoutOptions(testBrownout()).isOk());
+    EXPECT_TRUE(validateBrownoutOptions(BrownoutOptions{}).isOk());
+}
+
+TEST(Brownout, LadderEscalatesImmediatelyRecoversAdditively)
+{
+    BrownoutController ctl(testBrownout());
+    EXPECT_EQ(ctl.level(), BrownoutLevel::Normal);
+
+    // One pressured tick per rung: multiplicative-decrease analog.
+    for (const BrownoutLevel want :
+         {BrownoutLevel::AdaptiveExit, BrownoutLevel::BudgetClamp,
+          BrownoutLevel::Shed}) {
+        ctl.recordCompletion(100.0, true, false);
+        ctl.tick(4);
+        EXPECT_EQ(ctl.level(), want);
+    }
+    // Pressure at the top rung holds it (no further escalation).
+    ctl.recordCompletion(100.0, true, false);
+    ctl.tick(4);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::Shed);
+    EXPECT_EQ(ctl.state().escalations, 3u);
+
+    // Recovery needs recoverTicks consecutive healthy ticks per rung.
+    ctl.recordCompletion(1.0, false, false);
+    ctl.tick(0);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::Shed);  // 1 of 2
+    ctl.recordCompletion(1.0, false, false);
+    ctl.tick(0);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::BudgetClamp);  // 2 of 2
+    ctl.recordCompletion(1.0, false, false);
+    ctl.tick(0);
+    ctl.recordCompletion(1.0, false, false);
+    ctl.tick(0);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::AdaptiveExit);
+    EXPECT_EQ(ctl.state().recoveries, 2u);
+}
+
+TEST(Brownout, HysteresisBandHoldsAndForfeitsCredit)
+{
+    BrownoutController ctl(testBrownout());
+    ctl.recordCompletion(100.0, false, false);
+    ctl.tick(1);
+    ASSERT_EQ(ctl.level(), BrownoutLevel::AdaptiveExit);
+
+    // One healthy tick of credit...
+    ctl.recordCompletion(1.0, false, false);
+    ctl.tick(1);
+    // ...forfeited by a tick in the hysteresis band (30 ms is between
+    // low 20 and high 50), so two more healthy ticks are needed.
+    ctl.recordCompletion(30.0, false, false);
+    ctl.tick(1);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::AdaptiveExit);
+    ctl.recordCompletion(1.0, false, false);
+    ctl.tick(1);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::AdaptiveExit);
+    ctl.recordCompletion(1.0, false, false);
+    ctl.tick(1);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::Normal);
+}
+
+TEST(Brownout, IdleTicksRecoverOnlyWithEmptyQueue)
+{
+    BrownoutController ctl(testBrownout());
+    ctl.recordCompletion(100.0, true, false);
+    ctl.tick(4);
+    ASSERT_EQ(ctl.level(), BrownoutLevel::AdaptiveExit);
+
+    // No completions + queued work: the EWMAs are stale, hold.
+    ctl.tick(4);
+    ctl.tick(4);
+    ctl.tick(4);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::AdaptiveExit);
+    // No completions + empty queue: nothing flowing, nothing hurting.
+    ctl.tick(0);
+    ctl.tick(0);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::Normal);
+}
+
+TEST(Brownout, DisabledControllerNeverMoves)
+{
+    BrownoutOptions opts = testBrownout();
+    opts.enabled = false;
+    BrownoutController ctl(opts);
+    ctl.recordCompletion(1000.0, true, false);
+    ctl.tick(100);
+    EXPECT_EQ(ctl.level(), BrownoutLevel::Normal);
+    McOptions mc;
+    mc.samples = 50;
+    EXPECT_EQ(ctl.apply(mc, Priority::Background),
+              BrownoutLevel::Normal);
+    EXPECT_EQ(mc.targetCiWidth, 0.0);
+    EXPECT_EQ(ctl.effectiveSamples(50, Priority::Background, 0), 50u);
+}
+
+TEST(Brownout, ApplyForcesAdaptiveButRespectsCallerFloors)
+{
+    BrownoutController ctl(testBrownout());
+    ctl.forceLevel(BrownoutLevel::AdaptiveExit);
+
+    McOptions mc;
+    mc.samples = 50;
+    EXPECT_EQ(ctl.apply(mc, Priority::Standard),
+              BrownoutLevel::AdaptiveExit);
+    EXPECT_EQ(mc.targetCiWidth, ctl.options().targetCiWidth);
+    EXPECT_EQ(mc.minSamples, ctl.options().minSamples);
+    EXPECT_EQ(mc.sampleBudget, 0u);  // no clamp below BudgetClamp
+    EXPECT_TRUE(validateMcOptions(mc).isOk());
+
+    // A tighter per-request width wins; a looser one is tightened.
+    McOptions tight;
+    tight.samples = 50;
+    tight.targetCiWidth = 0.001;
+    tight.minSamples = 20;
+    ctl.apply(tight, Priority::Standard);
+    EXPECT_EQ(tight.targetCiWidth, 0.001);
+    EXPECT_EQ(tight.minSamples, 20u);
+    McOptions loose;
+    loose.samples = 50;
+    loose.targetCiWidth = 10.0;
+    ctl.apply(loose, Priority::Standard);
+    EXPECT_EQ(loose.targetCiWidth, ctl.options().targetCiWidth);
+}
+
+TEST(Brownout, BudgetClampPerClassWithQuorumFloor)
+{
+    BrownoutController ctl(testBrownout());
+    ctl.forceLevel(BrownoutLevel::BudgetClamp);
+
+    // Default fractions: 0.75 / 0.50 / 0.25 of T = 40.
+    EXPECT_EQ(ctl.effectiveSamples(40, Priority::Interactive, 0), 30u);
+    EXPECT_EQ(ctl.effectiveSamples(40, Priority::Standard, 0), 20u);
+    EXPECT_EQ(ctl.effectiveSamples(40, Priority::Background, 0), 10u);
+    // The quorum floor always holds (quality degrades, correctness
+    // floors do not).
+    EXPECT_EQ(ctl.effectiveSamples(40, Priority::Background, 25), 25u);
+    // The budget floor holds for tiny T; never exceeds T itself.
+    EXPECT_EQ(ctl.effectiveSamples(2, Priority::Background, 0), 2u);
+
+    McOptions mc;
+    mc.samples = 40;
+    mc.quorum = 25;
+    ctl.apply(mc, Priority::Background);
+    EXPECT_EQ(mc.sampleBudget, 25u);
+    EXPECT_TRUE(validateMcOptions(mc).isOk());
+
+    // A smaller caller-set budget survives (never loosened).
+    McOptions own;
+    own.samples = 40;
+    own.sampleBudget = 4;
+    ctl.apply(own, Priority::Interactive);
+    EXPECT_EQ(own.sampleBudget, 4u);
+}
+
+TEST(Brownout, BrownedOutResponseIsOkNotBreakerFailure)
+{
+    ServerOptions sopts;
+    sopts.workers = 1;
+    sopts.brownout = testBrownout();
+    sopts.brownout.tickIntervalMs = 10000.0;  // ticks stay out of the way
+    sopts.breaker.enabled = true;
+    sopts.breaker.failureThreshold = 1;  // any failure would trip it
+    auto server = InferenceServer::create({tinySpec()}, sopts);
+    ASSERT_TRUE(server.hasValue()) << server.error().toString();
+    InferenceServer &srv = *server.value();
+    srv.brownout().forceLevel(BrownoutLevel::BudgetClamp);
+
+    InferRequest req;
+    req.modelId = "tiny";
+    req.input = ones(Shape({1, 6, 6}));
+    req.priority = Priority::Standard;
+    Expected<RequestHandle> handle = srv.submit(req);
+    ASSERT_TRUE(handle.hasValue());
+    InferResponse resp = handle.value().response.get();
+
+    EXPECT_EQ(resp.outcome, Outcome::Ok);
+    EXPECT_EQ(resp.brownoutLevel, BrownoutLevel::BudgetClamp);
+    ASSERT_TRUE(resp.result.has_value());
+    // T = 4 defaults: Standard gets ceil(0.5 * 4) = 2 samples.
+    EXPECT_EQ(resp.result->census.budget, 2u);
+    EXPECT_EQ(resp.result->census.requested, 4u);
+    EXPECT_LE(resp.effectiveSamples, 2u);
+    EXPECT_GE(resp.effectiveSamples, 1u);
+    EXPECT_FALSE(resp.result->census.degraded);
+    // Quality degradation is never a breaker failure.
+    EXPECT_EQ(srv.breaker("tiny")->state(), BreakerState::Closed);
+    srv.drain();
+    EXPECT_EQ(srv.stats().counter("failed"), 0u);
+}
+
+TEST(Brownout, ShedRungDropsBackgroundKeepsPayingClasses)
+{
+    ServerOptions sopts;
+    sopts.workers = 1;
+    sopts.brownout = testBrownout();
+    sopts.brownout.tickIntervalMs = 10000.0;
+    auto server = InferenceServer::create({tinySpec()}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+    srv.brownout().forceLevel(BrownoutLevel::Shed);
+
+    InferRequest bg;
+    bg.modelId = "tiny";
+    bg.input = ones(Shape({1, 6, 6}));
+    bg.priority = Priority::Background;
+    Expected<RequestHandle> bgHandle = srv.submit(bg);
+    ASSERT_TRUE(bgHandle.hasValue());
+    InferResponse bgResp = bgHandle.value().response.get();
+    EXPECT_EQ(bgResp.outcome, Outcome::Shed);
+    EXPECT_EQ(bgResp.brownoutLevel, BrownoutLevel::Shed);
+    EXPECT_EQ(bgResp.error.code(), ErrorCode::ResourceExhausted);
+
+    InferRequest fg;
+    fg.modelId = "tiny";
+    fg.input = ones(Shape({1, 6, 6}));
+    fg.priority = Priority::Interactive;
+    Expected<RequestHandle> fgHandle = srv.submit(fg);
+    ASSERT_TRUE(fgHandle.hasValue());
+    InferResponse fgResp = fgHandle.value().response.get();
+    EXPECT_EQ(fgResp.outcome, Outcome::Ok);
+
+    srv.drain();
+    EXPECT_GE(srv.stats().counter("brownout_shed"), 1u);
+    EXPECT_GE(srv.health().brownout.brownoutSheds, 1u);
+}
+
+TEST(Brownout, HealthReportsControllerStateAndEffectiveT)
+{
+    ServerOptions sopts;
+    sopts.workers = 1;
+    sopts.brownout = testBrownout();
+    sopts.brownout.tickIntervalMs = 10000.0;
+    auto server = InferenceServer::create({tinySpec()}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    HealthReport normal = srv.health();
+    EXPECT_TRUE(normal.brownout.enabled);
+    EXPECT_EQ(normal.brownout.level, BrownoutLevel::Normal);
+    ASSERT_EQ(normal.models.size(), 1u);
+    for (std::size_t p = 0; p < kPriorityLevels; ++p)
+        EXPECT_EQ(normal.models[0].effectiveSamples[p], 4u);
+
+    srv.brownout().forceLevel(BrownoutLevel::BudgetClamp);
+    HealthReport clamped = srv.health();
+    EXPECT_EQ(clamped.brownout.level, BrownoutLevel::BudgetClamp);
+    EXPECT_EQ(clamped.models[0].effectiveSamples[0], 3u);  // 0.75 * 4
+    EXPECT_EQ(clamped.models[0].effectiveSamples[1], 2u);  // 0.50 * 4
+    EXPECT_EQ(clamped.models[0].effectiveSamples[2], 2u);  // floor
+
+    const std::string json = healthJson(clamped);
+    EXPECT_NE(json.find("\"brownout\""), std::string::npos);
+    EXPECT_NE(json.find("\"level\":\"BudgetClamp\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"effective_samples\":[3,2,2]"),
+              std::string::npos);
+    srv.drain();
+}
+
+TEST(Brownout, AdaptiveOverridesMergeAndValidateAtSubmit)
+{
+    auto server = InferenceServer::create({tinySpec()}, {});
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    // Invalid merged options are an immediate submit error.
+    InferRequest bad;
+    bad.modelId = "tiny";
+    bad.input = ones(Shape({1, 6, 6}));
+    bad.mc.minSamples = 10;  // replica default T = 4
+    Expected<RequestHandle> rejected = srv.submit(bad);
+    ASSERT_FALSE(rejected.hasValue());
+    EXPECT_EQ(rejected.error().code(), ErrorCode::InvalidArgument);
+
+    // A loose per-request CI target converges the run early.
+    InferRequest adaptive;
+    adaptive.modelId = "tiny";
+    adaptive.input = ones(Shape({1, 6, 6}));
+    adaptive.mc.targetCiWidth = 10.0;
+    Expected<RequestHandle> handle = srv.submit(adaptive);
+    ASSERT_TRUE(handle.hasValue());
+    InferResponse resp = handle.value().response.get();
+    ASSERT_EQ(resp.outcome, Outcome::Ok);
+    ASSERT_TRUE(resp.result.has_value());
+    EXPECT_TRUE(resp.result->census.converged);
+    EXPECT_EQ(resp.result->census.convergedAt, 2u);
+    EXPECT_EQ(resp.effectiveSamples, 2u);
+    // Converged early exits are counted, and never as degradation.
+    srv.drain();
+    EXPECT_GE(srv.stats().counter("converged"), 1u);
+    EXPECT_EQ(srv.stats().counter("degraded"), 0u);
+    EXPECT_GE(srv.health().brownout.converged, 1u);
+}
+
+TEST(BrownoutConcurrency, TickingLadderUnderMixedLoad)
+{
+    ServerOptions sopts;
+    sopts.workers = 2;
+    sopts.queueCapacity = 256;
+    sopts.brownout = testBrownout();
+    sopts.brownout.tickIntervalMs = 1.0;  // ladder moves mid-load
+    sopts.brownout.queueDelayHighMs = 2.0;
+    sopts.brownout.queueDelayLowMs = 1.0;
+    auto server = InferenceServer::create({tinySpec()}, sopts);
+    ASSERT_TRUE(server.hasValue());
+    InferenceServer &srv = *server.value();
+
+    constexpr std::size_t kThreads = 3;
+    constexpr std::size_t kPerThread = 30;
+    std::atomic<std::size_t> accepted{0};
+    std::atomic<std::size_t> resolved{0};
+    std::vector<std::thread> producers;
+    producers.reserve(kThreads);
+    for (std::size_t w = 0; w < kThreads; ++w) {
+        producers.emplace_back([&, w]() {
+            for (std::size_t i = 0; i < kPerThread; ++i) {
+                InferRequest req;
+                req.modelId = "tiny";
+                req.input = ones(Shape({1, 6, 6}));
+                req.priority =
+                    static_cast<Priority>((w + i) % kPriorityLevels);
+                req.deadlineMs = (i % 4 == 0) ? 0.5 : 200.0;
+                Expected<RequestHandle> handle =
+                    srv.submit(std::move(req));
+                if (!handle.hasValue())
+                    continue;
+                accepted.fetch_add(1);
+                handle.value().response.get();
+                resolved.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    srv.drain();
+    // Every accepted request resolved exactly once, whatever rung the
+    // ladder was on when it dispatched.
+    EXPECT_EQ(resolved.load(), accepted.load());
+    const StatGroup &stats = srv.stats();
+    EXPECT_EQ(stats.counter("ok") + stats.counter("shed") +
+                  stats.counter("cancelled") + stats.counter("failed"),
+              accepted.load());
+    EXPECT_GE(srv.health().brownout.ticks, 1u);
+}
